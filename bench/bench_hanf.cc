@@ -1,0 +1,93 @@
+// E10 -- the bounded-degree baseline of Kuske & Schweikardt [16] that the
+// paper generalises: on degree-bounded inputs the number of sphere types
+// saturates (f(r, d), independent of n), so type-sharing evaluates an
+// r-local property once per type instead of once per element. On families
+// with growing degrees (random trees with hubs) the type count tracks n and
+// the benefit evaporates -- the regime where the paper's nowhere-dense
+// machinery is needed.
+#include <benchmark/benchmark.h>
+
+#include "focq/graph/generators.h"
+#include "focq/hanf/hanf_eval.h"
+#include "focq/locality/cl_term.h"
+#include "focq/logic/build.h"
+#include "focq/structure/encode.h"
+#include "focq/structure/gaifman.h"
+
+namespace focq {
+namespace {
+
+Structure MakeInput(int family, std::size_t n, Rng* rng) {
+  // family 0: degree <= 2 (disjoint paths/cycles -- the type space
+  //           saturates almost immediately);
+  // family 1: degree <= 3 (more types, still degree-bounded);
+  // family 2: random trees (unbounded hub degrees: the type space tracks n
+  //           and the classical method loses its footing).
+  Graph g = family == 0   ? MakeRandomBoundedDegree(n, 2, rng)
+            : family == 1 ? MakeRandomBoundedDegree(n, 3, rng)
+                          : MakeRandomTree(n, rng);
+  return EncodeGraph(g);
+}
+
+const char* FamilyName(int family) {
+  switch (family) {
+    case 0: return "degree2";
+    case 1: return "degree3";
+    default: return "tree";
+  }
+}
+
+BasicClTerm NeighbourCount() {
+  Var y1 = VarNamed("bhy1"), y2 = VarNamed("bhy2");
+  PatternGraph edge(2, 0);
+  edge.SetEdge(0, 1);
+  return BasicClTerm{{y1, y2}, /*unary=*/true, Atom("E", {y1, y2}),
+                     /*radius=*/0, edge};
+}
+
+void BM_HanfTypeSharing(benchmark::State& state) {
+  int family = static_cast<int>(state.range(0));
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(17);
+  Structure a = MakeInput(family, n, &rng);
+  Graph g = BuildGaifmanGraph(a);
+  BasicClTerm basic = NeighbourCount();
+  HanfEvaluator hanf(a, g);
+  std::size_t types = 0;
+  for (auto _ : state) {
+    auto values = hanf.EvaluateBasicAll(basic);
+    benchmark::DoNotOptimize(values.ok());
+    types = hanf.last_num_types();
+  }
+  state.SetLabel(FamilyName(family));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["sphere_types"] = static_cast<double>(types);
+}
+
+void BM_PerElementBaseline(benchmark::State& state) {
+  int family = static_cast<int>(state.range(0));
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(17);
+  Structure a = MakeInput(family, n, &rng);
+  Graph g = BuildGaifmanGraph(a);
+  BasicClTerm basic = NeighbourCount();
+  ClTermBallEvaluator ball(a, g);
+  for (auto _ : state) {
+    auto values = ball.EvaluateBasicAll(basic);
+    benchmark::DoNotOptimize(values.ok());
+  }
+  state.SetLabel(FamilyName(family));
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int family : {0, 1, 2}) {
+    for (std::int64_t n : {1024, 4096, 16384}) b->Args({family, n});
+  }
+}
+
+BENCHMARK(BM_HanfTypeSharing)->Apply(Args)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PerElementBaseline)->Apply(Args)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace focq

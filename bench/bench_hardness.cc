@@ -1,0 +1,116 @@
+// E1/E2 -- Theorems 4.1 and 4.3: the reductions themselves are cheap
+// (quadratic construction, as the paper states), while *evaluating* the
+// rewritten FOC({P=}) sentences on the reduced trees/strings is drastically
+// more expensive than evaluating the FO original on the graph -- the
+// hardness transfer in action. Counters report the size blowup.
+#include <benchmark/benchmark.h>
+
+#include "focq/eval/naive_eval.h"
+#include "focq/graph/generators.h"
+#include "focq/hardness/string_reduction.h"
+#include "focq/hardness/tree_reduction.h"
+#include "focq/logic/build.h"
+#include "focq/structure/encode.h"
+
+namespace focq {
+namespace {
+
+Formula TriangleSentence() {
+  Var x = VarNamed("bhx"), y = VarNamed("bhy"), z = VarNamed("bhz");
+  return Exists(
+      x, Exists(y, Exists(z, And({Atom("E", {x, y}), Atom("E", {y, z}),
+                                  Atom("E", {z, x})}))));
+}
+
+void BM_BuildReductionTree(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(123);
+  Graph g = MakeErdosRenyi(n, 0.3, &rng);
+  std::size_t tree_size = 0;
+  for (auto _ : state) {
+    TreeEncoding enc = BuildReductionTree(g);
+    tree_size = enc.structure.Order();
+    benchmark::DoNotOptimize(tree_size);
+  }
+  state.counters["graph_n"] = static_cast<double>(n);
+  state.counters["tree_n"] = static_cast<double>(tree_size);
+  state.counters["blowup"] = static_cast<double>(tree_size) / n;
+}
+
+BENCHMARK(BM_BuildReductionTree)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BuildReductionString(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(123);
+  Graph g = MakeErdosRenyi(n, 0.3, &rng);
+  std::size_t len = 0;
+  for (auto _ : state) {
+    std::string s = BuildReductionString(g);
+    len = s.size();
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.counters["graph_n"] = static_cast<double>(n);
+  state.counters["string_len"] = static_cast<double>(len);
+}
+
+BENCHMARK(BM_BuildReductionString)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TriangleOnGraph(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(124);
+  Structure a = EncodeGraph(MakeErdosRenyi(n, 0.3, &rng));
+  NaiveEvaluator eval(a);
+  Formula phi = TriangleSentence();
+  for (auto _ : state) {
+    bool v = eval.Satisfies(phi);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_TriangleOnGraph)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_TriangleViaTreeReduction(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(124);
+  Graph g = MakeErdosRenyi(n, 0.3, &rng);
+  TreeEncoding enc = BuildReductionTree(g);
+  Result<Formula> phi = RewriteGraphSentenceForTree(TriangleSentence());
+  NaiveEvaluator eval(enc.structure);
+  for (auto _ : state) {
+    bool v = eval.Satisfies(*phi);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["graph_n"] = static_cast<double>(n);
+  state.counters["tree_n"] = static_cast<double>(enc.structure.Order());
+}
+
+BENCHMARK(BM_TriangleViaTreeReduction)
+    ->Arg(5)
+    ->Arg(6)
+    ->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TriangleViaStringReduction(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(124);
+  Graph g = MakeErdosRenyi(n, 0.3, &rng);
+  Structure s = BuildReductionStringStructure(g);
+  Result<Formula> phi = RewriteGraphSentenceForString(TriangleSentence());
+  NaiveEvaluator eval(s);
+  for (auto _ : state) {
+    bool v = eval.Satisfies(*phi);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["graph_n"] = static_cast<double>(n);
+  state.counters["string_len"] = static_cast<double>(s.Order());
+}
+
+BENCHMARK(BM_TriangleViaStringReduction)
+    ->Arg(5)
+    ->Arg(6)
+    ->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace focq

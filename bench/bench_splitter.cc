@@ -1,0 +1,74 @@
+// E6 -- the splitter game (Section 8): against an adversarial Connector,
+// Splitter finishes in a radius-bounded number of rounds on nowhere dense
+// families (trees, grids, bounded degree) but needs ~n rounds on cliques.
+// The `rounds` counter is the empirical lambda(r).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "focq/graph/generators.h"
+#include "focq/graph/splitter.h"
+
+namespace focq {
+namespace {
+
+Graph MakeFamily(int family, std::size_t n, Rng* rng) {
+  switch (family) {
+    case 0: return MakeRandomTree(n, rng);
+    case 1: {
+      std::size_t side = static_cast<std::size_t>(std::sqrt(double(n)));
+      return MakeGrid(side, side);
+    }
+    case 2: return MakeRandomBoundedDegree(n, 4, rng);
+    default: return MakeClique(std::min<std::size_t>(n, 300));
+  }
+}
+
+const char* FamilyName(int family) {
+  switch (family) {
+    case 0: return "tree";
+    case 1: return "grid";
+    case 2: return "bounded_degree";
+    default: return "clique";
+  }
+}
+
+void BM_SplitterGame(benchmark::State& state) {
+  int family = static_cast<int>(state.range(0));
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  std::uint32_t r = static_cast<std::uint32_t>(state.range(2));
+  Rng rng(55);
+  Graph g = MakeFamily(family, n, &rng);
+  auto splitter = family == 0 ? MakeTreeSplitter() : MakeCenterSplitter();
+  std::uint32_t rounds = 0;
+  bool won = false;
+  for (auto _ : state) {
+    auto connector = MakeGreedyConnector();
+    SplitterGameResult res = PlaySplitterGame(
+        g, r, splitter.get(), connector.get(),
+        static_cast<std::uint32_t>(g.num_vertices() + 1));
+    rounds = res.rounds;
+    won = res.splitter_won;
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.SetLabel(FamilyName(family));
+  state.counters["n"] = static_cast<double>(g.num_vertices());
+  state.counters["r"] = static_cast<double>(r);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["splitter_won"] = won ? 1 : 0;
+}
+
+void GameArgs(benchmark::internal::Benchmark* b) {
+  for (int family : {0, 1, 2}) {
+    for (std::int64_t n : {512, 2048, 8192}) {
+      for (std::int64_t r : {1, 2, 4}) b->Args({family, n, r});
+    }
+  }
+  // Clique control: the game length tracks n, not r.
+  for (std::int64_t n : {100, 200, 300}) b->Args({3, n, 1});
+}
+
+BENCHMARK(BM_SplitterGame)->Apply(GameArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace focq

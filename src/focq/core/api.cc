@@ -1,0 +1,219 @@
+#include "focq/core/api.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <set>
+
+#include "focq/eval/naive_eval.h"
+#include "focq/logic/build.h"
+#include "focq/structure/gaifman.h"
+
+namespace focq {
+
+Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
+                        const EvalOptions& options) {
+  if (!FreeVars(sentence).empty()) {
+    return Status::InvalidArgument("ModelCheck expects a sentence");
+  }
+  if (options.engine == Engine::kNaive) {
+    NaiveEvaluator eval(a);
+    return eval.Satisfies(sentence);
+  }
+  Result<EvalPlan> plan = CompileFormula(sentence, a.signature());
+  if (!plan.ok()) return plan.status();
+  PlanExecutor exec(*plan, a, ExecOptions{options.term_engine});
+  FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
+  return exec.CheckSentence();
+}
+
+Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
+                                    const EvalOptions& options) {
+  if (!FreeVars(t).empty()) {
+    return Status::InvalidArgument("EvaluateGroundTerm expects a ground term");
+  }
+  if (options.engine == Engine::kNaive) {
+    NaiveEvaluator eval(a);
+    return eval.Evaluate(t);
+  }
+  Result<EvalPlan> plan = CompileTerm(t, a.signature());
+  if (!plan.ok()) return plan.status();
+  PlanExecutor exec(*plan, a, ExecOptions{options.term_engine});
+  FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
+  return exec.TermValue();
+}
+
+Result<CountInt> CountSolutions(const Formula& phi, const Structure& a,
+                                const EvalOptions& options) {
+  std::vector<Var> free = FreeVars(phi);
+  if (free.empty()) {
+    Result<bool> holds = ModelCheck(phi, a, options);
+    if (!holds.ok()) return holds.status();
+    return *holds ? CountInt{1} : CountInt{0};
+  }
+  if (options.engine == Engine::kNaive) {
+    NaiveEvaluator eval(a);
+    return eval.CountSolutions(phi);
+  }
+  return EvaluateGroundTerm(Count(free, phi), a, options);
+}
+
+namespace {
+
+Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
+                                            const Structure& a,
+                                            const EvalOptions& options) {
+  // One free variable: evaluate the condition and every head term for all
+  // elements in bulk.
+  ExecOptions exec_options{options.term_engine};
+
+  Result<EvalPlan> cond_plan = CompileFormula(q.condition, a.signature());
+  if (!cond_plan.ok()) return cond_plan.status();
+  PlanExecutor cond_exec(*cond_plan, a, exec_options);
+  FOCQ_RETURN_IF_ERROR(cond_exec.MaterializeLayers());
+  Result<std::vector<bool>> sat = cond_exec.CheckAll();
+  if (!sat.ok()) return sat.status();
+
+  std::vector<std::vector<CountInt>> term_values;
+  std::vector<EvalPlan> term_plans;  // must outlive their executors
+  term_plans.reserve(q.head_terms.size());
+  for (const Term& t : q.head_terms) {
+    Result<EvalPlan> plan = CompileTerm(t, a.signature());
+    if (!plan.ok()) return plan.status();
+    term_plans.push_back(std::move(*plan));
+    PlanExecutor exec(term_plans.back(), a, exec_options);
+    FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
+    Result<std::vector<CountInt>> values = exec.TermValues();
+    if (!values.ok()) return values.status();
+    term_values.push_back(std::move(*values));
+  }
+
+  QueryResult result;
+  for (ElemId e = 0; e < a.universe_size(); ++e) {
+    if (!(*sat)[e]) continue;
+    QueryRow row;
+    row.elements = {e};
+    for (const auto& values : term_values) row.counts.push_back(values[e]);
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+// Multi-variable heads: enumerate candidate head tuples. If the condition
+// (below an exists-prefix) has a conjunct atom covering all head variables,
+// its relation's rows drive the enumeration (the SQL join/group-by shape);
+// otherwise sweep A^k. Either way every candidate is verified against the
+// full condition with the guard-and-index-aware LocalEvaluator.
+Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
+                                            const Structure& a) {
+  Graph gaifman = BuildGaifmanGraph(a);
+  LocalEvaluator eval(a, gaifman);
+  const std::size_t k = q.head_vars.size();
+
+  // Find a driver atom.
+  const Expr* scope = &q.condition.node();
+  while (scope->kind == ExprKind::kExists) scope = scope->children[0].get();
+  std::vector<const Expr*> conjuncts;
+  if (scope->kind == ExprKind::kAnd) {
+    for (const ExprRef& c : scope->children) conjuncts.push_back(c.get());
+  } else {
+    conjuncts.push_back(scope);
+  }
+  const Expr* driver = nullptr;
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kAtom) continue;
+    bool covers = true;
+    for (Var h : q.head_vars) {
+      if (std::find(c->vars.begin(), c->vars.end(), h) == c->vars.end()) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) {
+      driver = c;
+      break;
+    }
+  }
+
+  std::set<Tuple> candidates;
+  if (driver != nullptr) {
+    std::optional<SymbolId> id = a.signature().Find(driver->symbol_name);
+    FOCQ_CHECK(id.has_value());
+    Tuple head(k);
+    for (const Tuple& t : a.relation(*id).tuples()) {
+      bool consistent = true;
+      for (std::size_t i = 0; i < k && consistent; ++i) {
+        std::optional<ElemId> value;
+        for (std::size_t pos = 0; pos < driver->vars.size(); ++pos) {
+          if (driver->vars[pos] != q.head_vars[i]) continue;
+          if (value.has_value() && *value != t[pos]) consistent = false;
+          value = t[pos];
+        }
+        if (consistent) head[i] = *value;
+      }
+      if (consistent) candidates.insert(head);
+    }
+  } else {
+    // Full sweep (correct but Theta(n^k)); only reached for conditions
+    // without a covering atom.
+    Tuple head(k, 0);
+    std::function<void(std::size_t)> sweep = [&](std::size_t i) {
+      if (i == k) {
+        candidates.insert(head);
+        return;
+      }
+      for (ElemId e = 0; e < a.universe_size(); ++e) {
+        head[i] = e;
+        sweep(i + 1);
+      }
+    };
+    sweep(0);
+  }
+
+  QueryResult result;
+  for (const Tuple& head : candidates) {
+    Env env;
+    for (std::size_t i = 0; i < k; ++i) env.Bind(q.head_vars[i], head[i]);
+    if (!eval.Satisfies(q.condition, &env)) continue;
+    QueryRow row;
+    row.elements = head;
+    for (const Term& t : q.head_terms) {
+      Result<CountInt> v = eval.Evaluate(t, &env);
+      if (!v.ok()) return v.status();
+      row.counts.push_back(*v);
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
+                                  const EvalOptions& options) {
+  FOCQ_RETURN_IF_ERROR(q.Validate());
+  if (options.engine == Engine::kNaive) {
+    return EvaluateQueryNaive(q, a);
+  }
+  if (q.head_vars.size() >= 2) {
+    return EvaluateMultiQueryLocal(q, a);
+  }
+  if (q.head_vars.empty()) {
+    Result<bool> holds = ModelCheck(q.condition, a, options);
+    if (!holds.ok()) return holds.status();
+    QueryResult result;
+    if (*holds) {
+      QueryRow row;
+      for (const Term& t : q.head_terms) {
+        Result<CountInt> v = EvaluateGroundTerm(t, a, options);
+        if (!v.ok()) return v.status();
+        row.counts.push_back(*v);
+      }
+      result.rows.push_back(std::move(row));
+    }
+    return result;
+  }
+  return EvaluateUnaryQueryLocal(q, a, options);
+}
+
+}  // namespace focq

@@ -1,0 +1,48 @@
+// The public facade of focq: model checking, counting, term evaluation and
+// FOC1(P)-query evaluation (Theorem 5.5 / Corollary 5.6), with a switch
+// between the naive reference engine and the locality-based engine.
+#ifndef FOCQ_CORE_API_H_
+#define FOCQ_CORE_API_H_
+
+#include "focq/core/evaluator.h"
+#include "focq/core/plan.h"
+#include "focq/eval/query.h"
+#include "focq/logic/expr.h"
+#include "focq/structure/structure.h"
+#include "focq/util/status.h"
+
+namespace focq {
+
+/// Which evaluation pipeline to use.
+enum class Engine {
+  kNaive,  // direct Definition 3.1 semantics (the ground-truth baseline)
+  kLocal,  // Theorem 6.10 decomposition + local cl-term evaluation
+};
+
+struct EvalOptions {
+  Engine engine = Engine::kLocal;
+  TermEngine term_engine = TermEngine::kBall;  // used by Engine::kLocal
+};
+
+/// Decides A |= phi for a sentence phi of FOC(P). With Engine::kLocal, phi
+/// should be in FOC1(P) for the fast path; anything outside falls back to
+/// direct evaluation internally (still correct).
+Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
+                        const EvalOptions& options = {});
+
+/// Evaluates a ground counting term t^A.
+Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
+                                    const EvalOptions& options = {});
+
+/// The counting problem |phi(A)| (Corollary 5.6): the number of assignments
+/// of phi's free variables that satisfy phi.
+Result<CountInt> CountSolutions(const Formula& phi, const Structure& a,
+                                const EvalOptions& options = {});
+
+/// Full query evaluation (Definition 5.2).
+Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
+                                  const EvalOptions& options = {});
+
+}  // namespace focq
+
+#endif  // FOCQ_CORE_API_H_

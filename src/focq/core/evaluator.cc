@@ -1,0 +1,170 @@
+#include "focq/core/evaluator.h"
+
+#include <algorithm>
+
+#include "focq/structure/gaifman.h"
+
+namespace focq {
+
+PlanExecutor::PlanExecutor(const EvalPlan& plan, const Structure& input,
+                           const ExecOptions& options)
+    : plan_(plan),
+      options_(options),
+      structure_(input),
+      gaifman_(BuildGaifmanGraph(input)) {}
+
+NeighborhoodCover& PlanExecutor::CoverFor(std::uint32_t radius) {
+  auto it = covers_.find(radius);
+  if (it != covers_.end()) return it->second;
+  NeighborhoodCover cover = options_.term_engine == TermEngine::kExactCover
+                                ? ExactBallCover(gaifman_, radius)
+                                : SparseCover(gaifman_, radius);
+  return covers_.emplace(radius, std::move(cover)).first->second;
+}
+
+Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
+  if (options_.term_engine == TermEngine::kBall) {
+    ClTermBallEvaluator eval(structure_, gaifman_);
+    return eval.EvaluateAll(term);
+  }
+  // Cover engines: one cover per required radius; evaluate factor-wise and
+  // combine, so basics of different widths use appropriately-sized covers.
+  bool ground = term.IsGround();
+  std::size_t slots = ground ? 1 : structure_.universe_size();
+  std::vector<std::vector<CountInt>> factor_values;
+  factor_values.reserve(term.basics().size());
+  for (const BasicClTerm& b : term.basics()) {
+    NeighborhoodCover& cover = CoverFor(RequiredCoverRadius(b));
+    ClTermCoverEvaluator eval(structure_, gaifman_, cover);
+    if (b.unary) {
+      Result<std::vector<CountInt>> v = eval.EvaluateBasicAll(b);
+      if (!v.ok()) return v.status();
+      factor_values.push_back(std::move(*v));
+    } else {
+      Result<CountInt> v = eval.EvaluateBasicGround(b);
+      if (!v.ok()) return v.status();
+      factor_values.push_back({*v});
+    }
+  }
+  return CombineMonomials(term, factor_values, slots);
+}
+
+Status PlanExecutor::MaterializeLayers() {
+  FOCQ_CHECK(!materialized_);
+  for (const auto& layer : plan_.layers) {
+    for (const LayerRelationDef& def : layer) {
+      if (def.fallback) {
+        // Direct evaluation of the original P(t-bar) subformula over the
+        // current expansion (whose earlier markers it may mention).
+        LocalEvaluator eval(structure_, gaifman_);
+        if (def.arity == 0) {
+          bool holds = eval.Satisfies(def.fallback_formula);
+          structure_.AddNullarySymbol(def.name, holds);
+        } else {
+          std::vector<ElemId> elements;
+          Env env;
+          for (ElemId a = 0; a < structure_.universe_size(); ++a) {
+            env.Bind(def.free_var, a);
+            if (eval.Satisfies(def.fallback_formula, &env)) {
+              elements.push_back(a);
+            }
+          }
+          structure_.AddUnarySymbol(def.name, elements);
+        }
+        continue;
+      }
+      // Fast path: evaluate the cl-term arguments, apply the P-oracle.
+      std::vector<std::vector<CountInt>> arg_values;
+      arg_values.reserve(def.args.size());
+      for (const ClTerm& arg : def.args) {
+        Result<std::vector<CountInt>> v = EvalClTermAll(arg);
+        if (!v.ok()) return v.status();
+        arg_values.push_back(std::move(*v));
+      }
+      std::vector<CountInt> oracle_args(def.args.size());
+      if (def.arity == 0) {
+        for (std::size_t i = 0; i < arg_values.size(); ++i) {
+          FOCQ_CHECK_EQ(arg_values[i].size(), 1u);
+          oracle_args[i] = arg_values[i][0];
+        }
+        structure_.AddNullarySymbol(def.name, def.pred->Holds(oracle_args));
+      } else {
+        std::vector<ElemId> elements;
+        for (ElemId a = 0; a < structure_.universe_size(); ++a) {
+          for (std::size_t i = 0; i < arg_values.size(); ++i) {
+            oracle_args[i] =
+                arg_values[i].size() == 1 ? arg_values[i][0] : arg_values[i][a];
+          }
+          if (def.pred->Holds(oracle_args)) elements.push_back(a);
+        }
+        structure_.AddUnarySymbol(def.name, elements);
+      }
+    }
+    // Marker relations are unary/nullary, so the Gaifman graph is unchanged;
+    // gaifman_ stays valid across layers.
+  }
+  materialized_ = true;
+  final_eval_ = std::make_unique<LocalEvaluator>(structure_, gaifman_);
+  return Status::Ok();
+}
+
+Result<bool> PlanExecutor::CheckSentence() {
+  FOCQ_CHECK(materialized_ && !plan_.is_term);
+  FOCQ_CHECK(FreeVars(plan_.final_formula).empty());
+  return final_eval_->Satisfies(plan_.final_formula);
+}
+
+Result<bool> PlanExecutor::CheckAt(ElemId a) {
+  FOCQ_CHECK(materialized_ && !plan_.is_term);
+  std::vector<Var> free = FreeVars(plan_.final_formula);
+  FOCQ_CHECK_LE(free.size(), 1u);
+  Env env;
+  if (!free.empty()) env.Bind(free[0], a);
+  return final_eval_->Satisfies(plan_.final_formula, &env);
+}
+
+Result<std::vector<bool>> PlanExecutor::CheckAll() {
+  FOCQ_CHECK(materialized_ && !plan_.is_term);
+  std::vector<bool> out(structure_.universe_size(), false);
+  for (ElemId a = 0; a < structure_.universe_size(); ++a) {
+    Result<bool> v = CheckAt(a);
+    if (!v.ok()) return v.status();
+    out[a] = *v;
+  }
+  return out;
+}
+
+Result<CountInt> PlanExecutor::TermValue() {
+  FOCQ_CHECK(materialized_ && plan_.is_term);
+  if (plan_.final_term_decomposed) {
+    FOCQ_CHECK(!plan_.final_cl_term_unary);
+    Result<std::vector<CountInt>> v = EvalClTermAll(plan_.final_cl_term);
+    if (!v.ok()) return v.status();
+    return (*v)[0];
+  }
+  return final_eval_->Evaluate(plan_.final_term_residual);
+}
+
+Result<std::vector<CountInt>> PlanExecutor::TermValues() {
+  FOCQ_CHECK(materialized_ && plan_.is_term);
+  if (plan_.final_term_decomposed) {
+    Result<std::vector<CountInt>> v = EvalClTermAll(plan_.final_cl_term);
+    if (!v.ok()) return v;
+    if (!plan_.final_cl_term_unary) {
+      // Ground value broadcast to every element.
+      return std::vector<CountInt>(structure_.universe_size(), (*v)[0]);
+    }
+    return v;
+  }
+  std::vector<CountInt> out(structure_.universe_size(), 0);
+  for (ElemId a = 0; a < structure_.universe_size(); ++a) {
+    Env env;
+    env.Bind(plan_.final_free_var, a);
+    Result<CountInt> v = final_eval_->Evaluate(plan_.final_term_residual, &env);
+    if (!v.ok()) return v.status();
+    out[a] = *v;
+  }
+  return out;
+}
+
+}  // namespace focq

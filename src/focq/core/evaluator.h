@@ -1,0 +1,69 @@
+// Plan execution: materialising the marker layers of Theorem 6.10 on a
+// working copy of the structure and evaluating the residual formula or term.
+// This is steps (1)-(4) of the Section 6.3 evaluation procedure, with the
+// basic cl-terms evaluated either by direct ball exploration (Remark 6.3) or
+// cluster-by-cluster over a sparse neighbourhood cover (Section 8.2).
+#ifndef FOCQ_CORE_EVALUATOR_H_
+#define FOCQ_CORE_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+
+#include "focq/core/plan.h"
+#include "focq/cover/cover_term.h"
+#include "focq/cover/neighborhood_cover.h"
+#include "focq/locality/local_eval.h"
+
+namespace focq {
+
+/// How basic cl-terms are evaluated.
+enum class TermEngine {
+  kBall,         // Remark 6.3: per-anchor ball exploration on the full graph
+  kSparseCover,  // Section 8.2: per-cluster evaluation over a sparse cover
+  kExactCover,   // same, over the exact-ball cover (ablation baseline)
+};
+
+struct ExecOptions {
+  TermEngine term_engine = TermEngine::kBall;
+};
+
+/// Executes one plan against one structure.
+class PlanExecutor {
+ public:
+  /// Copies `input`; the expansion never mutates the caller's structure.
+  PlanExecutor(const EvalPlan& plan, const Structure& input,
+               const ExecOptions& options);
+
+  /// Materialises all marker layers. Must be called (once) before the
+  /// queries below.
+  Status MaterializeLayers();
+
+  /// The expanded structure (valid after MaterializeLayers()).
+  const Structure& expanded() const { return structure_; }
+
+  /// Residual-formula plans: evaluation as a sentence, at one element, or at
+  /// every element of the universe.
+  Result<bool> CheckSentence();
+  Result<bool> CheckAt(ElemId a);
+  Result<std::vector<bool>> CheckAll();
+
+  /// Residual-term plans.
+  Result<CountInt> TermValue();                  // ground
+  Result<std::vector<CountInt>> TermValues();    // unary: value per element
+
+ private:
+  Result<std::vector<CountInt>> EvalClTermAll(const ClTerm& term);
+  NeighborhoodCover& CoverFor(std::uint32_t radius);
+
+  const EvalPlan& plan_;
+  ExecOptions options_;
+  Structure structure_;
+  Graph gaifman_;
+  bool materialized_ = false;
+  std::map<std::uint32_t, NeighborhoodCover> covers_;  // keyed by radius
+  std::unique_ptr<LocalEvaluator> final_eval_;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_CORE_EVALUATOR_H_

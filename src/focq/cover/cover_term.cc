@@ -1,0 +1,89 @@
+#include "focq/cover/cover_term.h"
+
+#include "focq/structure/gaifman.h"
+#include "focq/structure/incidence.h"
+#include "focq/structure/neighborhood.h"
+#include "focq/util/checked_arith.h"
+
+namespace focq {
+
+ClTermCoverEvaluator::ClTermCoverEvaluator(const Structure& structure,
+                                           const Graph& gaifman,
+                                           const NeighborhoodCover& cover)
+    : structure_(structure),
+      gaifman_(gaifman),
+      cover_(cover),
+      incidence_(structure) {
+  FOCQ_CHECK_EQ(gaifman.num_vertices(), structure.universe_size());
+  FOCQ_CHECK_EQ(cover.assignment.size(), structure.universe_size());
+  anchors_of_cluster_.resize(cover.NumClusters());
+  for (ElemId a = 0; a < cover.assignment.size(); ++a) {
+    anchors_of_cluster_[cover.assignment[a]].push_back(a);
+  }
+}
+
+Result<std::vector<CountInt>> ClTermCoverEvaluator::EvaluateBasicAll(
+    const BasicClTerm& basic) {
+  FOCQ_CHECK(basic.unary);
+  FOCQ_CHECK_GE(cover_.r, RequiredCoverRadius(basic));
+  std::vector<CountInt> out(structure_.universe_size(), 0);
+  for (std::size_t c = 0; c < cover_.NumClusters(); ++c) {
+    if (anchors_of_cluster_[c].empty()) continue;
+    // Materialise B_X = A[X] once per cluster (scanning only local tuples).
+    SubstructureView view = InducedViewFast(incidence_, cover_.clusters[c]);
+    Graph sub_gaifman = BuildGaifmanGraph(view.structure);
+    ClTermBallEvaluator sub_eval(view.structure, sub_gaifman);
+    for (ElemId a : anchors_of_cluster_[c]) {
+      Result<CountInt> v = sub_eval.EvaluateBasicAt(basic, view.ToLocal(a));
+      if (!v.ok()) return v.status();
+      out[a] = *v;
+    }
+  }
+  return out;
+}
+
+Result<CountInt> ClTermCoverEvaluator::EvaluateBasicGround(
+    const BasicClTerm& basic) {
+  // Ground terms sum the unary values over all anchors (Remark 6.3): make
+  // the first variable free and aggregate.
+  BasicClTerm unary = basic;
+  unary.unary = true;
+  Result<std::vector<CountInt>> values = EvaluateBasicAll(unary);
+  if (!values.ok()) return values.status();
+  CountInt total = 0;
+  for (CountInt v : *values) {
+    auto s = CheckedAdd(total, v);
+    if (!s) return Status::OutOfRange("cl-term count overflows int64");
+    total = *s;
+  }
+  return total;
+}
+
+Result<std::vector<CountInt>> ClTermCoverEvaluator::EvaluateAll(
+    const ClTerm& term) {
+  bool ground = term.IsGround();
+  std::size_t slots = ground ? 1 : structure_.universe_size();
+  std::vector<std::vector<CountInt>> factor_values;
+  factor_values.reserve(term.basics().size());
+  for (const BasicClTerm& b : term.basics()) {
+    if (b.unary) {
+      Result<std::vector<CountInt>> v = EvaluateBasicAll(b);
+      if (!v.ok()) return v.status();
+      factor_values.push_back(std::move(*v));
+    } else {
+      Result<CountInt> v = EvaluateBasicGround(b);
+      if (!v.ok()) return v.status();
+      factor_values.push_back({*v});
+    }
+  }
+  return CombineMonomials(term, factor_values, slots);
+}
+
+Result<CountInt> ClTermCoverEvaluator::EvaluateGround(const ClTerm& term) {
+  FOCQ_CHECK(term.IsGround());
+  Result<std::vector<CountInt>> values = EvaluateAll(term);
+  if (!values.ok()) return values.status();
+  return (*values)[0];
+}
+
+}  // namespace focq

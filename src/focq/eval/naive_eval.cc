@@ -1,0 +1,248 @@
+#include "focq/eval/naive_eval.h"
+
+#include "focq/logic/build.h"
+#include "focq/util/checked_arith.h"
+
+namespace focq {
+
+NaiveEvaluator::NaiveEvaluator(const Structure& structure)
+    : structure_(structure) {}
+
+SymbolId NaiveEvaluator::ResolveAtom(const Expr& e) {
+  auto it = atom_cache_.find(e.symbol_name);
+  if (it != atom_cache_.end()) return it->second;
+  std::optional<SymbolId> id = structure_.signature().Find(e.symbol_name);
+  FOCQ_CHECK(id.has_value());  // unknown relation symbol in atom
+  FOCQ_CHECK_EQ(structure_.signature().Arity(*id),
+                static_cast<int>(e.vars.size()));
+  atom_cache_.emplace(e.symbol_name, *id);
+  return *id;
+}
+
+const Graph& NaiveEvaluator::GaifmanGraph() {
+  if (gaifman_ == nullptr) {
+    gaifman_ = std::make_unique<Graph>(BuildGaifmanGraph(structure_));
+    explorer_ = std::make_unique<BallExplorer>(*gaifman_);
+  }
+  return *gaifman_;
+}
+
+bool NaiveEvaluator::EvalFormula(const Expr& e, Env* env) {
+  switch (e.kind) {
+    case ExprKind::kEqual:
+      return env->Get(e.vars[0]) == env->Get(e.vars[1]);
+    case ExprKind::kAtom: {
+      SymbolId id = ResolveAtom(e);
+      scratch_tuple_.clear();
+      for (Var v : e.vars) scratch_tuple_.push_back(env->Get(v));
+      return structure_.Holds(id, scratch_tuple_);
+    }
+    case ExprKind::kNot:
+      return !EvalFormula(*e.children[0], env);
+    case ExprKind::kOr:
+      for (const ExprRef& c : e.children) {
+        if (EvalFormula(*c, env)) return true;
+      }
+      return false;
+    case ExprKind::kAnd:
+      for (const ExprRef& c : e.children) {
+        if (!EvalFormula(*c, env)) return false;
+      }
+      return true;
+    case ExprKind::kExists: {
+      Var y = e.vars[0];
+      bool was_bound = env->IsBound(y);
+      ElemId old = was_bound ? env->Get(y) : 0;
+      bool found = false;
+      for (ElemId a = 0; a < structure_.universe_size() && !found; ++a) {
+        env->Bind(y, a);
+        found = EvalFormula(*e.children[0], env);
+      }
+      if (was_bound) {
+        env->Bind(y, old);
+      } else {
+        env->Bind(y, 0);
+        env->Unbind(y);
+      }
+      return found;
+    }
+    case ExprKind::kForall: {
+      Var y = e.vars[0];
+      bool was_bound = env->IsBound(y);
+      ElemId old = was_bound ? env->Get(y) : 0;
+      bool all = true;
+      for (ElemId a = 0; a < structure_.universe_size() && all; ++a) {
+        env->Bind(y, a);
+        all = EvalFormula(*e.children[0], env);
+      }
+      if (was_bound) {
+        env->Bind(y, old);
+      } else {
+        env->Bind(y, 0);
+        env->Unbind(y);
+      }
+      return all;
+    }
+    case ExprKind::kNumPred: {
+      std::vector<CountInt> args;
+      args.reserve(e.children.size());
+      for (const ExprRef& t : e.children) {
+        std::optional<CountInt> v = EvalTerm(*t, env);
+        if (!v) {
+          overflow_ = true;
+          return false;
+        }
+        args.push_back(*v);
+      }
+      return e.pred->Holds(args);
+    }
+    case ExprKind::kTrue:
+      return true;
+    case ExprKind::kFalse:
+      return false;
+    case ExprKind::kDistAtom: {
+      GaifmanGraph();
+      ElemId a = env->Get(e.vars[0]);
+      ElemId b = env->Get(e.vars[1]);
+      if (a == b) return true;
+      const std::vector<VertexId>& ball = explorer_->Explore(a, e.dist_bound);
+      for (VertexId v : ball) {
+        if (v == b) return true;
+      }
+      return false;
+    }
+    default:
+      FOCQ_CHECK(false);  // term kind reached formula evaluation
+      return false;
+  }
+}
+
+std::optional<CountInt> NaiveEvaluator::EvalTerm(const Expr& e, Env* env) {
+  switch (e.kind) {
+    case ExprKind::kIntConst:
+      return e.int_value;
+    case ExprKind::kAdd: {
+      CountInt acc = 0;
+      for (const ExprRef& c : e.children) {
+        std::optional<CountInt> v = EvalTerm(*c, env);
+        if (!v) return std::nullopt;
+        std::optional<CountInt> sum = CheckedAdd(acc, *v);
+        if (!sum) return std::nullopt;
+        acc = *sum;
+      }
+      return acc;
+    }
+    case ExprKind::kMul: {
+      CountInt acc = 1;
+      for (const ExprRef& c : e.children) {
+        std::optional<CountInt> v = EvalTerm(*c, env);
+        if (!v) return std::nullopt;
+        std::optional<CountInt> prod = CheckedMul(acc, *v);
+        if (!prod) return std::nullopt;
+        acc = *prod;
+      }
+      return acc;
+    }
+    case ExprKind::kCount: {
+      // |{ a-bar in A^k : (A, beta[a-bar/y-bar]) |= phi }| via an odometer
+      // over A^k.
+      const std::vector<Var>& ys = e.vars;
+      std::vector<bool> was_bound(ys.size());
+      std::vector<ElemId> old_value(ys.size());
+      for (std::size_t i = 0; i < ys.size(); ++i) {
+        was_bound[i] = env->IsBound(ys[i]);
+        old_value[i] = was_bound[i] ? env->Get(ys[i]) : 0;
+      }
+      CountInt count = 0;
+      bool ok = true;
+      // Iterative odometer over A^k.
+      std::size_t k = ys.size();
+      std::vector<ElemId> tuple(k, 0);
+      std::size_t n = structure_.universe_size();
+      if (k == 0) {
+        count = EvalFormula(*e.children[0], env) ? 1 : 0;
+      } else if (n > 0) {
+        for (std::size_t i = 0; i < k; ++i) env->Bind(ys[i], 0);
+        for (;;) {
+          if (EvalFormula(*e.children[0], env)) {
+            std::optional<CountInt> next = CheckedAdd(count, 1);
+            if (!next) {
+              ok = false;
+              break;
+            }
+            count = *next;
+          }
+          // Advance the odometer.
+          std::size_t pos = 0;
+          while (pos < k) {
+            if (++tuple[pos] < n) {
+              env->Bind(ys[pos], tuple[pos]);
+              break;
+            }
+            tuple[pos] = 0;
+            env->Bind(ys[pos], 0);
+            ++pos;
+          }
+          if (pos == k) break;
+        }
+      }
+      for (std::size_t i = 0; i < ys.size(); ++i) {
+        if (was_bound[i]) {
+          env->Bind(ys[i], old_value[i]);
+        } else if (env->IsBound(ys[i])) {
+          env->Unbind(ys[i]);
+        }
+      }
+      if (!ok) return std::nullopt;
+      return count;
+    }
+    default:
+      FOCQ_CHECK(false);  // formula kind reached term evaluation
+      return std::nullopt;
+  }
+}
+
+bool NaiveEvaluator::Satisfies(const Formula& f, Env* env) {
+  overflow_ = false;
+  bool result = EvalFormula(f.node(), env);
+  FOCQ_CHECK(!overflow_);  // counting overflowed int64 inside a formula
+  return result;
+}
+
+bool NaiveEvaluator::Satisfies(const Formula& sentence) {
+  Env env;
+  return Satisfies(sentence, &env);
+}
+
+bool NaiveEvaluator::Satisfies(
+    const Formula& f, const std::vector<std::pair<Var, ElemId>>& binding) {
+  Env env;
+  for (auto [v, a] : binding) env.Bind(v, a);
+  return Satisfies(f, &env);
+}
+
+Result<CountInt> NaiveEvaluator::Evaluate(const Term& t, Env* env) {
+  std::optional<CountInt> v = EvalTerm(t.node(), env);
+  if (!v) return Status::OutOfRange("counting-term value overflows int64");
+  return *v;
+}
+
+Result<CountInt> NaiveEvaluator::Evaluate(const Term& ground_term) {
+  Env env;
+  return Evaluate(ground_term, &env);
+}
+
+Result<CountInt> NaiveEvaluator::Evaluate(
+    const Term& t, const std::vector<std::pair<Var, ElemId>>& binding) {
+  Env env;
+  for (auto [v, a] : binding) env.Bind(v, a);
+  return Evaluate(t, &env);
+}
+
+Result<CountInt> NaiveEvaluator::CountSolutions(const Formula& f) {
+  std::vector<Var> free = FreeVars(f);
+  Term counter = Count(free, f);
+  return Evaluate(counter);
+}
+
+}  // namespace focq

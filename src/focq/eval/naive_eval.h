@@ -1,0 +1,99 @@
+// The reference evaluator: a direct implementation of the FOC(P) semantics of
+// Definition 3.1 (plus FO+ distance atoms). Exponential in the query (each
+// quantifier / counting binder loops over the whole universe), polynomial in
+// the data with degree = width. This is the ground truth every optimised
+// engine in focq is differential-tested against.
+#ifndef FOCQ_EVAL_NAIVE_EVAL_H_
+#define FOCQ_EVAL_NAIVE_EVAL_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "focq/graph/bfs.h"
+#include "focq/logic/expr.h"
+#include "focq/structure/gaifman.h"
+#include "focq/structure/structure.h"
+#include "focq/util/status.h"
+
+namespace focq {
+
+/// A partial assignment beta restricted to the variables a query mentions.
+class Env {
+ public:
+  bool IsBound(Var v) const {
+    return v < bound_.size() && bound_[v];
+  }
+  ElemId Get(Var v) const {
+    FOCQ_CHECK(IsBound(v));
+    return values_[v];
+  }
+  void Bind(Var v, ElemId e) {
+    if (v >= bound_.size()) {
+      bound_.resize(v + 1, false);
+      values_.resize(v + 1, 0);
+    }
+    bound_[v] = true;
+    values_[v] = e;
+  }
+  void Unbind(Var v) {
+    FOCQ_CHECK(IsBound(v));
+    bound_[v] = false;
+  }
+
+ private:
+  std::vector<bool> bound_;
+  std::vector<ElemId> values_;
+};
+
+/// Evaluates FOC(P) expressions on one fixed structure.
+///
+/// Thread-compatible (const structure, mutable caches); not thread-safe.
+class NaiveEvaluator {
+ public:
+  explicit NaiveEvaluator(const Structure& structure);
+
+  const Structure& structure() const { return structure_; }
+
+  /// [[phi]]^(A, beta) for a formula. All free variables of `f` must be
+  /// bound in `env`. Aborts on arithmetic overflow inside numerical
+  /// predicates (see EvaluateTerm for the checked entry point).
+  bool Satisfies(const Formula& f, Env* env);
+
+  /// Convenience: sentences.
+  bool Satisfies(const Formula& sentence);
+
+  /// Convenience: phi[a-bar] with an explicit binding.
+  bool Satisfies(const Formula& f,
+                 const std::vector<std::pair<Var, ElemId>>& binding);
+
+  /// [[t]]^(A, beta); OutOfRange on int64 overflow.
+  Result<CountInt> Evaluate(const Term& t, Env* env);
+  Result<CountInt> Evaluate(const Term& ground_term);
+  Result<CountInt> Evaluate(const Term& t,
+                            const std::vector<std::pair<Var, ElemId>>& binding);
+
+  /// The counting problem |phi(A)|: number of |free(phi)|-tuples satisfying
+  /// phi (Corollary 5.6's task). Free variables are taken in sorted order.
+  Result<CountInt> CountSolutions(const Formula& f);
+
+ private:
+  bool EvalFormula(const Expr& e, Env* env);
+  std::optional<CountInt> EvalTerm(const Expr& e, Env* env);
+
+  SymbolId ResolveAtom(const Expr& e);
+  const Graph& GaifmanGraph();
+
+  const Structure& structure_;
+  std::unordered_map<std::string, SymbolId> atom_cache_;
+  std::unique_ptr<Graph> gaifman_;           // built on first distance atom
+  std::unique_ptr<BallExplorer> explorer_;
+  bool overflow_ = false;
+  Tuple scratch_tuple_;
+  std::vector<CountInt> scratch_args_;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_EVAL_NAIVE_EVAL_H_

@@ -1,0 +1,164 @@
+#include "focq/graph/generators.h"
+
+#include <vector>
+
+#include "focq/util/check.h"
+
+namespace focq {
+
+Graph MakePath(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeCycle(std::size_t n) {
+  FOCQ_CHECK_GE(n, 3u);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeClique(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeCompleteBipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(a + j));
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeGrid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t i, std::size_t j) {
+    return static_cast<VertexId>(i * cols + j);
+  };
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (j + 1 < cols) g.AddEdge(id(i, j), id(i, j + 1));
+      if (i + 1 < rows) g.AddEdge(id(i, j), id(i + 1, j));
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeRandomTree(std::size_t n, Rng* rng) {
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    VertexId parent = static_cast<VertexId>(rng->NextBelow(i));
+    g.AddEdge(static_cast<VertexId>(i), parent);
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeCompleteBaryTree(std::size_t n, std::size_t b) {
+  FOCQ_CHECK_GE(b, 1u);
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t parent = (i - 1) / b;
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(parent));
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeCaterpillar(std::size_t spine, std::size_t legs) {
+  std::size_t n = spine * (1 + legs);
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < spine; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  std::size_t next = spine;
+  for (std::size_t i = 0; i < spine; ++i) {
+    for (std::size_t l = 0; l < legs; ++l) {
+      g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(next++));
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeRandomSparse(std::size_t n, std::size_t degree, Rng* rng) {
+  Graph g(n);
+  if (n < 2) {
+    g.Finalize();
+    return g;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < degree; ++d) {
+      VertexId j = static_cast<VertexId>(rng->NextBelow(n));
+      if (j != i) g.AddEdge(static_cast<VertexId>(i), j);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeRandomBoundedDegree(std::size_t n, std::size_t max_degree, Rng* rng) {
+  Graph g(n);
+  if (n < 2) {
+    g.Finalize();
+    return g;
+  }
+  std::vector<std::size_t> deg(n, 0);
+  // Aim for average degree ~ max_degree/2 while never exceeding max_degree.
+  std::size_t attempts = n * max_degree / 2;
+  // Track chosen edges to keep the degree bound exact under deduplication.
+  std::vector<std::vector<VertexId>> chosen(n);
+  auto has = [&chosen](VertexId u, VertexId v) {
+    for (VertexId w : chosen[u]) {
+      if (w == v) return true;
+    }
+    return false;
+  };
+  for (std::size_t t = 0; t < attempts; ++t) {
+    VertexId u = static_cast<VertexId>(rng->NextBelow(n));
+    VertexId v = static_cast<VertexId>(rng->NextBelow(n));
+    if (u == v || deg[u] >= max_degree || deg[v] >= max_degree || has(u, v)) {
+      continue;
+    }
+    chosen[u].push_back(v);
+    chosen[v].push_back(u);
+    ++deg[u];
+    ++deg[v];
+    g.AddEdge(u, v);
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeErdosRenyi(std::size_t n, double p, Rng* rng) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng->NextBool(p)) {
+        g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      }
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace focq

@@ -1,0 +1,55 @@
+// Workload generators: graph families used throughout the tests and
+// benchmarks. Trees, grids and bounded-degree graphs are nowhere dense;
+// cliques and dense random graphs are the somewhere-dense controls.
+#ifndef FOCQ_GRAPH_GENERATORS_H_
+#define FOCQ_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "focq/graph/graph.h"
+#include "focq/util/rng.h"
+
+namespace focq {
+
+/// Simple path 0-1-...-(n-1).
+Graph MakePath(std::size_t n);
+
+/// Cycle on n >= 3 vertices.
+Graph MakeCycle(std::size_t n);
+
+/// Complete graph K_n.
+Graph MakeClique(std::size_t n);
+
+/// Complete bipartite graph K_{a,b} (vertices 0..a-1 vs a..a+b-1).
+Graph MakeCompleteBipartite(std::size_t a, std::size_t b);
+
+/// rows x cols grid (planar, nowhere dense). Vertex (i,j) has id i*cols+j.
+Graph MakeGrid(std::size_t rows, std::size_t cols);
+
+/// Uniform random recursive tree: vertex i >= 1 attaches to a uniformly random
+/// earlier vertex. Unbounded degree but nowhere dense.
+Graph MakeRandomTree(std::size_t n, Rng* rng);
+
+/// Complete b-ary tree with n vertices (vertex 0 is the root).
+Graph MakeCompleteBaryTree(std::size_t n, std::size_t b);
+
+/// Caterpillar: a path spine of length `spine` with `legs` pendant vertices
+/// attached to each spine vertex. Total n = spine * (1 + legs).
+Graph MakeCaterpillar(std::size_t spine, std::size_t legs);
+
+/// Random graph where each vertex draws `degree` random neighbours
+/// (a standard bounded-degree-in-expectation sparse model; max degree is
+/// O(log n / log log n) w.h.p., and the family has bounded expansion).
+Graph MakeRandomSparse(std::size_t n, std::size_t degree, Rng* rng);
+
+/// Random graph with a hard maximum-degree cap: edges are sampled like
+/// MakeRandomSparse but any edge that would push an endpoint above
+/// `max_degree` is discarded.
+Graph MakeRandomBoundedDegree(std::size_t n, std::size_t max_degree, Rng* rng);
+
+/// Erdős–Rényi G(n, p).
+Graph MakeErdosRenyi(std::size_t n, double p, Rng* rng);
+
+}  // namespace focq
+
+#endif  // FOCQ_GRAPH_GENERATORS_H_

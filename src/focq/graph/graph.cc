@@ -1,0 +1,74 @@
+#include "focq/graph/graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "focq/util/check.h"
+
+namespace focq {
+
+void Graph::AddEdge(VertexId u, VertexId v) {
+  FOCQ_CHECK_LT(u, adj_.size());
+  FOCQ_CHECK_LT(v, adj_.size());
+  if (u == v) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  finalized_ = false;
+}
+
+void Graph::Finalize() {
+  num_edges_ = 0;
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    num_edges_ += list.size();
+  }
+  num_edges_ /= 2;
+  finalized_ = true;
+}
+
+std::size_t Graph::MaxDegree() const {
+  std::size_t best = 0;
+  for (const auto& list : adj_) best = std::max(best, list.size());
+  return best;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  FOCQ_CHECK(finalized_);
+  const auto& list = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(list.begin(), list.end(), target);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  FOCQ_CHECK(finalized_);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges_);
+  for (VertexId u = 0; u < adj_.size(); ++u) {
+    for (VertexId v : adj_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<VertexId>& vertices) const {
+  FOCQ_CHECK(finalized_);
+  std::unordered_map<VertexId, VertexId> remap;
+  remap.reserve(vertices.size());
+  for (VertexId i = 0; i < vertices.size(); ++i) {
+    bool inserted = remap.emplace(vertices[i], i).second;
+    FOCQ_CHECK(inserted);
+  }
+  Graph sub(vertices.size());
+  for (VertexId i = 0; i < vertices.size(); ++i) {
+    for (VertexId nb : adj_[vertices[i]]) {
+      auto it = remap.find(nb);
+      if (it != remap.end() && vertices[i] < nb) sub.AddEdge(i, it->second);
+    }
+  }
+  sub.Finalize();
+  return sub;
+}
+
+}  // namespace focq

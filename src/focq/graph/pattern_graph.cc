@@ -1,0 +1,92 @@
+#include "focq/graph/pattern_graph.h"
+
+#include <algorithm>
+
+namespace focq {
+
+std::vector<int> PatternGraph::ComponentIds() const {
+  std::vector<int> comp(k_, -1);
+  int next = 0;
+  std::vector<int> stack;
+  for (int start = 0; start < k_; ++start) {
+    if (comp[start] != -1) continue;
+    comp[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (int v = 0; v < k_; ++v) {
+        if (v != u && comp[v] == -1 && HasEdge(u, v)) {
+          comp[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::vector<std::vector<int>> PatternGraph::Components() const {
+  std::vector<int> comp = ComponentIds();
+  int count = comp.empty() ? 0 : *std::max_element(comp.begin(), comp.end()) + 1;
+  std::vector<std::vector<int>> out(count);
+  for (int v = 0; v < k_; ++v) out[comp[v]].push_back(v);
+  return out;
+}
+
+bool PatternGraph::IsConnected() const {
+  if (k_ <= 1) return true;
+  std::vector<int> comp = ComponentIds();
+  return std::all_of(comp.begin(), comp.end(), [](int c) { return c == 0; });
+}
+
+PatternGraph PatternGraph::Induced(const std::vector<int>& vertices) const {
+  PatternGraph sub(static_cast<int>(vertices.size()), 0);
+  for (std::size_t a = 0; a < vertices.size(); ++a) {
+    for (std::size_t b = a + 1; b < vertices.size(); ++b) {
+      if (HasEdge(vertices[a], vertices[b])) {
+        sub.SetEdge(static_cast<int>(a), static_cast<int>(b));
+      }
+    }
+  }
+  return sub;
+}
+
+std::vector<PatternGraph> PatternGraph::AllGraphs(int k) {
+  FOCQ_CHECK_LE(k, kMaxVertices);
+  int pairs = k * (k - 1) / 2;
+  FOCQ_CHECK_LT(pairs, 63);
+  std::vector<PatternGraph> out;
+  out.reserve(std::size_t{1} << pairs);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << pairs); ++mask) {
+    out.emplace_back(k, mask);
+  }
+  return out;
+}
+
+std::vector<PatternGraph> PatternGraph::CrossingSupergraphs(
+    const PatternGraph& g, const std::vector<int>& part1,
+    const std::vector<int>& part2) {
+  // Collect the bit positions of all cross pairs.
+  std::vector<int> cross_bits;
+  for (int u : part1) {
+    for (int v : part2) {
+      FOCQ_CHECK(!g.HasEdge(u, v));  // parts must be G-separated
+      cross_bits.push_back(PairIndex(u, v));
+    }
+  }
+  std::vector<PatternGraph> out;
+  std::uint64_t count = std::uint64_t{1} << cross_bits.size();
+  out.reserve(count - 1);
+  for (std::uint64_t subset = 1; subset < count; ++subset) {
+    std::uint64_t mask = g.edge_mask();
+    for (std::size_t b = 0; b < cross_bits.size(); ++b) {
+      if ((subset >> b) & 1u) mask |= std::uint64_t{1} << cross_bits[b];
+    }
+    out.emplace_back(g.num_vertices(), mask);
+  }
+  return out;
+}
+
+}  // namespace focq

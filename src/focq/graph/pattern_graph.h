@@ -1,0 +1,84 @@
+// Pattern graphs: the paper's G_k, the set of all undirected graphs with
+// vertex set [k]. A pattern graph records which pairs of variables of a
+// counting term are "close" (distance <= r); delta_{G,r} classifies every
+// k-tuple of a structure by exactly one pattern graph.
+//
+// Represented as an edge bitmask over the k*(k-1)/2 unordered pairs, so
+// enumeration of all of G_k and of the correction set H of Lemma 6.4 is
+// cheap bit arithmetic.
+#ifndef FOCQ_GRAPH_PATTERN_GRAPH_H_
+#define FOCQ_GRAPH_PATTERN_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "focq/util/check.h"
+
+namespace focq {
+
+/// An undirected graph on vertices {0, ..., k-1}, k <= 11.
+class PatternGraph {
+ public:
+  static constexpr int kMaxVertices = 11;  // 55 pairs fit in uint64
+
+  PatternGraph() : k_(0), edges_(0) {}
+  PatternGraph(int k, std::uint64_t edge_mask) : k_(k), edges_(edge_mask) {
+    FOCQ_CHECK_GE(k, 0);
+    FOCQ_CHECK_LE(k, kMaxVertices);
+  }
+
+  int num_vertices() const { return k_; }
+  std::uint64_t edge_mask() const { return edges_; }
+
+  /// Bit position of the unordered pair {i, j}, i != j.
+  static int PairIndex(int i, int j) {
+    FOCQ_CHECK_NE(i, j);
+    if (i > j) std::swap(i, j);
+    return j * (j - 1) / 2 + i;
+  }
+
+  bool HasEdge(int i, int j) const {
+    return (edges_ >> PairIndex(i, j)) & 1u;
+  }
+
+  void SetEdge(int i, int j) { edges_ |= std::uint64_t{1} << PairIndex(i, j); }
+
+  int NumEdges() const { return __builtin_popcountll(edges_); }
+
+  /// Component id of every vertex (ids are 0-based, ordered by smallest
+  /// member vertex).
+  std::vector<int> ComponentIds() const;
+
+  /// The vertex sets of the connected components, each sorted increasingly,
+  /// ordered by their smallest member.
+  std::vector<std::vector<int>> Components() const;
+
+  bool IsConnected() const;
+
+  /// The subgraph induced on `vertices` (relabelled to 0..|vertices|-1 in the
+  /// order given; `vertices` must be duplicate-free).
+  PatternGraph Induced(const std::vector<int>& vertices) const;
+
+  /// All graphs on [k]: 2^(k choose 2) masks. Requires small k.
+  static std::vector<PatternGraph> AllGraphs(int k);
+
+  /// Lemma 6.4's correction set: all H on [k] with H != G but
+  /// H[part1] = G[part1] and H[part2] = G[part2], where (part1, part2)
+  /// partitions [k]. These are exactly the graphs that add at least one
+  /// cross edge between the parts while keeping both sides unchanged.
+  static std::vector<PatternGraph> CrossingSupergraphs(
+      const PatternGraph& g, const std::vector<int>& part1,
+      const std::vector<int>& part2);
+
+  friend bool operator==(const PatternGraph& a, const PatternGraph& b) {
+    return a.k_ == b.k_ && a.edges_ == b.edges_;
+  }
+
+ private:
+  int k_;
+  std::uint64_t edges_;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_GRAPH_PATTERN_GRAPH_H_

@@ -1,0 +1,227 @@
+#include "focq/graph/splitter.h"
+
+#include <algorithm>
+
+#include "focq/graph/bfs.h"
+#include "focq/util/check.h"
+
+namespace focq {
+
+SplitterPosition InitialPosition(const Graph& g) {
+  SplitterPosition pos;
+  pos.graph = g;
+  pos.original_ids.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) pos.original_ids[v] = v;
+  return pos;
+}
+
+namespace {
+
+// Restricts `pos` to the given arena-local vertex set (sorted).
+SplitterPosition Restrict(const SplitterPosition& pos,
+                          const std::vector<VertexId>& arena_vertices) {
+  SplitterPosition next;
+  next.graph = pos.graph.InducedSubgraph(arena_vertices);
+  next.original_ids.reserve(arena_vertices.size());
+  for (VertexId v : arena_vertices) {
+    next.original_ids.push_back(pos.original_ids[v]);
+  }
+  return next;
+}
+
+// Removes the highest ball vertex relative to a per-component root chosen as
+// the minimum *original* id in the arena component of the move. On forests
+// this realises the classic tree-winning strategy; on general graphs it is a
+// heuristic.
+class TreeSplitter : public SplitterStrategy {
+ public:
+  VertexId ChooseRemoval(const SplitterPosition& pos, VertexId move,
+                         std::uint32_t r) override {
+    BallExplorer explorer(pos.graph);
+    std::vector<VertexId> ball = explorer.Explore(move, r);
+    // Root: the component vertex with minimal original id. The component of
+    // `move` is everything reachable from it.
+    std::vector<std::uint32_t> from_move = BfsDistances(pos.graph, move);
+    VertexId root = move;
+    for (VertexId v = 0; v < pos.graph.num_vertices(); ++v) {
+      if (from_move[v] != kInfiniteDistance &&
+          pos.original_ids[v] < pos.original_ids[root]) {
+        root = v;
+      }
+    }
+    std::vector<std::uint32_t> from_root = BfsDistances(pos.graph, root);
+    VertexId best = ball.front();
+    for (VertexId v : ball) {
+      if (from_root[v] < from_root[best] ||
+          (from_root[v] == from_root[best] &&
+           pos.original_ids[v] < pos.original_ids[best])) {
+        best = v;
+      }
+    }
+    return best;
+  }
+};
+
+class MaxDegreeSplitter : public SplitterStrategy {
+ public:
+  VertexId ChooseRemoval(const SplitterPosition& pos, VertexId move,
+                         std::uint32_t r) override {
+    BallExplorer explorer(pos.graph);
+    std::vector<VertexId> ball = explorer.Explore(move, r);
+    std::sort(ball.begin(), ball.end());
+    // Degree counted within the ball.
+    VertexId best = ball.front();
+    std::size_t best_deg = 0;
+    for (VertexId v : ball) {
+      std::size_t deg = 0;
+      for (VertexId nb : pos.graph.Neighbors(v)) {
+        if (std::binary_search(ball.begin(), ball.end(), nb)) ++deg;
+      }
+      if (deg > best_deg || (deg == best_deg && v < best)) {
+        best = v;
+        best_deg = deg;
+      }
+    }
+    return best;
+  }
+};
+
+class CenterSplitter : public SplitterStrategy {
+ public:
+  VertexId ChooseRemoval(const SplitterPosition& pos, VertexId move,
+                         std::uint32_t r) override {
+    // 2-sweep: farthest vertex u from `move` within the ball, then farthest
+    // v from u; remove the midpoint of the u-v shortest path (approximated by
+    // a vertex at distance ~d/2 from u within the ball).
+    BallExplorer explorer(pos.graph);
+    std::vector<VertexId> ball = explorer.Explore(move, r);
+    std::sort(ball.begin(), ball.end());
+    Graph ball_graph = pos.graph.InducedSubgraph(ball);
+    auto local_move =
+        static_cast<VertexId>(std::lower_bound(ball.begin(), ball.end(), move) -
+                              ball.begin());
+    std::vector<std::uint32_t> d1 = BfsDistances(ball_graph, local_move);
+    VertexId u = local_move;
+    for (VertexId v = 0; v < ball_graph.num_vertices(); ++v) {
+      if (d1[v] != kInfiniteDistance && d1[v] > d1[u]) u = v;
+    }
+    std::vector<std::uint32_t> d2 = BfsDistances(ball_graph, u);
+    VertexId far = u;
+    for (VertexId v = 0; v < ball_graph.num_vertices(); ++v) {
+      if (d2[v] != kInfiniteDistance && d2[v] > d2[far]) far = v;
+    }
+    std::uint32_t target = d2[far] / 2;
+    std::vector<std::uint32_t> d3 = BfsDistances(ball_graph, far);
+    VertexId best = local_move;
+    std::uint32_t best_err = kInfiniteDistance;
+    for (VertexId v = 0; v < ball_graph.num_vertices(); ++v) {
+      if (d2[v] == kInfiniteDistance || d3[v] == kInfiniteDistance) continue;
+      // On the approximate diameter path: d2[v]+d3[v] == d2[far].
+      if (d2[v] + d3[v] != d2[far]) continue;
+      std::uint32_t err = d2[v] > target ? d2[v] - target : target - d2[v];
+      if (err < best_err) {
+        best_err = err;
+        best = v;
+      }
+    }
+    return ball[best];
+  }
+};
+
+class GreedyConnector : public ConnectorStrategy {
+ public:
+  VertexId ChooseCenter(const SplitterPosition& pos, std::uint32_t r) override {
+    BallExplorer explorer(pos.graph);
+    VertexId best = 0;
+    std::size_t best_size = 0;
+    for (VertexId v = 0; v < pos.graph.num_vertices(); ++v) {
+      std::size_t size = explorer.Explore(v, r).size();
+      if (size > best_size) {
+        best_size = size;
+        best = v;
+      }
+    }
+    return best;
+  }
+};
+
+class RandomConnector : public ConnectorStrategy {
+ public:
+  explicit RandomConnector(std::uint64_t seed) : rng_(seed) {}
+  VertexId ChooseCenter(const SplitterPosition& pos, std::uint32_t) override {
+    return static_cast<VertexId>(rng_.NextBelow(pos.graph.num_vertices()));
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<SplitterStrategy> MakeTreeSplitter() {
+  return std::make_unique<TreeSplitter>();
+}
+std::unique_ptr<SplitterStrategy> MakeMaxDegreeSplitter() {
+  return std::make_unique<MaxDegreeSplitter>();
+}
+std::unique_ptr<SplitterStrategy> MakeCenterSplitter() {
+  return std::make_unique<CenterSplitter>();
+}
+std::unique_ptr<ConnectorStrategy> MakeGreedyConnector() {
+  return std::make_unique<GreedyConnector>();
+}
+std::unique_ptr<ConnectorStrategy> MakeRandomConnector(std::uint64_t seed) {
+  return std::make_unique<RandomConnector>(seed);
+}
+
+SplitterStep ApplySplitterStep(const SplitterPosition& pos, VertexId center,
+                               std::uint32_t r, SplitterStrategy* splitter) {
+  BallExplorer explorer(pos.graph);
+  std::vector<VertexId> ball = explorer.Explore(center, r);
+  std::sort(ball.begin(), ball.end());
+  VertexId removal = splitter->ChooseRemoval(pos, center, r);
+  FOCQ_CHECK(std::binary_search(ball.begin(), ball.end(), removal));
+  SplitterStep step;
+  step.removed = pos.original_ids[removal];
+  step.surviving_ball.reserve(ball.size() - 1);
+  for (VertexId v : ball) {
+    if (v != removal) step.surviving_ball.push_back(pos.original_ids[v]);
+  }
+  std::sort(step.surviving_ball.begin(), step.surviving_ball.end());
+  return step;
+}
+
+SplitterGameResult PlaySplitterGame(const Graph& g, std::uint32_t r,
+                                    SplitterStrategy* splitter,
+                                    ConnectorStrategy* connector,
+                                    std::uint32_t max_rounds) {
+  SplitterPosition pos = InitialPosition(g);
+  SplitterGameResult result;
+  if (g.num_vertices() == 0) {
+    result.splitter_won = true;
+    return result;
+  }
+  for (std::uint32_t round = 1; round <= max_rounds; ++round) {
+    result.rounds = round;
+    VertexId center = connector->ChooseCenter(pos, r);
+    BallExplorer explorer(pos.graph);
+    std::vector<VertexId> ball = explorer.Explore(center, r);
+    std::sort(ball.begin(), ball.end());
+    VertexId removal = splitter->ChooseRemoval(pos, center, r);
+    FOCQ_CHECK(std::binary_search(ball.begin(), ball.end(), removal));
+    if (ball.size() == 1) {
+      result.splitter_won = true;
+      return result;
+    }
+    std::vector<VertexId> survivors;
+    survivors.reserve(ball.size() - 1);
+    for (VertexId v : ball) {
+      if (v != removal) survivors.push_back(v);
+    }
+    pos = Restrict(pos, survivors);
+  }
+  result.splitter_won = false;
+  return result;
+}
+
+}  // namespace focq

@@ -1,0 +1,96 @@
+// The splitter game of Grohe, Kreutzer & Siebertz, which the paper adopts as
+// the *definition* of nowhere dense classes (Section 8): Connector plays a
+// vertex a, Splitter removes one vertex b of N_r(a), the game continues on
+// G[N_r(a) \ {b}]. A class is nowhere dense iff Splitter wins in a bounded
+// number of rounds lambda(r) on every member.
+//
+// This module implements the game engine, several Splitter strategies (used
+// both by the main algorithm's removal recursion and as an empirical
+// nowhere-density probe) and adversarial Connector strategies.
+#ifndef FOCQ_GRAPH_SPLITTER_H_
+#define FOCQ_GRAPH_SPLITTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "focq/graph/graph.h"
+#include "focq/util/rng.h"
+
+namespace focq {
+
+/// A position of the splitter game: an induced subgraph of the original
+/// graph, tracked as the subset of surviving original vertex ids plus the
+/// re-indexed graph on them.
+struct SplitterPosition {
+  Graph graph;                          // current arena G_i
+  std::vector<VertexId> original_ids;   // graph vertex v <-> original_ids[v]
+};
+
+/// Splitter's side of the game: given the arena and Connector's move
+/// (a vertex of `pos.graph`), return the vertex of N_r(a) to delete.
+class SplitterStrategy {
+ public:
+  virtual ~SplitterStrategy() = default;
+
+  /// Returns a vertex (in `pos.graph` indexing) inside N_r(move).
+  virtual VertexId ChooseRemoval(const SplitterPosition& pos, VertexId move,
+                                 std::uint32_t r) = 0;
+};
+
+/// Connector's side: pick the next centre vertex in the arena.
+class ConnectorStrategy {
+ public:
+  virtual ~ConnectorStrategy() = default;
+  virtual VertexId ChooseCenter(const SplitterPosition& pos, std::uint32_t r) = 0;
+};
+
+/// Splitter strategy that wins on forests in <= r+2 rounds: it removes the
+/// ball vertex closest to a fixed root of each tree (the "highest" vertex of
+/// the ball), which strictly decreases the depth range of every surviving
+/// ball. Falls back to the greedy strategy off-forest.
+std::unique_ptr<SplitterStrategy> MakeTreeSplitter();
+
+/// Greedy heuristic: removes the ball vertex of maximum degree within the
+/// ball (ties broken by smaller id).
+std::unique_ptr<SplitterStrategy> MakeMaxDegreeSplitter();
+
+/// Heuristic: removes an approximate BFS-centre of the ball (the midpoint of
+/// a 2-sweep approximate-diameter path).
+std::unique_ptr<SplitterStrategy> MakeCenterSplitter();
+
+/// Adversarial Connector: plays the vertex with the largest r-ball.
+std::unique_ptr<ConnectorStrategy> MakeGreedyConnector();
+
+/// Random Connector.
+std::unique_ptr<ConnectorStrategy> MakeRandomConnector(std::uint64_t seed);
+
+/// Outcome of one simulated game.
+struct SplitterGameResult {
+  std::uint32_t rounds = 0;   // rounds actually played
+  bool splitter_won = false;  // true if Splitter emptied a ball in <= max_rounds
+};
+
+/// Plays the (max_rounds, r)-splitter game on `g`.
+SplitterGameResult PlaySplitterGame(const Graph& g, std::uint32_t r,
+                                    SplitterStrategy* splitter,
+                                    ConnectorStrategy* connector,
+                                    std::uint32_t max_rounds);
+
+/// One Splitter step used by the main algorithm's removal recursion: the
+/// arena restricted to N_r(center), with Splitter's removal chosen by
+/// `splitter`. Returns the *original ids* of the ball minus the removed
+/// vertex, plus the removed original id.
+struct SplitterStep {
+  std::vector<VertexId> surviving_ball;  // original ids, sorted
+  VertexId removed;                      // original id
+};
+SplitterStep ApplySplitterStep(const SplitterPosition& pos, VertexId center,
+                               std::uint32_t r, SplitterStrategy* splitter);
+
+/// The full-graph starting position (identity id mapping).
+SplitterPosition InitialPosition(const Graph& g);
+
+}  // namespace focq
+
+#endif  // FOCQ_GRAPH_SPLITTER_H_

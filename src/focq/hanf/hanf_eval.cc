@@ -1,0 +1,70 @@
+#include "focq/hanf/hanf_eval.h"
+
+#include "focq/locality/local_eval.h"
+#include "focq/logic/printer.h"
+#include "focq/structure/gaifman.h"
+
+namespace focq {
+
+HanfEvaluator::HanfEvaluator(const Structure& a, const Graph& gaifman)
+    : a_(a), gaifman_(gaifman) {
+  FOCQ_CHECK_EQ(gaifman.num_vertices(), a.universe_size());
+}
+
+Result<CountInt> HanfEvaluator::CountSatisfying(const Formula& phi, Var x,
+                                                std::uint32_t r) {
+  std::vector<Var> free = FreeVars(phi);
+  if (free.size() > 1 || (free.size() == 1 && free[0] != x)) {
+    return Status::InvalidArgument(
+        "CountSatisfying expects a formula with the single free variable " +
+        VarName(x));
+  }
+  std::optional<std::uint32_t> radius = SyntacticLocalityRadius(phi);
+  if (!radius || *radius > r) {
+    return Status::Unsupported(
+        "formula is not certifiably " + std::to_string(r) +
+        "-local: " + ToString(phi));
+  }
+  SphereTypeAssignment types = ComputeSphereTypes(a_, gaifman_, r);
+  last_num_types_ = types.registry.NumTypes();
+  CountInt total = 0;
+  for (SphereTypeId id = 0; id < types.registry.NumTypes(); ++id) {
+    const Structure& rep = types.registry.Representative(id);
+    Graph rep_gaifman = BuildGaifmanGraph(rep);
+    LocalEvaluator eval(rep, rep_gaifman);
+    bool sat = eval.Satisfies(
+        phi, {{x, types.registry.RepresentativeCenter(id)}});
+    if (!sat) continue;
+    auto sum = CheckedAdd(
+        total, static_cast<CountInt>(types.elements_of_type[id].size()));
+    if (!sum) return Status::OutOfRange("type count overflows int64");
+    total = *sum;
+  }
+  return total;
+}
+
+Result<std::vector<CountInt>> HanfEvaluator::EvaluateBasicAll(
+    const BasicClTerm& basic) {
+  // The anchored count is determined by the sphere of radius k*(2r+1)
+  // around the anchor (tuples stay within (k-1)(2r+1), the kernel needs r
+  // more, and pattern-distance witnesses another separation).
+  std::uint32_t sphere_radius = RequiredCoverRadius(basic);
+  SphereTypeAssignment types = ComputeSphereTypes(a_, gaifman_, sphere_radius);
+  last_num_types_ = types.registry.NumTypes();
+
+  std::vector<CountInt> out(a_.universe_size(), 0);
+  for (SphereTypeId id = 0; id < types.registry.NumTypes(); ++id) {
+    const Structure& rep = types.registry.Representative(id);
+    Graph rep_gaifman = BuildGaifmanGraph(rep);
+    ClTermBallEvaluator eval(rep, rep_gaifman);
+    BasicClTerm unary = basic;
+    unary.unary = true;
+    Result<CountInt> value = eval.EvaluateBasicAt(
+        unary, types.registry.RepresentativeCenter(id));
+    if (!value.ok()) return value.status();
+    for (ElemId e : types.elements_of_type[id]) out[e] = *value;
+  }
+  return out;
+}
+
+}  // namespace focq

@@ -1,0 +1,45 @@
+// The bounded-degree evaluation strategy of Kuske & Schweikardt [16]: on a
+// class of degree <= d there are only f(r, d) sphere types of radius r, so
+// any r-local unary property or counting term is evaluated once per *type*
+// (on the registered representative sphere) instead of once per element.
+// This is the baseline the paper generalises away from; bench_hanf measures
+// what type-sharing buys on bounded-degree inputs and how it degrades as
+// degrees grow (where the paper's machinery takes over).
+#ifndef FOCQ_HANF_HANF_EVAL_H_
+#define FOCQ_HANF_HANF_EVAL_H_
+
+#include "focq/hanf/sphere.h"
+#include "focq/locality/cl_term.h"
+#include "focq/logic/expr.h"
+#include "focq/util/status.h"
+
+namespace focq {
+
+/// Type-sharing evaluator over one structure.
+class HanfEvaluator {
+ public:
+  /// `gaifman` must be BuildGaifmanGraph(a); both must outlive this object.
+  HanfEvaluator(const Structure& a, const Graph& gaifman);
+
+  /// Number of elements satisfying phi(x), where phi must be r-local around
+  /// x (checked syntactically: its guarded locality radius must be <= r).
+  /// Evaluates phi once per radius-r sphere type.
+  Result<CountInt> CountSatisfying(const Formula& phi, Var x, std::uint32_t r);
+
+  /// Values of a unary basic cl-term at every element, evaluated once per
+  /// sphere type of radius RequiredCoverRadius(basic) (the anchored count
+  /// only depends on that sphere).
+  Result<std::vector<CountInt>> EvaluateBasicAll(const BasicClTerm& basic);
+
+  /// Sphere-type statistics of the last call (for the E10 benchmark).
+  std::size_t last_num_types() const { return last_num_types_; }
+
+ private:
+  const Structure& a_;
+  const Graph& gaifman_;
+  std::size_t last_num_types_ = 0;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_HANF_HANF_EVAL_H_

@@ -1,0 +1,113 @@
+#include "focq/hardness/string_reduction.h"
+
+#include "focq/logic/build.h"
+#include "focq/logic/fragment.h"
+#include "focq/logic/printer.h"
+#include "focq/structure/encode.h"
+
+namespace focq {
+namespace {
+
+Formula OrderAtom(Var x, Var y) { return Atom(kOrderSymbolName, {x, y}); }
+Formula LetterA(Var x) { return Atom("P_a", {x}); }
+Formula LetterB(Var x) { return Atom("P_b", {x}); }
+Formula LetterC(Var x) { return Atom("P_c", {x}); }
+
+}  // namespace
+
+std::string BuildReductionString(const Graph& g) {
+  FOCQ_CHECK(g.finalized());
+  std::string s;
+  for (VertexId i = 0; i < g.num_vertices(); ++i) {
+    s += 'a';
+    s.append(i + 1, 'c');
+    for (VertexId j : g.Neighbors(i)) {
+      s += 'b';
+      s.append(j + 1, 'c');
+    }
+  }
+  return s;
+}
+
+Structure BuildReductionStringStructure(const Graph& g) {
+  return EncodeString(BuildReductionString(g), "abc");
+}
+
+Formula StrictlyBefore(Var x, Var y) {
+  return And(OrderAtom(x, y), Not(Eq(x, y)));
+}
+
+Term CRunLength(Var x) {
+  // #z. ( x < z and forall w ( (x < w and w <= z) -> P_c(w) ) ).
+  Var z = VarNamed("crun_z"), w = VarNamed("crun_w");
+  Formula all_c_between = Forall(
+      w, Implies(And(StrictlyBefore(x, w), OrderAtom(w, z)), LetterC(w)));
+  return Count({z}, And(StrictlyBefore(x, z), all_c_between));
+}
+
+Formula StringPsiEdge(Var x, Var xprime) {
+  // exists y ( P_b(y) and x < y and "no 'a' in (x, y]" and
+  //            run(y) = run(x') ).
+  Var y = VarNamed("sedge_y"), w = VarNamed("sedge_w");
+  Formula same_block = Forall(
+      w, Implies(And(StrictlyBefore(x, w), OrderAtom(w, y)), Not(LetterA(w))));
+  return Exists(y, And({LetterB(y), StrictlyBefore(x, y), same_block,
+                        TermEq(CRunLength(y), CRunLength(xprime))}));
+}
+
+namespace {
+
+Result<ExprRef> RewriteRec(const ExprRef& e) {
+  switch (e->kind) {
+    case ExprKind::kEqual:
+    case ExprKind::kTrue:
+    case ExprKind::kFalse:
+      return e;
+    case ExprKind::kAtom: {
+      if (e->symbol_name != kEdgeSymbolName || e->vars.size() != 2) {
+        return Status::InvalidArgument(
+            "graph sentences may only use the binary edge relation E: " +
+            ToString(*e));
+      }
+      return StringPsiEdge(e->vars[0], e->vars[1]).ref();
+    }
+    case ExprKind::kNot:
+    case ExprKind::kOr:
+    case ExprKind::kAnd: {
+      Expr copy = *e;
+      for (ExprRef& c : copy.children) {
+        Result<ExprRef> rc = RewriteRec(c);
+        if (!rc.ok()) return rc;
+        c = *rc;
+      }
+      return std::make_shared<const Expr>(std::move(copy));
+    }
+    case ExprKind::kExists:
+    case ExprKind::kForall: {
+      Result<ExprRef> body = RewriteRec(e->children[0]);
+      if (!body.ok()) return body;
+      Var y = e->vars[0];
+      if (e->kind == ExprKind::kExists) {
+        return Exists(y, And(LetterA(y), Formula(*body))).ref();
+      }
+      return Forall(y, Implies(LetterA(y), Formula(*body))).ref();
+    }
+    default:
+      return Status::InvalidArgument(
+          "the Theorem 4.3 rewriting applies to pure FO sentences");
+  }
+}
+
+}  // namespace
+
+Result<Formula> RewriteGraphSentenceForString(const Formula& phi) {
+  if (!IsPureFO(phi.node())) {
+    return Status::InvalidArgument(
+        "the Theorem 4.3 rewriting applies to pure FO sentences");
+  }
+  Result<ExprRef> out = RewriteRec(phi.ref());
+  if (!out.ok()) return out.status();
+  return Formula(*out);
+}
+
+}  // namespace focq

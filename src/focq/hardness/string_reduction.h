@@ -1,0 +1,42 @@
+// Theorem 4.3: a polynomial fpt-reduction from FO model checking on graphs
+// to FOC({P=}) model checking on strings over {a, b, c} with a linear order.
+//
+// Vertex i (0-based; paper counts from 1) becomes the block
+//     a c^(i+1) b c^(j1+1) b c^(j2+1) ...     (one b-segment per neighbour)
+// and S_G is the concatenation of all blocks. A vertex is identified by the
+// length of the c-run after its 'a'; an edge (x, x') is simulated by a
+// b-position in x's block whose c-run length equals x''s run length.
+#ifndef FOCQ_HARDNESS_STRING_REDUCTION_H_
+#define FOCQ_HARDNESS_STRING_REDUCTION_H_
+
+#include <string>
+
+#include "focq/graph/graph.h"
+#include "focq/logic/expr.h"
+#include "focq/structure/structure.h"
+#include "focq/util/status.h"
+
+namespace focq {
+
+/// The raw string S_G.
+std::string BuildReductionString(const Graph& g);
+
+/// S_G encoded as the Section 4 string structure (<=, P_a, P_b, P_c).
+Structure BuildReductionStringStructure(const Graph& g);
+
+/// x < y over the reflexive order atom.
+Formula StrictlyBefore(Var x, Var y);
+
+/// The counting term "length of the maximal c-run directly after position x".
+Term CRunLength(Var x);
+
+/// The edge-simulation formula psi_E(x, x') for a-positions x, x'.
+Formula StringPsiEdge(Var x, Var xprime);
+
+/// Rewrites a pure-FO graph sentence into the string sentence phi-hat
+/// (quantifiers relativised to a-positions).
+Result<Formula> RewriteGraphSentenceForString(const Formula& phi);
+
+}  // namespace focq
+
+#endif  // FOCQ_HARDNESS_STRING_REDUCTION_H_

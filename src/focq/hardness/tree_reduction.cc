@@ -1,0 +1,173 @@
+#include "focq/hardness/tree_reduction.h"
+
+#include "focq/logic/build.h"
+#include "focq/logic/fragment.h"
+#include "focq/logic/printer.h"
+#include "focq/structure/encode.h"
+
+namespace focq {
+
+TreeEncoding BuildReductionTree(const Graph& g) {
+  FOCQ_CHECK(g.finalized());
+  const std::size_t n = g.num_vertices();
+  // Count vertices: root + a(i) + (b_j(i), c_j(i)) for j in [i+1]
+  //                 + d(i,j) + e_k(i,j) for k in [j+1].
+  // (Vertices are 0-based internally; the paper's i corresponds to i+1, so
+  //  vertex i gets i+2 b-children -- only the one-to-one correspondence of
+  //  counts matters, and it is preserved.)
+  std::size_t total = 1 + n;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 2 * (i + 2);  // b and c pairs, count i+2 for 0-based vertex i
+    for (VertexId j : g.Neighbors(static_cast<VertexId>(i))) {
+      total += 1 + (j + 2);  // d(i,j) plus its j+2 e-children
+    }
+  }
+
+  Graph tree(total);
+  std::size_t next = 0;
+  ElemId root = static_cast<ElemId>(next++);
+  std::vector<ElemId> a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<ElemId>(next++);
+    tree.AddEdge(root, a[i]);
+    for (std::size_t j = 0; j < i + 2; ++j) {
+      VertexId b = static_cast<VertexId>(next++);
+      VertexId c = static_cast<VertexId>(next++);
+      tree.AddEdge(a[i], b);
+      tree.AddEdge(b, c);
+    }
+    for (VertexId nb : g.Neighbors(static_cast<VertexId>(i))) {
+      VertexId d = static_cast<VertexId>(next++);
+      tree.AddEdge(a[i], d);
+      for (std::size_t k = 0; k < static_cast<std::size_t>(nb) + 2; ++k) {
+        VertexId e = static_cast<VertexId>(next++);
+        tree.AddEdge(d, e);
+      }
+    }
+  }
+  FOCQ_CHECK_EQ(next, total);
+  tree.Finalize();
+  return TreeEncoding{EncodeGraph(tree), root, std::move(a)};
+}
+
+namespace {
+
+// deg(x) == 1:  exists y (E(x,y) and forall z (E(x,z) -> z = y)).
+Formula DegreeOne(Var x) {
+  Var y = VarNamed("deg1_y"), z = VarNamed("deg1_z");
+  return Exists(
+      y, And(Atom(kEdgeSymbolName, {x, y}),
+             Forall(z, Implies(Atom(kEdgeSymbolName, {x, z}), Eq(z, y)))));
+}
+
+// deg(x) == 2: two distinct neighbours covering all neighbours.
+Formula DegreeTwo(Var x) {
+  Var y1 = VarNamed("deg2_y1"), y2 = VarNamed("deg2_y2"),
+      z = VarNamed("deg2_z");
+  return Exists(
+      y1,
+      Exists(y2, And({Atom(kEdgeSymbolName, {x, y1}),
+                      Atom(kEdgeSymbolName, {x, y2}), Not(Eq(y1, y2)),
+                      Forall(z, Implies(Atom(kEdgeSymbolName, {x, z}),
+                                        Or(Eq(z, y1), Eq(z, y2))))})));
+}
+
+}  // namespace
+
+Formula TreePsiC(Var x) {
+  // Degree-1 vertices whose unique neighbour has degree 2.
+  Var y = VarNamed("psic_y");
+  return And(DegreeOne(x),
+             Exists(y, And(Atom(kEdgeSymbolName, {x, y}), DegreeTwo(y))));
+}
+
+Formula TreePsiB(Var x) {
+  // Neighbours of c-vertices.
+  Var y = VarNamed("psib_y");
+  return Exists(y, And(Atom(kEdgeSymbolName, {x, y}), TreePsiC(y)));
+}
+
+Formula TreePsiA(Var x) {
+  // Neighbours of b-vertices that are not c-vertices.
+  Var y = VarNamed("psia_y");
+  return And(Exists(y, And(Atom(kEdgeSymbolName, {x, y}), TreePsiB(y))),
+             Not(TreePsiC(x)));
+}
+
+Formula TreePsiE(Var x) {
+  // Degree-1 vertices that are not c-vertices.
+  return And(DegreeOne(x), Not(TreePsiC(x)));
+}
+
+Formula TreePsiD(Var x) {
+  // Neighbours of e-vertices.
+  Var y = VarNamed("psid_y");
+  return Exists(y, And(Atom(kEdgeSymbolName, {x, y}), TreePsiE(y)));
+}
+
+Formula TreePsiEdge(Var x, Var xprime) {
+  Var y = VarNamed("psie_y"), z = VarNamed("psie_z");
+  Term e_count = Count({z}, And(Atom(kEdgeSymbolName, {y, z}), TreePsiE(z)));
+  Term b_count =
+      Count({z}, And(Atom(kEdgeSymbolName, {xprime, z}), TreePsiB(z)));
+  return Exists(y, And(Atom(kEdgeSymbolName, {x, y}),
+                       TermEq(std::move(e_count), std::move(b_count))));
+}
+
+namespace {
+
+Result<ExprRef> RewriteRec(const ExprRef& e) {
+  switch (e->kind) {
+    case ExprKind::kEqual:
+    case ExprKind::kTrue:
+    case ExprKind::kFalse:
+      return e;
+    case ExprKind::kAtom: {
+      if (e->symbol_name != kEdgeSymbolName || e->vars.size() != 2) {
+        return Status::InvalidArgument(
+            "graph sentences may only use the binary edge relation E: " +
+            ToString(*e));
+      }
+      return TreePsiEdge(e->vars[0], e->vars[1]).ref();
+    }
+    case ExprKind::kNot:
+    case ExprKind::kOr:
+    case ExprKind::kAnd: {
+      Expr copy = *e;
+      for (ExprRef& c : copy.children) {
+        Result<ExprRef> rc = RewriteRec(c);
+        if (!rc.ok()) return rc;
+        c = *rc;
+      }
+      return std::make_shared<const Expr>(std::move(copy));
+    }
+    case ExprKind::kExists:
+    case ExprKind::kForall: {
+      Result<ExprRef> body = RewriteRec(e->children[0]);
+      if (!body.ok()) return body;
+      Var y = e->vars[0];
+      // Relativise to a-vertices.
+      if (e->kind == ExprKind::kExists) {
+        return Exists(y, And(TreePsiA(y), Formula(*body))).ref();
+      }
+      return Forall(y, Implies(TreePsiA(y), Formula(*body))).ref();
+    }
+    default:
+      return Status::InvalidArgument(
+          "the Theorem 4.1 rewriting applies to pure FO sentences");
+  }
+}
+
+}  // namespace
+
+Result<Formula> RewriteGraphSentenceForTree(const Formula& phi) {
+  if (!IsPureFO(phi.node())) {
+    return Status::InvalidArgument(
+        "the Theorem 4.1 rewriting applies to pure FO sentences");
+  }
+  Result<ExprRef> out = RewriteRec(phi.ref());
+  if (!out.ok()) return out.status();
+  return Formula(*out);
+}
+
+}  // namespace focq

@@ -1,0 +1,58 @@
+// Theorem 4.1: a polynomial fpt-reduction from FO model checking on
+// arbitrary graphs to FOC({P=}) model checking on trees.
+//
+// Given a graph G with vertices [n] (internally 0-based), the tree T_G has
+//   * a root r,
+//   * a-vertices a(i) for every vertex i,
+//   * b/c-gadget pairs b_j(i) - c_j(i), j in [i+1], hanging below a(i)
+//     (the number of b-children identifies the vertex),
+//   * d-vertices d(i,j) for every neighbour j of i, each with e-children
+//     e_k(i,j), k in [j+1] (the number of e-children identifies the
+//     neighbour).
+//
+// An FO sentence phi over graphs is rewritten to phi-hat over trees by
+// relativising quantifiers to a-vertices and replacing E(x,x') by
+//   psi_E(x,x') = exists y ( E(x,y) and
+//        #z.(E(y,z) and psi_e(z)) = #z.(E(x',z) and psi_b(z)) ).
+// Then G |= phi iff T_G |= phi-hat.
+#ifndef FOCQ_HARDNESS_TREE_REDUCTION_H_
+#define FOCQ_HARDNESS_TREE_REDUCTION_H_
+
+#include "focq/graph/graph.h"
+#include "focq/logic/expr.h"
+#include "focq/structure/structure.h"
+#include "focq/util/status.h"
+
+namespace focq {
+
+/// The tree T_G, encoded as a symmetric {E/2}-structure, together with the
+/// element ids of the distinguished vertex classes (for tests).
+struct TreeEncoding {
+  Structure structure;
+  ElemId root = 0;
+  std::vector<ElemId> a_vertices;  // a_vertices[i] represents graph vertex i
+};
+
+/// Builds T_G (quadratic time and size, as in the paper).
+TreeEncoding BuildReductionTree(const Graph& g);
+
+/// The class-membership formulas psi_a, ..., psi_e (free variable `x`),
+/// exposed for tests that verify the vertex classification.
+Formula TreePsiA(Var x);
+Formula TreePsiB(Var x);
+Formula TreePsiC(Var x);
+Formula TreePsiD(Var x);
+Formula TreePsiE(Var x);
+
+/// The edge-simulation formula psi_E(x, x') (an FOC({P=}) formula that is
+/// deliberately *not* in FOC1 -- its counting terms mention two variables).
+Formula TreePsiEdge(Var x, Var xprime);
+
+/// Rewrites a pure-FO graph sentence phi (over the symmetric edge relation
+/// E/2) into the tree sentence phi-hat. InvalidArgument if phi is not pure
+/// FO or uses symbols other than E and '='.
+Result<Formula> RewriteGraphSentenceForTree(const Formula& phi);
+
+}  // namespace focq
+
+#endif  // FOCQ_HARDNESS_TREE_REDUCTION_H_

@@ -1,0 +1,67 @@
+#include "focq/locality/delta.h"
+
+#include <algorithm>
+
+#include "focq/logic/build.h"
+#include "focq/util/check.h"
+
+namespace focq {
+
+Formula DeltaFormula(const PatternGraph& g, std::uint32_t r,
+                     const std::vector<Var>& vars) {
+  FOCQ_CHECK_EQ(g.num_vertices(), static_cast<int>(vars.size()));
+  std::vector<Formula> parts;
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    for (int j = i + 1; j < g.num_vertices(); ++j) {
+      Formula close = DistAtMost(vars[i], vars[j], r);
+      parts.push_back(g.HasEdge(i, j) ? close : Not(close));
+    }
+  }
+  return And(std::move(parts));
+}
+
+PatternGraph ClosenessGraph(BallExplorer* explorer, const Tuple& a,
+                            std::uint32_t r) {
+  int k = static_cast<int>(a.size());
+  PatternGraph g(k, 0);
+  for (int i = 0; i < k; ++i) {
+    // One ball exploration per anchor; mark which other anchors are inside.
+    const std::vector<VertexId>& ball = explorer->Explore(a[i], r);
+    for (int j = i + 1; j < k; ++j) {
+      if (a[i] == a[j]) {
+        g.SetEdge(i, j);
+        continue;
+      }
+      if (std::find(ball.begin(), ball.end(), a[j]) != ball.end()) {
+        g.SetEdge(i, j);
+      }
+    }
+  }
+  return g;
+}
+
+ClosenessOracle::ClosenessOracle(const Graph& gaifman, std::uint32_t r)
+    : gaifman_(gaifman),
+      r_(r),
+      explorer_(gaifman),
+      cache_(gaifman.num_vertices()),
+      cached_(gaifman.num_vertices(), false) {}
+
+const std::vector<ElemId>& ClosenessOracle::BallOf(ElemId a) {
+  FOCQ_CHECK_LT(a, cache_.size());
+  if (!cached_[a]) {
+    std::vector<ElemId> ball = explorer_.Explore(a, r_);
+    std::sort(ball.begin(), ball.end());
+    cache_[a] = std::move(ball);
+    cached_[a] = true;
+  }
+  return cache_[a];
+}
+
+bool ClosenessOracle::Close(ElemId a, ElemId b) {
+  if (a == b) return true;
+  const std::vector<ElemId>& ball = BallOf(a);
+  return std::binary_search(ball.begin(), ball.end(), b);
+}
+
+}  // namespace focq

@@ -1,0 +1,127 @@
+#include "focq/locality/independence.h"
+
+#include <algorithm>
+
+#include "focq/logic/build.h"
+#include "focq/logic/fragment.h"
+
+namespace focq {
+
+Formula IndependenceSentence::ToFormula() const {
+  std::vector<Var> xs;
+  std::vector<Formula> parts;
+  for (int i = 0; i < k; ++i) {
+    Var xi = FreshVar("ind");
+    xs.push_back(xi);
+    parts.push_back(Formula(RenameFreeVar(psi.ref(), witness_var, xi)));
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      parts.push_back(Not(DistAtMost(xs[i], xs[j], r)));
+    }
+  }
+  return Exists(xs, And(std::move(parts)));
+}
+
+Result<Decomposition> IndependenceSentence::WitnessCountTerm() const {
+  // The separation "dist > r" corresponds to the basic-local-sentence shape
+  // with 2r_bls = r; BasicLocalSentenceTerm expects the psi-locality radius,
+  // and builds !dist<=2*radius atoms, so feed it ceil(r/2)... to keep the
+  // separation exact we inline the construction instead.
+  std::vector<Var> xs;
+  std::vector<Formula> parts;
+  for (int i = 0; i < k; ++i) {
+    Var xi = FreshVar("indw");
+    xs.push_back(xi);
+    parts.push_back(Formula(RenameFreeVar(psi.ref(), witness_var, xi)));
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      parts.push_back(Not(DistAtMost(xs[i], xs[j], r)));
+    }
+  }
+  return DecomposeCount(xs, /*unary=*/false, And(std::move(parts)));
+}
+
+IndependenceSentence MakeIndependenceSentence(int k, std::uint32_t r,
+                                              Var witness_var, Formula psi) {
+  FOCQ_CHECK_GE(k, 1);
+  FOCQ_CHECK(IsQuantifierFreeFOPlus(psi.node()));
+  std::vector<Var> free = FreeVars(psi);
+  FOCQ_CHECK(free.empty() || (free.size() == 1 && free[0] == witness_var));
+  return IndependenceSentence{k, r, witness_var, std::move(psi)};
+}
+
+std::optional<IndependenceSentence> RecognizeIndependenceSentence(
+    const Formula& sentence) {
+  // Peel the exists-prefix.
+  const Expr* node = &sentence.node();
+  std::vector<Var> xs;
+  while (node->kind == ExprKind::kExists) {
+    xs.push_back(node->vars[0]);
+    node = node->children[0].get();
+  }
+  if (xs.empty()) return std::nullopt;
+  if (!FreeVars(sentence).empty()) return std::nullopt;
+
+  // Partition the conjuncts into separation atoms and per-witness parts.
+  std::vector<const Expr*> conjuncts;
+  if (node->kind == ExprKind::kAnd) {
+    for (const ExprRef& c : node->children) conjuncts.push_back(c.get());
+  } else {
+    conjuncts.push_back(node);
+  }
+  std::optional<std::uint32_t> separation;
+  std::vector<std::pair<int, int>> separated_pairs;
+  std::vector<Formula> witness_parts(xs.size());
+  auto index_of = [&xs](Var v) -> int {
+    auto it = std::find(xs.begin(), xs.end(), v);
+    return it == xs.end() ? -1 : static_cast<int>(it - xs.begin());
+  };
+  for (const Expr* c : conjuncts) {
+    if (c->kind == ExprKind::kNot &&
+        c->children[0]->kind == ExprKind::kDistAtom) {
+      const Expr& atom = *c->children[0];
+      int i = index_of(atom.vars[0]);
+      int j = index_of(atom.vars[1]);
+      if (i < 0 || j < 0 || i == j) return std::nullopt;
+      if (separation.has_value() && *separation != atom.dist_bound) {
+        return std::nullopt;
+      }
+      separation = atom.dist_bound;
+      separated_pairs.emplace_back(std::min(i, j), std::max(i, j));
+      continue;
+    }
+    // A per-witness part: quantifier-free with exactly one witness variable.
+    if (!IsQuantifierFreeFOPlus(*c)) return std::nullopt;
+    std::vector<Var> free = FreeVars(*c);
+    if (free.size() != 1) return std::nullopt;
+    int i = index_of(free[0]);
+    if (i < 0 || witness_parts[i].IsValid()) return std::nullopt;
+    witness_parts[i] = Formula(std::make_shared<const Expr>(*c));
+  }
+  if (!separation.has_value()) return std::nullopt;
+  // All pairs must be separated exactly once.
+  std::sort(separated_pairs.begin(), separated_pairs.end());
+  std::vector<std::pair<int, int>> expected;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = i + 1; j < xs.size(); ++j) {
+      expected.emplace_back(static_cast<int>(i), static_cast<int>(j));
+    }
+  }
+  if (separated_pairs != expected) return std::nullopt;
+  // Per-witness parts must all be alpha-equivalent to the first one.
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!witness_parts[i].IsValid()) return std::nullopt;
+  }
+  Var canonical = xs[0];
+  Formula psi = witness_parts[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    ExprRef renamed = RenameFreeVar(witness_parts[i].ref(), xs[i], canonical);
+    if (!ExprEquals(*renamed, psi.node())) return std::nullopt;
+  }
+  return MakeIndependenceSentence(static_cast<int>(xs.size()), *separation,
+                                  canonical, psi);
+}
+
+}  // namespace focq

@@ -1,0 +1,54 @@
+// (r, k)-independence sentences (Section 7.1): sentences of the form
+//
+//   exists x1 ... exists xk' ( /\_{i<j} dist(xi, xj) > r'  and  /\_i psi(xi) )
+//
+// with k' <= k, r' <= r and psi quantifier-free. They are the sentence-level
+// information the rank-preserving normal form (Theorem 7.1) exchanges
+// between clusters; here they get a first-class representation, a direct
+// semantic evaluator (greedy scattered-set search is NP-hard in general, so
+// evaluation goes through the Theorem 6.8 route: the witness count is a
+// ground cl-term and the sentence holds iff it is >= 1), and a syntactic
+// recogniser.
+#ifndef FOCQ_LOCALITY_INDEPENDENCE_H_
+#define FOCQ_LOCALITY_INDEPENDENCE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "focq/locality/decompose.h"
+#include "focq/logic/expr.h"
+#include "focq/util/status.h"
+
+namespace focq {
+
+/// A parsed/recognised independence sentence.
+struct IndependenceSentence {
+  int k = 0;                 // number of witnesses (k' in the paper)
+  std::uint32_t r = 0;       // pairwise separation (r' in the paper)
+  Var witness_var = 0;       // the variable of psi
+  Formula psi;               // quantifier-free FO+ property of each witness
+
+  /// The sentence as a formula (fresh witness variables).
+  Formula ToFormula() const;
+
+  /// The number of scattered witness tuples as a ground cl-term
+  /// (Theorem 6.8): the sentence holds iff the value is >= 1. `psi` must be
+  /// in the guarded fragment (quantifier-free always is).
+  Result<Decomposition> WitnessCountTerm() const;
+};
+
+/// Builds the (k, r)-independence sentence for `psi(witness_var)`.
+IndependenceSentence MakeIndependenceSentence(int k, std::uint32_t r,
+                                              Var witness_var, Formula psi);
+
+/// Syntactic recogniser: returns the parameters if `sentence` has exactly
+/// the independence shape (an exists-prefix over a conjunction of pairwise
+/// !dist(xi,xj)<=r atoms with one common bound, plus per-witness unary
+/// subformulas over a single witness variable each, all alpha-equivalent).
+/// Used by tests; the engine treats these sentences via WitnessCountTerm.
+std::optional<IndependenceSentence> RecognizeIndependenceSentence(
+    const Formula& sentence);
+
+}  // namespace focq
+
+#endif  // FOCQ_LOCALITY_INDEPENDENCE_H_

@@ -1,0 +1,165 @@
+#include "focq/locality/removal_rewrite.h"
+
+#include "focq/locality/decompose.h"
+#include "focq/logic/build.h"
+#include "focq/logic/printer.h"
+
+namespace focq {
+namespace {
+
+Result<Formula> Rewrite(const Expr& e, const Signature& sig, std::uint32_t r,
+                        const std::set<Var>& v) {
+  switch (e.kind) {
+    case ExprKind::kTrue:
+      return True();
+    case ExprKind::kFalse:
+      return False();
+    case ExprKind::kEqual: {
+      bool in0 = v.contains(e.vars[0]);
+      bool in1 = v.contains(e.vars[1]);
+      if (in0 && in1) return True();
+      if (!in0 && !in1) return Eq(e.vars[0], e.vars[1]);
+      return False();  // d was removed from the universe
+    }
+    case ExprKind::kAtom: {
+      unsigned mask = 0;
+      std::vector<Var> kept;
+      for (std::size_t i = 0; i < e.vars.size(); ++i) {
+        if (v.contains(e.vars[i])) {
+          mask |= 1u << i;
+        } else {
+          kept.push_back(e.vars[i]);
+        }
+      }
+      return Atom(RemovalSymbolName(e.symbol_name, mask), std::move(kept));
+    }
+    case ExprKind::kDistAtom: {
+      std::uint32_t i = e.dist_bound;
+      if (i > r) {
+        return Status::InvalidArgument(
+            "distance atom bound " + std::to_string(i) +
+            " exceeds the removal radius " + std::to_string(r));
+      }
+      bool in0 = v.contains(e.vars[0]);
+      bool in1 = v.contains(e.vars[1]);
+      if (in0 && in1) return True();
+      if (in0 != in1) {
+        Var survivor = in0 ? e.vars[1] : e.vars[0];
+        if (i == 0) return False();  // dist(d, x) <= 0 needs x == d
+        return Atom(DistanceMarkerName(i), {survivor});
+      }
+      // Neither variable was removed: either the old distance survives, or
+      // the witnessing path ran through d, splitting as i1 + i2 = i.
+      std::vector<Formula> cases = {DistAtMost(e.vars[0], e.vars[1], i)};
+      for (std::uint32_t i1 = 1; i1 + 1 <= i; ++i1) {
+        std::uint32_t i2 = i - i1;
+        cases.push_back(And(Atom(DistanceMarkerName(i1), {e.vars[0]}),
+                            Atom(DistanceMarkerName(i2), {e.vars[1]})));
+      }
+      return Or(std::move(cases));
+    }
+    case ExprKind::kNot: {
+      Result<Formula> c = Rewrite(*e.children[0], sig, r, v);
+      if (!c.ok()) return c;
+      return Not(*c);
+    }
+    case ExprKind::kOr:
+    case ExprKind::kAnd: {
+      std::vector<Formula> parts;
+      for (const ExprRef& child : e.children) {
+        Result<Formula> c = Rewrite(*child, sig, r, v);
+        if (!c.ok()) return c;
+        parts.push_back(*c);
+      }
+      return e.kind == ExprKind::kOr ? Or(std::move(parts))
+                                     : And(std::move(parts));
+    }
+    case ExprKind::kExists:
+    case ExprKind::kForall: {
+      Var y = e.vars[0];
+      std::set<Var> with = v;
+      with.insert(y);
+      std::set<Var> without = v;
+      without.erase(y);
+      Result<Formula> hit = Rewrite(*e.children[0], sig, r, with);
+      if (!hit.ok()) return hit;
+      Result<Formula> miss = Rewrite(*e.children[0], sig, r, without);
+      if (!miss.ok()) return miss;
+      if (e.kind == ExprKind::kExists) {
+        // The witness is either the removed element itself or survives.
+        return Or(*hit, Exists(y, *miss));
+      }
+      return And(*hit, Forall(y, *miss));
+    }
+    default:
+      return Status::Unsupported("removal rewriting applies to FO+ only: " +
+                                 ToString(e));
+  }
+}
+
+}  // namespace
+
+Result<Formula> RemovalRewrite(const Formula& phi, const Signature& sig,
+                               std::uint32_t r, const std::set<Var>& v) {
+  Result<Formula> out = Rewrite(phi.node(), sig, r, v);
+  if (!out.ok()) return out;
+  return Formula(FoldConstants(out->ref()));
+}
+
+Result<std::vector<RemovalTermPart>> RemoveGroundTerm(
+    const std::vector<Var>& vars, const Formula& phi, const Signature& sig,
+    std::uint32_t r) {
+  std::vector<RemovalTermPart> parts;
+  const unsigned k = static_cast<unsigned>(vars.size());
+  FOCQ_CHECK_LT(k, 20u);
+  for (unsigned mask = 0; mask < (1u << k); ++mask) {
+    std::set<Var> v;
+    std::vector<Var> kept;
+    for (unsigned i = 0; i < k; ++i) {
+      if ((mask >> i) & 1u) {
+        v.insert(vars[i]);
+      } else {
+        kept.push_back(vars[i]);
+      }
+    }
+    Result<Formula> body = RemovalRewrite(phi, sig, r, v);
+    if (!body.ok()) return body.status();
+    if (body->node().kind == ExprKind::kFalse) continue;
+    parts.push_back(RemovalTermPart{std::move(kept), *body});
+  }
+  return parts;
+}
+
+Result<RemovalUnaryParts> RemoveUnaryTerm(const std::vector<Var>& vars,
+                                          const Formula& phi,
+                                          const Signature& sig,
+                                          std::uint32_t r) {
+  FOCQ_CHECK_GE(vars.size(), 1u);
+  RemovalUnaryParts out;
+  const unsigned k = static_cast<unsigned>(vars.size());
+  FOCQ_CHECK_LT(k, 20u);
+  for (unsigned mask = 0; mask < (1u << k); ++mask) {
+    std::set<Var> v;
+    std::vector<Var> kept;
+    for (unsigned i = 0; i < k; ++i) {
+      if ((mask >> i) & 1u) {
+        v.insert(vars[i]);
+      } else {
+        kept.push_back(vars[i]);
+      }
+    }
+    Result<Formula> body = RemovalRewrite(phi, sig, r, v);
+    if (!body.ok()) return body.status();
+    if (body->node().kind == ExprKind::kFalse) continue;
+    if (mask & 1u) {
+      // x1 = d: a ground part contributing to u[d] only.
+      out.at_removed.push_back(RemovalTermPart{std::move(kept), *body});
+    } else {
+      // x1 survives: a unary part (kept[0] == vars[0] stays free).
+      out.elsewhere.push_back(RemovalTermPart{std::move(kept), *body});
+    }
+  }
+  return out;
+}
+
+}  // namespace focq

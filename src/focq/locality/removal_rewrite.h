@@ -1,0 +1,53 @@
+// The Removal Lemma's formula side (Lemmas 7.8 and 7.9): rewriting an FO+
+// formula phi(x-bar) over sigma into phi~_V(x-bar \ V) over sigma~_r such
+// that for every A, every d in A and every tuple agreeing with d exactly on
+// the V-positions,
+//     A |= phi[a-bar]  iff  A *r d |= phi~_V[a-bar \ V].
+//
+// The structure side (A *r d) lives in focq/structure/removal.h.
+#ifndef FOCQ_LOCALITY_REMOVAL_REWRITE_H_
+#define FOCQ_LOCALITY_REMOVAL_REWRITE_H_
+
+#include <set>
+#include <vector>
+
+#include "focq/logic/expr.h"
+#include "focq/structure/removal.h"
+#include "focq/util/status.h"
+
+namespace focq {
+
+/// Computes phi~_V. `phi` must be FO+ over `sig`, every distance atom must
+/// have bound <= r (the paper guarantees this by choosing r = f_q(l)), and
+/// `v` is the set of variables asserted equal to the removed element.
+Result<Formula> RemovalRewrite(const Formula& phi, const Signature& sig,
+                               std::uint32_t r, const std::set<Var>& v);
+
+/// Lemma 7.9(a): the ground basic term g = #(vars).phi decomposes as
+///   g^A = sum over I subseteq [k] of  ( #(vars \ I). phi~_I )^(A *r d).
+/// Returns the list of ground terms over sigma~_r, one per subset I (terms
+/// whose rewritten body is constantly false are dropped).
+struct RemovalTermPart {
+  std::vector<Var> vars;  // surviving counting variables
+  Formula body;           // phi~_I
+};
+Result<std::vector<RemovalTermPart>> RemoveGroundTerm(
+    const std::vector<Var>& vars, const Formula& phi, const Signature& sig,
+    std::uint32_t r);
+
+/// Lemma 7.9(b): the unary basic term u(x1) = #(vars[1..]).phi splits into
+///   u^A[d]        = sum of ground parts   (subsets I containing position 1)
+///   u^A[a], a!=d  = sum of unary parts    (subsets I avoiding position 1)
+/// evaluated in A *r d.
+struct RemovalUnaryParts {
+  std::vector<RemovalTermPart> at_removed;   // ground parts for u[d]
+  std::vector<RemovalTermPart> elsewhere;    // unary parts (vars[0] free)
+};
+Result<RemovalUnaryParts> RemoveUnaryTerm(const std::vector<Var>& vars,
+                                          const Formula& phi,
+                                          const Signature& sig,
+                                          std::uint32_t r);
+
+}  // namespace focq
+
+#endif  // FOCQ_LOCALITY_REMOVAL_REWRITE_H_

@@ -1,0 +1,158 @@
+#include "focq/logic/build.h"
+
+#include <algorithm>
+#include <set>
+
+namespace focq {
+namespace {
+
+ExprRef MakeNode(Expr e) { return std::make_shared<const Expr>(std::move(e)); }
+
+Expr Node(ExprKind kind) {
+  Expr e;
+  e.kind = kind;
+  return e;
+}
+
+}  // namespace
+
+Formula Eq(Var x1, Var x2) {
+  Expr e = Node(ExprKind::kEqual);
+  e.vars = {x1, x2};
+  return Formula(MakeNode(std::move(e)));
+}
+
+Formula Atom(const std::string& symbol, std::vector<Var> vars) {
+  Expr e = Node(ExprKind::kAtom);
+  e.symbol_name = symbol;
+  e.vars = std::move(vars);
+  return Formula(MakeNode(std::move(e)));
+}
+
+Formula Not(Formula f) {
+  Expr e = Node(ExprKind::kNot);
+  e.children = {f.ref()};
+  return Formula(MakeNode(std::move(e)));
+}
+
+Formula Or(Formula a, Formula b) { return Or(std::vector<Formula>{a, b}); }
+
+Formula Or(std::vector<Formula> fs) {
+  if (fs.empty()) return False();
+  if (fs.size() == 1) return fs.front();
+  Expr e = Node(ExprKind::kOr);
+  for (Formula& f : fs) e.children.push_back(f.ref());
+  return Formula(MakeNode(std::move(e)));
+}
+
+Formula And(Formula a, Formula b) { return And(std::vector<Formula>{a, b}); }
+
+Formula And(std::vector<Formula> fs) {
+  if (fs.empty()) return True();
+  if (fs.size() == 1) return fs.front();
+  Expr e = Node(ExprKind::kAnd);
+  for (Formula& f : fs) e.children.push_back(f.ref());
+  return Formula(MakeNode(std::move(e)));
+}
+
+Formula Implies(Formula a, Formula b) { return Or(Not(a), b); }
+
+Formula Iff(Formula a, Formula b) {
+  return And(Implies(a, b), Implies(b, a));
+}
+
+Formula Exists(Var y, Formula f) {
+  Expr e = Node(ExprKind::kExists);
+  e.vars = {y};
+  e.children = {f.ref()};
+  return Formula(MakeNode(std::move(e)));
+}
+
+Formula Exists(const std::vector<Var>& ys, Formula f) {
+  for (auto it = ys.rbegin(); it != ys.rend(); ++it) f = Exists(*it, f);
+  return f;
+}
+
+Formula Forall(Var y, Formula f) {
+  Expr e = Node(ExprKind::kForall);
+  e.vars = {y};
+  e.children = {f.ref()};
+  return Formula(MakeNode(std::move(e)));
+}
+
+Formula Forall(const std::vector<Var>& ys, Formula f) {
+  for (auto it = ys.rbegin(); it != ys.rend(); ++it) f = Forall(*it, f);
+  return f;
+}
+
+Formula True() { return Formula(MakeNode(Node(ExprKind::kTrue))); }
+Formula False() { return Formula(MakeNode(Node(ExprKind::kFalse))); }
+
+Formula Pred(PredicateRef pred, std::vector<Term> terms) {
+  FOCQ_CHECK(pred != nullptr);
+  FOCQ_CHECK_EQ(pred->arity(), static_cast<int>(terms.size()));
+  Expr e = Node(ExprKind::kNumPred);
+  e.pred = std::move(pred);
+  for (Term& t : terms) e.children.push_back(t.ref());
+  return Formula(MakeNode(std::move(e)));
+}
+
+Formula DistAtMost(Var x, Var y, std::uint32_t d) {
+  Expr e = Node(ExprKind::kDistAtom);
+  e.vars = {x, y};
+  e.dist_bound = d;
+  return Formula(MakeNode(std::move(e)));
+}
+
+Formula DistGreater(Var x, Var y, std::uint32_t d) {
+  return Not(DistAtMost(x, y, d));
+}
+
+Formula Ge1(Term t) { return Pred(PredGe1(), {std::move(t)}); }
+
+Formula TermEq(Term a, Term b) {
+  return Pred(PredEq(), {std::move(a), std::move(b)});
+}
+
+Formula TermLeq(Term a, Term b) {
+  return Pred(PredLeq(), {std::move(a), std::move(b)});
+}
+
+Term Count(std::vector<Var> ys, Formula f) {
+  std::set<Var> distinct(ys.begin(), ys.end());
+  FOCQ_CHECK_EQ(distinct.size(), ys.size());  // pairwise distinct, rule (5)
+  Expr e = Node(ExprKind::kCount);
+  e.vars = std::move(ys);
+  e.children = {f.ref()};
+  return Term(MakeNode(std::move(e)));
+}
+
+Term Int(CountInt value) {
+  Expr e = Node(ExprKind::kIntConst);
+  e.int_value = value;
+  return Term(MakeNode(std::move(e)));
+}
+
+Term Add(Term a, Term b) { return Add(std::vector<Term>{a, b}); }
+
+Term Add(std::vector<Term> ts) {
+  if (ts.empty()) return Int(0);
+  if (ts.size() == 1) return ts.front();
+  Expr e = Node(ExprKind::kAdd);
+  for (Term& t : ts) e.children.push_back(t.ref());
+  return Term(MakeNode(std::move(e)));
+}
+
+Term Mul(Term a, Term b) { return Mul(std::vector<Term>{a, b}); }
+
+Term Mul(std::vector<Term> ts) {
+  if (ts.empty()) return Int(1);
+  if (ts.size() == 1) return ts.front();
+  Expr e = Node(ExprKind::kMul);
+  for (Term& t : ts) e.children.push_back(t.ref());
+  return Term(MakeNode(std::move(e)));
+}
+
+Term Sub(Term a, Term b) { return Add(a, Mul(Int(-1), b)); }
+
+}  // namespace focq

@@ -1,0 +1,73 @@
+// Fluent construction API for FOC(P) expressions. This is the primary way
+// user code (and the examples) writes queries; see focq/logic/parser.h for
+// the textual syntax.
+//
+// Example (the paper's Example 3.2, "node+edge count is prime"):
+//   Var x = VarNamed("x"), y = VarNamed("y");
+//   Formula phi = Pred(PredPrime(),
+//                      {Add(Count({x}, Eq(x, x)),
+//                           Count({x, y}, Atom("E", {x, y})))});
+#ifndef FOCQ_LOGIC_BUILD_H_
+#define FOCQ_LOGIC_BUILD_H_
+
+#include <string>
+#include <vector>
+
+#include "focq/logic/expr.h"
+
+namespace focq {
+
+// --- Formulas ---------------------------------------------------------------
+
+/// x1 = x2.
+Formula Eq(Var x1, Var x2);
+
+/// R(x1, ..., x_ar(R)). The symbol is resolved against the structure's
+/// signature at evaluation time.
+Formula Atom(const std::string& symbol, std::vector<Var> vars);
+
+Formula Not(Formula f);
+Formula Or(Formula a, Formula b);
+Formula Or(std::vector<Formula> fs);   // n-ary; empty => False
+Formula And(Formula a, Formula b);
+Formula And(std::vector<Formula> fs);  // n-ary; empty => True
+Formula Implies(Formula a, Formula b);
+Formula Iff(Formula a, Formula b);
+
+Formula Exists(Var y, Formula f);
+Formula Exists(const std::vector<Var>& ys, Formula f);  // nested exists
+Formula Forall(Var y, Formula f);
+Formula Forall(const std::vector<Var>& ys, Formula f);
+
+Formula True();
+Formula False();
+
+/// P(t1, ..., tm); aborts if |terms| != pred->arity().
+Formula Pred(PredicateRef pred, std::vector<Term> terms);
+
+/// FO+ distance atom dist(x, y) <= d (Section 7).
+Formula DistAtMost(Var x, Var y, std::uint32_t d);
+/// not dist(x, y) <= d.
+Formula DistGreater(Var x, Var y, std::uint32_t d);
+
+// Common predicate sugar.
+Formula Ge1(Term t);                 // "t >= 1"
+Formula TermEq(Term a, Term b);      // P=(a, b)
+Formula TermLeq(Term a, Term b);     // P<=(a, b)
+
+// --- Terms ------------------------------------------------------------------
+
+/// #(y1,...,yk). phi  -- the yi must be pairwise distinct (k = 0 allowed).
+Term Count(std::vector<Var> ys, Formula f);
+
+Term Int(CountInt value);
+Term Add(Term a, Term b);
+Term Add(std::vector<Term> ts);  // n-ary; empty => Int(0)
+Term Mul(Term a, Term b);
+Term Mul(std::vector<Term> ts);  // n-ary; empty => Int(1)
+/// a - b, i.e. (a + ((-1) * b)) as in the paper.
+Term Sub(Term a, Term b);
+
+}  // namespace focq
+
+#endif  // FOCQ_LOGIC_BUILD_H_

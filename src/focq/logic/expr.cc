@@ -1,0 +1,176 @@
+#include "focq/logic/expr.h"
+
+#include <algorithm>
+#include <set>
+
+#include "focq/util/hash.h"
+
+namespace focq {
+
+bool IsFormulaKind(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kEqual:
+    case ExprKind::kAtom:
+    case ExprKind::kNot:
+    case ExprKind::kOr:
+    case ExprKind::kAnd:
+    case ExprKind::kExists:
+    case ExprKind::kForall:
+    case ExprKind::kNumPred:
+    case ExprKind::kTrue:
+    case ExprKind::kFalse:
+    case ExprKind::kDistAtom:
+      return true;
+    case ExprKind::kCount:
+    case ExprKind::kIntConst:
+    case ExprKind::kAdd:
+    case ExprKind::kMul:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+void CollectFreeVars(const Expr& e, std::set<Var>* out) {
+  switch (e.kind) {
+    case ExprKind::kEqual:
+    case ExprKind::kAtom:
+    case ExprKind::kDistAtom:
+      out->insert(e.vars.begin(), e.vars.end());
+      return;
+    case ExprKind::kExists:
+    case ExprKind::kForall:
+    case ExprKind::kCount: {
+      std::set<Var> inner;
+      for (const ExprRef& c : e.children) CollectFreeVars(*c, &inner);
+      for (Var v : e.vars) inner.erase(v);
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+    default:
+      for (const ExprRef& c : e.children) CollectFreeVars(*c, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<Var> FreeVars(const Expr& e) {
+  std::set<Var> acc;
+  CollectFreeVars(e, &acc);
+  return std::vector<Var>(acc.begin(), acc.end());
+}
+
+std::size_t ExprSize(const Expr& e) {
+  std::size_t size = 1 + e.vars.size();
+  for (const ExprRef& c : e.children) size += ExprSize(*c);
+  return size;
+}
+
+int CountDepth(const Expr& e) {
+  int inner = 0;
+  for (const ExprRef& c : e.children) inner = std::max(inner, CountDepth(*c));
+  return e.kind == ExprKind::kCount ? inner + 1 : inner;
+}
+
+int QuantifierRank(const Expr& e) {
+  int inner = 0;
+  for (const ExprRef& c : e.children) inner = std::max(inner, QuantifierRank(*c));
+  switch (e.kind) {
+    case ExprKind::kExists:
+    case ExprKind::kForall:
+      return inner + 1;
+    case ExprKind::kCount:
+      return inner + static_cast<int>(e.vars.size());
+    default:
+      return inner;
+  }
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind || a.vars != b.vars ||
+      a.symbol_name != b.symbol_name || a.int_value != b.int_value ||
+      a.dist_bound != b.dist_bound || a.children.size() != b.children.size()) {
+    return false;
+  }
+  if ((a.pred == nullptr) != (b.pred == nullptr)) return false;
+  if (a.pred != nullptr && a.pred->name() != b.pred->name()) return false;
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    if (!ExprEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+std::size_t ExprHash(const Expr& e) {
+  std::size_t seed = static_cast<std::size_t>(e.kind);
+  for (Var v : e.vars) HashCombine(&seed, v);
+  for (char c : e.symbol_name) HashCombine(&seed, static_cast<std::size_t>(c));
+  HashCombine(&seed, static_cast<std::size_t>(e.int_value));
+  HashCombine(&seed, e.dist_bound);
+  if (e.pred != nullptr) {
+    for (char c : e.pred->name()) HashCombine(&seed, static_cast<std::size_t>(c));
+  }
+  for (const ExprRef& c : e.children) HashCombine(&seed, ExprHash(*c));
+  return seed;
+}
+
+ExprRef RenameFreeVar(const ExprRef& e, Var from, Var to) {
+  if (from == to) return e;
+  switch (e->kind) {
+    case ExprKind::kExists:
+    case ExprKind::kForall:
+    case ExprKind::kCount: {
+      // If `from` is bound here, no free occurrences below: stop.
+      if (std::find(e->vars.begin(), e->vars.end(), from) != e->vars.end()) {
+        return e;
+      }
+      // Capture check: a free `from` below a binder of `to` would be captured.
+      if (std::find(e->vars.begin(), e->vars.end(), to) != e->vars.end()) {
+        std::vector<Var> free = FreeVars(*e->children.front());
+        FOCQ_CHECK(!std::binary_search(free.begin(), free.end(), from));
+        return e;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  bool changed = false;
+  Expr copy = *e;
+  for (Var& v : copy.vars) {
+    // Only leaf kinds reach here with occurrence vars (binders handled above).
+    if ((e->kind == ExprKind::kEqual || e->kind == ExprKind::kAtom ||
+         e->kind == ExprKind::kDistAtom) &&
+        v == from) {
+      v = to;
+      changed = true;
+    }
+  }
+  for (ExprRef& c : copy.children) {
+    ExprRef renamed = RenameFreeVar(c, from, to);
+    if (renamed != c) {
+      c = std::move(renamed);
+      changed = true;
+    }
+  }
+  if (!changed) return e;
+  return std::make_shared<const Expr>(std::move(copy));
+}
+
+namespace {
+
+void CollectAtomSymbols(const Expr& e, std::set<std::string>* out) {
+  if (e.kind == ExprKind::kAtom) out->insert(e.symbol_name);
+  for (const ExprRef& c : e.children) CollectAtomSymbols(*c, out);
+}
+
+}  // namespace
+
+std::vector<std::string> AtomSymbols(const Expr& e) {
+  std::set<std::string> acc;
+  CollectAtomSymbols(e, &acc);
+  return std::vector<std::string>(acc.begin(), acc.end());
+}
+
+}  // namespace focq

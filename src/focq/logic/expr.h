@@ -1,0 +1,146 @@
+// The FOC(P) abstract syntax tree (Definition 3.1), covering formulas and
+// counting terms, plus the FO+ distance atoms of Section 7.
+//
+// Nodes are immutable and shared (`std::shared_ptr<const Expr>`), so
+// rewrites are cheap structural sharing. `Formula` and `Term` are thin
+// type-tagged handles around the shared node type.
+//
+// Grammar implemented (paper rule numbers in brackets):
+//   formulas:  x1 = x2, R(x-bar)                       [1]
+//              not phi, (phi or psi), (phi and psi)    [2] (And is sugar)
+//              exists y phi, forall y phi              [3] (Forall is sugar)
+//              P(t1, ..., tm)                          [4]
+//              true, false                              (sugar)
+//              dist(x, y) <= d                          (FO+, Section 7)
+//   terms:     #(y1,...,yk). phi                       [5]
+//              integer constants                       [6]
+//              (t1 + t2), (t1 * t2)                    [7]
+#ifndef FOCQ_LOGIC_EXPR_H_
+#define FOCQ_LOGIC_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "focq/logic/numpred.h"
+#include "focq/logic/vars.h"
+#include "focq/util/check.h"
+#include "focq/util/checked_arith.h"
+
+namespace focq {
+
+enum class ExprKind : std::uint8_t {
+  // Formulas.
+  kEqual,     // vars = {x1, x2}
+  kAtom,      // symbol_name + vars
+  kNot,       // children = {phi}
+  kOr,        // children = {phi, psi, ...} (n-ary, >= 2)
+  kAnd,       // children = {phi, psi, ...} (n-ary, >= 2)
+  kExists,    // vars = {y}, children = {phi}
+  kForall,    // vars = {y}, children = {phi}
+  kNumPred,   // pred + children = terms
+  kTrue,      //
+  kFalse,     //
+  kDistAtom,  // vars = {x, y}, dist_bound = d;  dist(x,y) <= d
+  // Counting terms.
+  kCount,     // vars = y-bar (pairwise distinct, may be empty), children = {phi}
+  kIntConst,  // int_value
+  kAdd,       // children = {t1, t2, ...} (n-ary, >= 2)
+  kMul,       // children = {t1, t2, ...} (n-ary, >= 2)
+};
+
+/// True for the formula kinds of ExprKind.
+bool IsFormulaKind(ExprKind kind);
+
+/// One immutable AST node.
+struct Expr {
+  ExprKind kind;
+  std::vector<std::shared_ptr<const Expr>> children;
+  std::vector<Var> vars;        // kEqual/kAtom/kExists/kForall/kDistAtom/kCount
+  std::string symbol_name;      // kAtom: relation symbol name
+  PredicateRef pred;            // kNumPred
+  CountInt int_value = 0;       // kIntConst
+  std::uint32_t dist_bound = 0; // kDistAtom
+};
+
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// Type-tagged handle for formulas.
+class Formula {
+ public:
+  Formula() = default;
+  explicit Formula(ExprRef node) : node_(std::move(node)) {
+    FOCQ_CHECK(node_ != nullptr && IsFormulaKind(node_->kind));
+  }
+  const Expr& node() const {
+    FOCQ_CHECK(node_ != nullptr);
+    return *node_;
+  }
+  const ExprRef& ref() const { return node_; }
+  bool IsValid() const { return node_ != nullptr; }
+  ExprKind kind() const { return node().kind; }
+
+ private:
+  ExprRef node_;
+};
+
+/// Type-tagged handle for counting terms.
+class Term {
+ public:
+  Term() = default;
+  explicit Term(ExprRef node) : node_(std::move(node)) {
+    FOCQ_CHECK(node_ != nullptr && !IsFormulaKind(node_->kind));
+  }
+  const Expr& node() const {
+    FOCQ_CHECK(node_ != nullptr);
+    return *node_;
+  }
+  const ExprRef& ref() const { return node_; }
+  bool IsValid() const { return node_ != nullptr; }
+  ExprKind kind() const { return node().kind; }
+
+ private:
+  ExprRef node_;
+};
+
+// ---------------------------------------------------------------------------
+// Structural analyses.
+// ---------------------------------------------------------------------------
+
+/// The free variables of an expression, sorted ascending (Section 3).
+std::vector<Var> FreeVars(const Expr& e);
+inline std::vector<Var> FreeVars(const Formula& f) { return FreeVars(f.node()); }
+inline std::vector<Var> FreeVars(const Term& t) { return FreeVars(t.node()); }
+
+/// The paper's ||xi||, approximated as the number of AST nodes plus the
+/// total number of variable occurrences (same order of magnitude as the
+/// word-length definition).
+std::size_t ExprSize(const Expr& e);
+
+/// The #-depth d#(xi) of Section 6.3: maximal nesting of counting terms.
+int CountDepth(const Expr& e);
+
+/// Quantifier rank (counting exists/forall; counting-term binders #y-bar
+/// count as |y-bar| nested quantifiers, which is the right budget for the
+/// naive evaluator's recursion).
+int QuantifierRank(const Expr& e);
+
+/// Structural equality of expressions (same tree, same vars/symbols/preds).
+bool ExprEquals(const Expr& a, const Expr& b);
+
+/// Structural hash compatible with ExprEquals.
+std::size_t ExprHash(const Expr& e);
+
+/// Replaces every *free* occurrence of variable `from` by `to`. `to` must not
+/// be captured: callers are responsible for picking `to` fresh w.r.t. the
+/// binders of `e` (checked: aborts if `to` would be captured by a binder
+/// whose scope contains a free `from`).
+ExprRef RenameFreeVar(const ExprRef& e, Var from, Var to);
+
+/// All relation symbol names mentioned by atoms, sorted and deduplicated.
+std::vector<std::string> AtomSymbols(const Expr& e);
+
+}  // namespace focq
+
+#endif  // FOCQ_LOGIC_EXPR_H_

@@ -1,0 +1,84 @@
+#include "focq/logic/fragment.h"
+
+#include <algorithm>
+#include <set>
+
+#include "focq/logic/printer.h"
+
+namespace focq {
+
+bool IsPureFO(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumPred:
+    case ExprKind::kCount:
+    case ExprKind::kIntConst:
+    case ExprKind::kAdd:
+    case ExprKind::kMul:
+    case ExprKind::kDistAtom:
+      return false;
+    default:
+      for (const ExprRef& c : e.children) {
+        if (!IsPureFO(*c)) return false;
+      }
+      return true;
+  }
+}
+
+bool IsFOPlus(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumPred:
+    case ExprKind::kCount:
+    case ExprKind::kIntConst:
+    case ExprKind::kAdd:
+    case ExprKind::kMul:
+      return false;
+    default:
+      for (const ExprRef& c : e.children) {
+        if (!IsFOPlus(*c)) return false;
+      }
+      return true;
+  }
+}
+
+bool IsQuantifierFreeFOPlus(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kExists:
+    case ExprKind::kForall:
+      return false;
+    default:
+      if (!IsFOPlus(e)) return false;
+      for (const ExprRef& c : e.children) {
+        if (!IsQuantifierFreeFOPlus(*c)) return false;
+      }
+      return true;
+  }
+}
+
+std::uint32_t MaxDistBound(const Expr& e) {
+  std::uint32_t best = e.kind == ExprKind::kDistAtom ? e.dist_bound : 0;
+  for (const ExprRef& c : e.children) {
+    best = std::max(best, MaxDistBound(*c));
+  }
+  return best;
+}
+
+Status CheckFOC1(const Expr& e) {
+  if (e.kind == ExprKind::kNumPred) {
+    std::set<Var> free;
+    for (const ExprRef& t : e.children) {
+      std::vector<Var> fv = FreeVars(*t);
+      free.insert(fv.begin(), fv.end());
+    }
+    if (free.size() > 1) {
+      return Status::InvalidArgument(
+          "numerical predicate application has " + std::to_string(free.size()) +
+          " free variables (FOC1 allows at most 1): " + ToString(e));
+    }
+  }
+  for (const ExprRef& c : e.children) {
+    FOCQ_RETURN_IF_ERROR(CheckFOC1(*c));
+  }
+  return Status::Ok();
+}
+
+}  // namespace focq

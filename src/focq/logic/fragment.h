@@ -1,0 +1,40 @@
+// Syntactic fragment checks: plain FO (Definition 3.1 rules (1)-(3)), FO+
+// (FO with distance atoms), full FOC(P), and the paper's tractable fragment
+// FOC1(P) (Definition 5.1: every numerical-predicate application has at most
+// one free variable across all of its argument terms).
+#ifndef FOCQ_LOGIC_FRAGMENT_H_
+#define FOCQ_LOGIC_FRAGMENT_H_
+
+#include <cstdint>
+
+#include "focq/logic/expr.h"
+#include "focq/util/status.h"
+
+namespace focq {
+
+/// True iff `e` uses only rules (1)-(3): no counting terms, no numerical
+/// predicates, no distance atoms.
+bool IsPureFO(const Expr& e);
+
+/// True iff `e` is FO possibly with dist(x,y)<=d atoms (FO+ of Section 7).
+bool IsFOPlus(const Expr& e);
+
+/// True iff `e` is a quantifier-free FO+ formula (no exists/forall and no
+/// counting constructs).
+bool IsQuantifierFreeFOPlus(const Expr& e);
+
+/// The largest bound of any dist(x,y)<=d atom in `e` (0 if none).
+std::uint32_t MaxDistBound(const Expr& e);
+
+/// Checks membership in FOC1(P) (Definition 5.1, rule (4')): for every
+/// subformula P(t1,...,tm), |free(t1) cup ... cup free(tm)| <= 1.
+/// Returns OK or an InvalidArgument status naming the offending subformula.
+Status CheckFOC1(const Expr& e);
+
+inline bool IsFOC1(const Expr& e) { return CheckFOC1(e).ok(); }
+inline bool IsFOC1(const Formula& f) { return IsFOC1(f.node()); }
+inline bool IsFOC1(const Term& t) { return IsFOC1(t.node()); }
+
+}  // namespace focq
+
+#endif  // FOCQ_LOGIC_FRAGMENT_H_

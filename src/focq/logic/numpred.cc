@@ -1,0 +1,98 @@
+#include "focq/logic/numpred.h"
+
+#include <functional>
+
+#include "focq/util/check.h"
+
+namespace focq {
+namespace {
+
+/// A predicate defined by a plain function pointer / lambda.
+class LambdaPredicate : public NumericalPredicate {
+ public:
+  using Fn = std::function<bool(const std::vector<CountInt>&)>;
+  LambdaPredicate(std::string name, int arity, Fn fn)
+      : NumericalPredicate(std::move(name), arity), fn_(std::move(fn)) {}
+
+  bool Holds(const std::vector<CountInt>& args) const override {
+    FOCQ_CHECK_EQ(static_cast<int>(args.size()), arity());
+    return fn_(args);
+  }
+
+ private:
+  Fn fn_;
+};
+
+PredicateRef MakePred(std::string name, int arity, LambdaPredicate::Fn fn) {
+  return std::make_shared<LambdaPredicate>(std::move(name), arity, std::move(fn));
+}
+
+struct Standard {
+  PredicateRef ge1 = MakePred(kPredGe1, 1, [](const std::vector<CountInt>& a) {
+    return a[0] >= 1;
+  });
+  PredicateRef eq = MakePred(kPredEq, 2, [](const std::vector<CountInt>& a) {
+    return a[0] == a[1];
+  });
+  PredicateRef leq = MakePred(kPredLeq, 2, [](const std::vector<CountInt>& a) {
+    return a[0] <= a[1];
+  });
+  PredicateRef prime =
+      MakePred(kPredPrime, 1,
+               [](const std::vector<CountInt>& a) { return IsPrime(a[0]); });
+  PredicateRef even = MakePred(kPredEven, 1, [](const std::vector<CountInt>& a) {
+    return a[0] % 2 == 0;
+  });
+  PredicateRef divides =
+      MakePred(kPredDivides, 2, [](const std::vector<CountInt>& a) {
+        return a[0] != 0 && a[1] % a[0] == 0;
+      });
+  PredicateCollection collection;
+
+  Standard() {
+    collection.Register(ge1);
+    collection.Register(eq);
+    collection.Register(leq);
+    collection.Register(prime);
+    collection.Register(even);
+    collection.Register(divides);
+  }
+};
+
+const Standard& StandardInstance() {
+  static const Standard& instance = *new Standard();  // never destroyed
+  return instance;
+}
+
+}  // namespace
+
+void PredicateCollection::Register(PredicateRef pred) {
+  FOCQ_CHECK(pred != nullptr);
+  bool inserted = by_name_.emplace(pred->name(), pred).second;
+  FOCQ_CHECK(inserted);
+}
+
+PredicateRef PredicateCollection::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> PredicateCollection::Names() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, pred] : by_name_) names.push_back(name);
+  return names;
+}
+
+const PredicateCollection& StandardPredicates() {
+  return StandardInstance().collection;
+}
+
+PredicateRef PredGe1() { return StandardInstance().ge1; }
+PredicateRef PredEq() { return StandardInstance().eq; }
+PredicateRef PredLeq() { return StandardInstance().leq; }
+PredicateRef PredPrime() { return StandardInstance().prime; }
+PredicateRef PredEven() { return StandardInstance().even; }
+PredicateRef PredDivides() { return StandardInstance().divides; }
+
+}  // namespace focq

@@ -1,0 +1,74 @@
+// Numerical predicate collections (P, ar, [[.]]) from Section 3. Predicates
+// are consulted through a virtual `Holds` call, realising the paper's
+// unit-cost P-oracle model.
+#ifndef FOCQ_LOGIC_NUMPRED_H_
+#define FOCQ_LOGIC_NUMPRED_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "focq/util/checked_arith.h"
+
+namespace focq {
+
+/// A single numerical predicate P with semantics [[P]] subseteq Z^ar(P).
+class NumericalPredicate {
+ public:
+  NumericalPredicate(std::string name, int arity)
+      : name_(std::move(name)), arity_(arity) {}
+  virtual ~NumericalPredicate() = default;
+
+  const std::string& name() const { return name_; }
+  int arity() const { return arity_; }
+
+  /// The oracle call: true iff `args` (of length arity()) is in [[P]].
+  virtual bool Holds(const std::vector<CountInt>& args) const = 0;
+
+ private:
+  std::string name_;
+  int arity_;
+};
+
+using PredicateRef = std::shared_ptr<const NumericalPredicate>;
+
+/// A named collection of numerical predicates. The paper fixes one collection
+/// containing P>=1; `StandardPredicates()` provides that plus the other
+/// predicates the paper uses as examples.
+class PredicateCollection {
+ public:
+  /// Registers `pred`; the name must be fresh.
+  void Register(PredicateRef pred);
+
+  /// Lookup by name; nullptr if absent.
+  PredicateRef Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, PredicateRef> by_name_;
+};
+
+/// Canonical predicate names used across the library.
+inline constexpr const char* kPredGe1 = "ge1";        // [[P>=1]] = N>=1
+inline constexpr const char* kPredEq = "eq";          // {(m,m)}
+inline constexpr const char* kPredLeq = "leq";        // {(m,n) : m <= n}
+inline constexpr const char* kPredPrime = "prime";    // primes
+inline constexpr const char* kPredEven = "even";      // even integers
+inline constexpr const char* kPredDivides = "divides";// {(m,n) : m != 0, m | n}
+
+/// The standard collection: ge1, eq, leq, prime, even, divides.
+const PredicateCollection& StandardPredicates();
+
+/// Shorthands for the standard predicates (non-null).
+PredicateRef PredGe1();
+PredicateRef PredEq();
+PredicateRef PredLeq();
+PredicateRef PredPrime();
+PredicateRef PredEven();
+PredicateRef PredDivides();
+
+}  // namespace focq
+
+#endif  // FOCQ_LOGIC_NUMPRED_H_

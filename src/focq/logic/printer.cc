@@ -1,0 +1,112 @@
+#include "focq/logic/printer.h"
+
+namespace focq {
+namespace {
+
+void Print(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case ExprKind::kEqual:
+      *out += VarName(e.vars[0]);
+      *out += " = ";
+      *out += VarName(e.vars[1]);
+      return;
+    case ExprKind::kAtom: {
+      *out += e.symbol_name;
+      *out += '(';
+      for (std::size_t i = 0; i < e.vars.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += VarName(e.vars[i]);
+      }
+      *out += ')';
+      return;
+    }
+    case ExprKind::kNot:
+      *out += '!';
+      *out += '(';
+      Print(*e.children[0], out);
+      *out += ')';
+      return;
+    case ExprKind::kOr:
+    case ExprKind::kAnd: {
+      const char* op = e.kind == ExprKind::kOr ? " | " : " & ";
+      *out += '(';
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) *out += op;
+        Print(*e.children[i], out);
+      }
+      *out += ')';
+      return;
+    }
+    case ExprKind::kExists:
+    case ExprKind::kForall:
+      // The parser gives quantifiers maximal scope, so the printer bounds
+      // the scope explicitly with an outer pair of parentheses.
+      *out += '(';
+      *out += e.kind == ExprKind::kExists ? "exists " : "forall ";
+      *out += VarName(e.vars[0]);
+      *out += ". (";
+      Print(*e.children[0], out);
+      *out += "))";
+      return;
+    case ExprKind::kNumPred: {
+      *out += '@';
+      *out += e.pred->name();
+      *out += '(';
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) *out += ", ";
+        Print(*e.children[i], out);
+      }
+      *out += ')';
+      return;
+    }
+    case ExprKind::kTrue:
+      *out += "true";
+      return;
+    case ExprKind::kFalse:
+      *out += "false";
+      return;
+    case ExprKind::kDistAtom:
+      *out += "dist(";
+      *out += VarName(e.vars[0]);
+      *out += ", ";
+      *out += VarName(e.vars[1]);
+      *out += ") <= ";
+      *out += std::to_string(e.dist_bound);
+      return;
+    case ExprKind::kCount: {
+      *out += "#(";
+      for (std::size_t i = 0; i < e.vars.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += VarName(e.vars[i]);
+      }
+      *out += "). (";
+      Print(*e.children[0], out);
+      *out += ')';
+      return;
+    }
+    case ExprKind::kIntConst:
+      *out += std::to_string(e.int_value);
+      return;
+    case ExprKind::kAdd:
+    case ExprKind::kMul: {
+      const char* op = e.kind == ExprKind::kAdd ? " + " : " * ";
+      *out += '(';
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) *out += op;
+        Print(*e.children[i], out);
+      }
+      *out += ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToString(const Expr& e) {
+  std::string out;
+  Print(e, &out);
+  return out;
+}
+
+}  // namespace focq

@@ -1,0 +1,20 @@
+// Pretty-printer for FOC(P) expressions. Output round-trips through the
+// parser (focq/logic/parser.h).
+#ifndef FOCQ_LOGIC_PRINTER_H_
+#define FOCQ_LOGIC_PRINTER_H_
+
+#include <string>
+
+#include "focq/logic/expr.h"
+
+namespace focq {
+
+/// Renders an expression in the textual syntax accepted by ParseFormula /
+/// ParseTerm, e.g. "@prime((#(x). x=x + #(x,y). E(x,y)))".
+std::string ToString(const Expr& e);
+inline std::string ToString(const Formula& f) { return ToString(f.node()); }
+inline std::string ToString(const Term& t) { return ToString(t.node()); }
+
+}  // namespace focq
+
+#endif  // FOCQ_LOGIC_PRINTER_H_

@@ -1,0 +1,46 @@
+#include "focq/logic/qrank.h"
+
+#include "focq/logic/fragment.h"
+#include "focq/util/check.h"
+
+namespace focq {
+
+std::optional<CountInt> FqValue(int q, int l) {
+  FOCQ_CHECK_GE(q, 0);
+  FOCQ_CHECK_GE(l, 0);
+  if (q == 0) return 1;  // (4*0)^(0+l) with l = 0 convention: treat as 1
+  return CheckedPow(4 * static_cast<CountInt>(q), q + l);
+}
+
+namespace {
+
+// Checks the distance-atom bound of q-rank for a subformula nested below
+// `quantifiers_seen` quantifiers of an outer formula of q-rank budget l.
+bool CheckRec(const Expr& e, int q, int l, int quantifiers_seen) {
+  switch (e.kind) {
+    case ExprKind::kDistAtom: {
+      std::optional<CountInt> bound = FqValue(q, l - quantifiers_seen);
+      if (!bound) return true;  // bound overflows int64 => trivially satisfied
+      return static_cast<CountInt>(e.dist_bound) <= *bound;
+    }
+    case ExprKind::kExists:
+    case ExprKind::kForall:
+      if (quantifiers_seen + 1 > l) return false;  // quantifier rank exceeded
+      return CheckRec(*e.children[0], q, l, quantifiers_seen + 1);
+    default:
+      for (const ExprRef& c : e.children) {
+        if (!CheckRec(*c, q, l, quantifiers_seen)) return false;
+      }
+      return true;
+  }
+}
+
+}  // namespace
+
+bool HasQRankAtMost(const Expr& e, int q, int l) {
+  FOCQ_CHECK(IsFOPlus(e));
+  FOCQ_CHECK_LE(0, l);
+  return CheckRec(e, q, l, 0);
+}
+
+}  // namespace focq

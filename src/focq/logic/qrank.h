@@ -1,0 +1,24 @@
+// The Section 7 rank bookkeeping for FO+: the function f_q(l) = (4q)^(q+l)
+// and the q-rank measure (quantifier rank <= l, and every distance atom
+// dist(x,y) <= d in the scope of i <= l quantifiers satisfies
+// d <= (4q)^(q+l-i)).
+#ifndef FOCQ_LOGIC_QRANK_H_
+#define FOCQ_LOGIC_QRANK_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "focq/logic/expr.h"
+
+namespace focq {
+
+/// f_q(l) = (4q)^(q+l); nullopt on int64 overflow. f_0(0) = 1.
+std::optional<CountInt> FqValue(int q, int l);
+
+/// True iff the FO+ formula `e` has q-rank at most l. Aborts if `e` is not
+/// FO+ (contains counting constructs).
+bool HasQRankAtMost(const Expr& e, int q, int l);
+
+}  // namespace focq
+
+#endif  // FOCQ_LOGIC_QRANK_H_

@@ -1,0 +1,47 @@
+#include "focq/logic/vars.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "focq/util/check.h"
+
+namespace focq {
+namespace {
+
+struct VarTable {
+  std::vector<std::string> names;
+  std::unordered_map<std::string, Var> ids;
+};
+
+VarTable& Table() {
+  static VarTable& table = *new VarTable();  // never destroyed, by design
+  return table;
+}
+
+}  // namespace
+
+Var VarNamed(const std::string& name) {
+  VarTable& table = Table();
+  auto it = table.ids.find(name);
+  if (it != table.ids.end()) return it->second;
+  Var id = static_cast<Var>(table.names.size());
+  table.names.push_back(name);
+  table.ids.emplace(name, id);
+  return id;
+}
+
+const std::string& VarName(Var v) {
+  VarTable& table = Table();
+  FOCQ_CHECK_LT(v, table.names.size());
+  return table.names[v];
+}
+
+Var FreshVar(const std::string& hint) {
+  VarTable& table = Table();
+  for (std::size_t i = table.names.size();; ++i) {
+    std::string candidate = hint + "$" + std::to_string(i);
+    if (!table.ids.contains(candidate)) return VarNamed(candidate);
+  }
+}
+
+}  // namespace focq

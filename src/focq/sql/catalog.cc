@@ -1,0 +1,92 @@
+#include "focq/sql/catalog.h"
+
+#include "focq/util/check.h"
+
+namespace focq {
+namespace {
+
+// Type-tagged interning key, so 1 (int) and "1" (string) stay distinct.
+std::string DomainKey(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return "i:" + std::to_string(*i);
+  }
+  return "s:" + std::get<std::string>(v);
+}
+
+}  // namespace
+
+std::string ConstantRelationName(const Value& v) {
+  return "C_" + ValueToString(v);
+}
+
+void Catalog::AddTable(SqlTable table) {
+  for (const SqlTable& t : tables_) FOCQ_CHECK_NE(t.name(), table.name());
+  tables_.push_back(std::move(table));
+}
+
+Result<const SqlTable*> Catalog::FindTable(const std::string& name) const {
+  for (const SqlTable& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+Result<ElemId> Catalog::Encoded::IdOf(const Value& v) const {
+  auto it = index_.find(DomainKey(v));
+  if (it == index_.end()) {
+    return Status::NotFound("value outside the active domain: " +
+                            ValueToString(v));
+  }
+  return it->second;
+}
+
+Catalog::Encoded Catalog::Encode(const std::vector<Value>& constants) const {
+  Encoded out(Structure(Signature{}, 0));
+
+  auto intern = [&out](const Value& v) -> ElemId {
+    std::string key = DomainKey(v);
+    auto it = out.index_.find(key);
+    if (it != out.index_.end()) return it->second;
+    ElemId id = static_cast<ElemId>(out.domain.size());
+    out.domain.push_back(v);
+    out.index_.emplace(std::move(key), id);
+    return id;
+  };
+
+  // Pass 1: the active domain.
+  for (const SqlTable& t : tables_) {
+    for (const auto& row : t.rows()) {
+      for (const Value& v : row) intern(v);
+    }
+  }
+  for (const Value& c : constants) intern(c);
+
+  // Pass 2: signature and relations.
+  Signature sig;
+  for (const SqlTable& t : tables_) {
+    sig.AddSymbol(t.name(), static_cast<int>(t.NumColumns()));
+  }
+  for (const Value& c : constants) {
+    if (!sig.Contains(ConstantRelationName(c))) {
+      sig.AddSymbol(ConstantRelationName(c), 1);
+    }
+  }
+  Structure structure(std::move(sig), out.domain.size());
+  for (const SqlTable& t : tables_) {
+    SymbolId symbol = *structure.signature().Find(t.name());
+    for (const auto& row : t.rows()) {
+      Tuple tuple;
+      tuple.reserve(row.size());
+      for (const Value& v : row) tuple.push_back(intern(v));
+      structure.AddTuple(symbol, std::move(tuple));
+    }
+  }
+  for (const Value& c : constants) {
+    SymbolId symbol = *structure.signature().Find(ConstantRelationName(c));
+    structure.AddTuple(symbol, {intern(c)});
+  }
+  out.structure = std::move(structure);
+  return out;
+}
+
+}  // namespace focq

@@ -1,0 +1,52 @@
+// A database catalog plus its encoding as a sigma-structure: the universe is
+// the active domain (every distinct value appearing in any table) and every
+// table becomes a relation of arity = number of columns. Constants used in
+// WHERE clauses (like 'Berlin' in Example 5.3) become unary singleton
+// relations, exactly as the paper suggests for R_Berlin.
+#ifndef FOCQ_SQL_CATALOG_H_
+#define FOCQ_SQL_CATALOG_H_
+
+#include <unordered_map>
+
+#include "focq/sql/table.h"
+#include "focq/structure/structure.h"
+
+namespace focq {
+
+/// Name of the unary relation pinning a constant, e.g. "C_Berlin".
+std::string ConstantRelationName(const Value& v);
+
+/// A set of named tables.
+class Catalog {
+ public:
+  void AddTable(SqlTable table);
+
+  Result<const SqlTable*> FindTable(const std::string& name) const;
+  const std::vector<SqlTable>& tables() const { return tables_; }
+
+  /// The encoded database.
+  struct Encoded {
+    explicit Encoded(Structure s) : structure(std::move(s)) {}
+
+    Structure structure;
+    std::vector<Value> domain;  // ElemId -> Value
+
+    /// Element id of a value; NotFound if it is outside the active domain.
+    Result<ElemId> IdOf(const Value& v) const;
+
+   private:
+    friend class Catalog;
+    std::unordered_map<std::string, ElemId> index_;  // tagged key -> id
+  };
+
+  /// Encodes all tables; each value of `constants` additionally receives a
+  /// unary singleton relation (and is added to the domain if absent).
+  Encoded Encode(const std::vector<Value>& constants = {}) const;
+
+ private:
+  std::vector<SqlTable> tables_;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_SQL_CATALOG_H_

@@ -1,0 +1,331 @@
+#include "focq/sql/count_query.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "focq/logic/build.h"
+
+namespace focq {
+namespace {
+
+Var ColumnVar(const std::string& table, const std::string& column) {
+  return VarNamed("sql_" + table + "_" + column);
+}
+
+// The paper's tautological sentence phi := not exists z not z = z.
+Formula PaperTautology() {
+  Var z = VarNamed("sql_z");
+  return Not(Exists(z, Not(Eq(z, z))));
+}
+
+std::string GroupKey(const std::vector<Value>& group) {
+  std::string key;
+  for (const Value& v : group) {
+    key += ValueToString(v);
+    key += '\x01';
+  }
+  return key;
+}
+
+}  // namespace
+
+bool operator==(const AggRow& a, const AggRow& b) {
+  return a.count == b.count && GroupKey(a.group) == GroupKey(b.group);
+}
+
+void SortAggRows(std::vector<AggRow>* rows) {
+  std::sort(rows->begin(), rows->end(), [](const AggRow& a, const AggRow& b) {
+    return GroupKey(a.group) < GroupKey(b.group);
+  });
+}
+
+Result<Foc1Query> BuildGroupByCountQuery(const Catalog& catalog,
+                                         const GroupByCountSpec& spec) {
+  Result<const SqlTable*> table = catalog.FindTable(spec.table);
+  if (!table.ok()) return table.status();
+  Result<std::size_t> gi = (*table)->ColumnIndex(spec.group_column);
+  if (!gi.ok()) return gi.status();
+  Result<std::size_t> ci = (*table)->ColumnIndex(spec.count_column);
+  if (!ci.ok()) return ci.status();
+  if (*gi == *ci) {
+    return Status::InvalidArgument("group and count columns must differ");
+  }
+
+  std::vector<Var> vars;
+  for (const std::string& col : (*table)->columns()) {
+    vars.push_back(ColumnVar(spec.table, col));
+  }
+  Formula atom = Atom(spec.table, vars);
+
+  // phi(x_g) := exists (all but group) T(x-bar): the group value occurs.
+  std::vector<Var> cond_binders;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (i != *gi) cond_binders.push_back(vars[i]);
+  }
+  Formula condition = Exists(cond_binders, atom);
+
+  // t(x_g) := #(x_c). exists (all but group, count) T(x-bar).
+  std::vector<Var> term_binders;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (i != *gi && i != *ci) term_binders.push_back(vars[i]);
+  }
+  Term count = Count({vars[*ci]}, Exists(term_binders, atom));
+
+  Foc1Query q;
+  q.head_vars = {vars[*gi]};
+  q.head_terms = {count};
+  q.condition = condition;
+  return q;
+}
+
+Result<Foc1Query> BuildTotalCountsQuery(const Catalog& catalog,
+                                        const TotalCountsSpec& spec) {
+  Foc1Query q;
+  q.condition = PaperTautology();
+  for (const std::string& name : spec.tables) {
+    Result<const SqlTable*> table = catalog.FindTable(name);
+    if (!table.ok()) return table.status();
+    std::vector<Var> vars;
+    for (const std::string& col : (*table)->columns()) {
+      vars.push_back(ColumnVar(name, col));
+    }
+    q.head_terms.push_back(Count(vars, Atom(name, vars)));
+  }
+  return q;
+}
+
+Result<Foc1Query> BuildJoinGroupCountQuery(const Catalog& catalog,
+                                           const JoinGroupCountSpec& spec) {
+  Result<const SqlTable*> dim = catalog.FindTable(spec.dim_table);
+  if (!dim.ok()) return dim.status();
+  Result<const SqlTable*> fact = catalog.FindTable(spec.fact_table);
+  if (!fact.ok()) return fact.status();
+
+  // Dimension variables; the join key variable is shared with the fact atom.
+  std::vector<Var> dim_vars;
+  for (const std::string& col : (*dim)->columns()) {
+    dim_vars.push_back(ColumnVar(spec.dim_table, col));
+  }
+  Result<std::size_t> key_index = (*dim)->ColumnIndex(spec.dim_key_column);
+  if (!key_index.ok()) return key_index.status();
+  Result<std::size_t> filter_index = (*dim)->ColumnIndex(spec.filter_column);
+  if (!filter_index.ok()) return filter_index.status();
+
+  std::vector<std::size_t> group_indices;
+  for (const std::string& col : spec.group_columns) {
+    Result<std::size_t> gi = (*dim)->ColumnIndex(col);
+    if (!gi.ok()) return gi.status();
+    group_indices.push_back(*gi);
+  }
+
+  std::vector<Var> fact_vars;
+  Result<std::size_t> join_index = (*fact)->ColumnIndex(spec.fact_join_column);
+  if (!join_index.ok()) return join_index.status();
+  Result<std::size_t> count_index =
+      (*fact)->ColumnIndex(spec.fact_count_column);
+  if (!count_index.ok()) return count_index.status();
+  for (std::size_t i = 0; i < (*fact)->NumColumns(); ++i) {
+    if (i == *join_index) {
+      fact_vars.push_back(dim_vars[*key_index]);  // the shared join variable
+    } else {
+      fact_vars.push_back(ColumnVar(spec.fact_table, (*fact)->columns()[i]));
+    }
+  }
+
+  auto is_group = [&group_indices](std::size_t i) {
+    return std::find(group_indices.begin(), group_indices.end(), i) !=
+           group_indices.end();
+  };
+
+  // Condition (paper's phi(xfi, xla)): exists (dim rest)
+  //   Dim(x-bar) and C_<filter>(x_filter).
+  std::vector<Var> cond_binders;
+  for (std::size_t i = 0; i < dim_vars.size(); ++i) {
+    if (!is_group(i)) cond_binders.push_back(dim_vars[i]);
+  }
+  Formula condition =
+      Exists(cond_binders,
+             And(Atom(spec.dim_table, dim_vars),
+                 Atom(ConstantRelationName(spec.filter_value),
+                      {dim_vars[*filter_index]})));
+
+  // Count term (paper's t(xfi, xla)): #(y_count). exists (fact rest, dim
+  // rest) ( Fact(y-bar) and Dim(x-bar) ).
+  std::vector<Var> term_binders;
+  for (std::size_t i = 0; i < fact_vars.size(); ++i) {
+    if (i != *count_index && i != *join_index) {
+      term_binders.push_back(fact_vars[i]);
+    }
+  }
+  for (std::size_t i = 0; i < dim_vars.size(); ++i) {
+    if (!is_group(i)) term_binders.push_back(dim_vars[i]);
+  }
+  Term count = Count({fact_vars[*count_index]},
+                     Exists(term_binders, And(Atom(spec.fact_table, fact_vars),
+                                              Atom(spec.dim_table, dim_vars))));
+
+  Foc1Query q;
+  for (std::size_t gi : group_indices) q.head_vars.push_back(dim_vars[gi]);
+  q.head_terms = {count};
+  q.condition = condition;
+  return q;
+}
+
+namespace {
+
+Result<std::vector<AggRow>> DecodeRows(const Catalog::Encoded& encoded,
+                                       const QueryResult& result) {
+  std::vector<AggRow> rows;
+  rows.reserve(result.rows.size());
+  for (const QueryRow& r : result.rows) {
+    AggRow row;
+    for (ElemId e : r.elements) row.group.push_back(encoded.domain[e]);
+    FOCQ_CHECK_EQ(r.counts.size(), 1u);
+    row.count = r.counts[0];
+    rows.push_back(std::move(row));
+  }
+  SortAggRows(&rows);
+  return rows;
+}
+
+}  // namespace
+
+Result<std::vector<AggRow>> RunGroupByCountFoc1(const Catalog& catalog,
+                                                const GroupByCountSpec& spec,
+                                                const EvalOptions& options) {
+  Result<Foc1Query> q = BuildGroupByCountQuery(catalog, spec);
+  if (!q.ok()) return q.status();
+  Catalog::Encoded encoded = catalog.Encode();
+  Result<QueryResult> result = EvaluateQuery(*q, encoded.structure, options);
+  if (!result.ok()) return result.status();
+  return DecodeRows(encoded, *result);
+}
+
+Result<std::vector<AggRow>> RunTotalCountsFoc1(const Catalog& catalog,
+                                               const TotalCountsSpec& spec,
+                                               const EvalOptions& options) {
+  Result<Foc1Query> q = BuildTotalCountsQuery(catalog, spec);
+  if (!q.ok()) return q.status();
+  Catalog::Encoded encoded = catalog.Encode();
+  Result<QueryResult> result = EvaluateQuery(*q, encoded.structure, options);
+  if (!result.ok()) return result.status();
+  FOCQ_CHECK_EQ(result->rows.size(), 1u);
+  std::vector<AggRow> rows;
+  for (std::size_t i = 0; i < spec.tables.size(); ++i) {
+    rows.push_back(AggRow{{Value{spec.tables[i]}}, result->rows[0].counts[i]});
+  }
+  SortAggRows(&rows);
+  return rows;
+}
+
+Result<std::vector<AggRow>> RunJoinGroupCountFoc1(
+    const Catalog& catalog, const JoinGroupCountSpec& spec,
+    const EvalOptions& options) {
+  Result<Foc1Query> q = BuildJoinGroupCountQuery(catalog, spec);
+  if (!q.ok()) return q.status();
+  Catalog::Encoded encoded = catalog.Encode({spec.filter_value});
+  Result<QueryResult> result = EvaluateQuery(*q, encoded.structure, options);
+  if (!result.ok()) return result.status();
+  return DecodeRows(encoded, *result);
+}
+
+Result<std::vector<AggRow>> RunGroupByCountDirect(
+    const Catalog& catalog, const GroupByCountSpec& spec) {
+  Result<const SqlTable*> table = catalog.FindTable(spec.table);
+  if (!table.ok()) return table.status();
+  Result<std::size_t> gi = (*table)->ColumnIndex(spec.group_column);
+  if (!gi.ok()) return gi.status();
+  std::map<std::string, AggRow> groups;
+  for (const auto& row : (*table)->rows()) {
+    std::string key = GroupKey({row[*gi]});
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) it->second.group = {row[*gi]};
+    ++it->second.count;
+  }
+  std::vector<AggRow> rows;
+  for (auto& [key, row] : groups) rows.push_back(std::move(row));
+  SortAggRows(&rows);
+  return rows;
+}
+
+Result<std::vector<AggRow>> RunTotalCountsDirect(const Catalog& catalog,
+                                                 const TotalCountsSpec& spec) {
+  std::vector<AggRow> rows;
+  for (const std::string& name : spec.tables) {
+    Result<const SqlTable*> table = catalog.FindTable(name);
+    if (!table.ok()) return table.status();
+    rows.push_back(AggRow{{Value{name}},
+                          static_cast<CountInt>((*table)->NumRows())});
+  }
+  SortAggRows(&rows);
+  return rows;
+}
+
+Result<std::vector<AggRow>> RunJoinGroupCountDirect(
+    const Catalog& catalog, const JoinGroupCountSpec& spec) {
+  // Reference semantics follow the paper's FOC1 query (not the SQL inner
+  // join): groups are the name combinations of dimension rows passing the
+  // filter; the count joins the fact table against *all* dimension rows with
+  // that name combination.
+  Result<const SqlTable*> dim = catalog.FindTable(spec.dim_table);
+  if (!dim.ok()) return dim.status();
+  Result<const SqlTable*> fact = catalog.FindTable(spec.fact_table);
+  if (!fact.ok()) return fact.status();
+  Result<std::size_t> key_index = (*dim)->ColumnIndex(spec.dim_key_column);
+  if (!key_index.ok()) return key_index.status();
+  Result<std::size_t> filter_index = (*dim)->ColumnIndex(spec.filter_column);
+  if (!filter_index.ok()) return filter_index.status();
+  Result<std::size_t> join_index = (*fact)->ColumnIndex(spec.fact_join_column);
+  if (!join_index.ok()) return join_index.status();
+  Result<std::size_t> count_index =
+      (*fact)->ColumnIndex(spec.fact_count_column);
+  if (!count_index.ok()) return count_index.status();
+  std::vector<std::size_t> group_indices;
+  for (const std::string& col : spec.group_columns) {
+    Result<std::size_t> gi = (*dim)->ColumnIndex(col);
+    if (!gi.ok()) return gi.status();
+    group_indices.push_back(*gi);
+  }
+
+  // Fact-side index: join value -> distinct count-column values.
+  std::map<std::string, std::vector<std::string>> orders_by_key;
+  for (const auto& row : (*fact)->rows()) {
+    orders_by_key[ValueToString(row[*join_index])].push_back(
+        ValueToString(row[*count_index]));
+  }
+
+  auto group_of = [&group_indices](const std::vector<Value>& row) {
+    std::vector<Value> group;
+    for (std::size_t gi : group_indices) group.push_back(row[gi]);
+    return group;
+  };
+
+  // Groups passing the filter.
+  std::map<std::string, AggRow> groups;
+  std::string filter_rendered = ValueToString(spec.filter_value);
+  for (const auto& row : (*dim)->rows()) {
+    if (ValueToString(row[*filter_index]) != filter_rendered) continue;
+    std::vector<Value> group = group_of(row);
+    auto [it, inserted] = groups.try_emplace(GroupKey(group));
+    if (inserted) it->second.group = std::move(group);
+  }
+  // Count distinct fact keys joined through any same-group dimension row.
+  for (auto& [key, agg] : groups) {
+    std::set<std::string> seen;
+    for (const auto& row : (*dim)->rows()) {
+      if (GroupKey(group_of(row)) != key) continue;
+      auto it = orders_by_key.find(ValueToString(row[*key_index]));
+      if (it == orders_by_key.end()) continue;
+      for (const std::string& oid : it->second) seen.insert(oid);
+    }
+    agg.count = static_cast<CountInt>(seen.size());
+  }
+
+  std::vector<AggRow> rows;
+  for (auto& [key, row] : groups) rows.push_back(std::move(row));
+  SortAggRows(&rows);
+  return rows;
+}
+
+}  // namespace focq

@@ -1,0 +1,89 @@
+// The Example 5.3 SQL COUNT workloads, each available in two executions:
+// translated to a FOC1(P)-query over the encoded database (the paper's
+// point: plain COUNT/GROUP BY SQL lives inside FOC1), and a direct hash
+// aggregation baseline. Tests assert the two agree; bench_sql compares them.
+#ifndef FOCQ_SQL_COUNT_QUERY_H_
+#define FOCQ_SQL_COUNT_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "focq/core/api.h"
+#include "focq/eval/query.h"
+#include "focq/sql/catalog.h"
+
+namespace focq {
+
+/// One aggregation output row: the group-by values plus the count.
+struct AggRow {
+  std::vector<Value> group;
+  CountInt count = 0;
+};
+
+/// SELECT g, COUNT(c) FROM t GROUP BY g  (c must be a key column, so the
+/// count equals the number of rows in the group).
+struct GroupByCountSpec {
+  std::string table;
+  std::string group_column;
+  std::string count_column;
+};
+
+/// SELECT (SELECT COUNT(*) FROM t) AS ... for several tables at once.
+struct TotalCountsSpec {
+  std::vector<std::string> tables;
+};
+
+/// SELECT d.g1, d.g2, COUNT(f.c)
+/// FROM dim d, fact f
+/// WHERE d.filter_column = filter_value AND f.join_column = d.key_column
+/// GROUP BY d.g1, d.g2   (the Berlin query of Example 5.3).
+struct JoinGroupCountSpec {
+  std::string dim_table;
+  std::string fact_table;
+  std::string dim_key_column;       // Customer.Id
+  std::string fact_join_column;     // Order.CustomerId
+  std::string fact_count_column;    // Order.Id (a key)
+  std::string filter_column;        // Customer.City
+  Value filter_value;               // 'Berlin'
+  std::vector<std::string> group_columns;  // FirstName, LastName
+};
+
+// --- FOC1 translations ------------------------------------------------------
+
+Result<Foc1Query> BuildGroupByCountQuery(const Catalog& catalog,
+                                         const GroupByCountSpec& spec);
+Result<Foc1Query> BuildTotalCountsQuery(const Catalog& catalog,
+                                        const TotalCountsSpec& spec);
+Result<Foc1Query> BuildJoinGroupCountQuery(const Catalog& catalog,
+                                           const JoinGroupCountSpec& spec);
+
+// --- Execution --------------------------------------------------------------
+
+/// Runs the FOC1 translation of `spec` on the encoded database and decodes
+/// the result rows back to values. Rows are sorted by their rendered group.
+Result<std::vector<AggRow>> RunGroupByCountFoc1(const Catalog& catalog,
+                                                const GroupByCountSpec& spec,
+                                                const EvalOptions& options);
+Result<std::vector<AggRow>> RunTotalCountsFoc1(const Catalog& catalog,
+                                               const TotalCountsSpec& spec,
+                                               const EvalOptions& options);
+Result<std::vector<AggRow>> RunJoinGroupCountFoc1(
+    const Catalog& catalog, const JoinGroupCountSpec& spec,
+    const EvalOptions& options);
+
+/// Direct hash-aggregation baselines (no logic involved).
+Result<std::vector<AggRow>> RunGroupByCountDirect(const Catalog& catalog,
+                                                  const GroupByCountSpec& spec);
+Result<std::vector<AggRow>> RunTotalCountsDirect(const Catalog& catalog,
+                                                 const TotalCountsSpec& spec);
+Result<std::vector<AggRow>> RunJoinGroupCountDirect(
+    const Catalog& catalog, const JoinGroupCountSpec& spec);
+
+/// Canonical ordering used by both executions, so results compare with ==.
+void SortAggRows(std::vector<AggRow>* rows);
+
+bool operator==(const AggRow& a, const AggRow& b);
+
+}  // namespace focq
+
+#endif  // FOCQ_SQL_COUNT_QUERY_H_

@@ -1,0 +1,55 @@
+#include "focq/sql/datagen.h"
+
+#include <algorithm>
+
+#include "focq/util/rng.h"
+
+namespace focq {
+
+Catalog MakeCustomerOrderDatabase(const CustomerOrderConfig& config) {
+  Rng rng(config.seed);
+  Catalog catalog;
+
+  auto pick_name = [](const char* prefix, std::size_t i) {
+    return std::string(prefix) + std::to_string(i);
+  };
+
+  SqlTable customer("Customer", {"Id", "FirstName", "LastName", "City",
+                                 "Country", "Phone"});
+  for (std::size_t i = 0; i < config.num_customers; ++i) {
+    std::size_t city = rng.NextBelow(std::max<std::size_t>(config.num_cities, 1));
+    std::string city_name = city == 0 ? "Berlin" : pick_name("City", city);
+    customer.AddRow({
+        Value{static_cast<std::int64_t>(i + 1)},
+        Value{pick_name("First", rng.NextBelow(
+                                     std::max<std::size_t>(config.num_first_names, 1)))},
+        Value{pick_name("Last", rng.NextBelow(
+                                    std::max<std::size_t>(config.num_last_names, 1)))},
+        Value{std::move(city_name)},
+        Value{pick_name("Country",
+                        rng.NextBelow(std::max<std::size_t>(config.num_countries, 1)))},
+        Value{pick_name("+49-", 100000 + rng.NextBelow(900000))},
+    });
+  }
+  catalog.AddTable(std::move(customer));
+
+  SqlTable orders("Order", {"Id", "OrderDate", "OrderNumber", "CustomerId",
+                            "TotalAmount"});
+  for (std::size_t i = 0; i < config.num_orders; ++i) {
+    std::int64_t customer_id =
+        config.num_customers == 0
+            ? 0
+            : static_cast<std::int64_t>(rng.NextBelow(config.num_customers) + 1);
+    orders.AddRow({
+        Value{static_cast<std::int64_t>(1000000 + i + 1)},
+        Value{pick_name("2026-0", 1 + rng.NextBelow(9))},
+        Value{pick_name("ON", 10000 + i)},
+        Value{customer_id},
+        Value{static_cast<std::int64_t>(10 + rng.NextBelow(990))},
+    });
+  }
+  catalog.AddTable(std::move(orders));
+  return catalog;
+}
+
+}  // namespace focq

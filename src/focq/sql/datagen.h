@@ -1,0 +1,30 @@
+// Synthetic Customer/Order data matching the Example 5.3 schema:
+//   Customer(Id, FirstName, LastName, City, Country, Phone)
+//   Order(Id, OrderDate, OrderNumber, CustomerId, TotalAmount)
+#ifndef FOCQ_SQL_DATAGEN_H_
+#define FOCQ_SQL_DATAGEN_H_
+
+#include <cstdint>
+
+#include "focq/sql/catalog.h"
+
+namespace focq {
+
+struct CustomerOrderConfig {
+  std::size_t num_customers = 100;
+  std::size_t num_orders = 400;
+  std::size_t num_first_names = 12;
+  std::size_t num_last_names = 16;
+  std::size_t num_cities = 8;     // city 0 is always "Berlin"
+  std::size_t num_countries = 5;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a catalog with the two tables. Ids are unique across each
+/// table (Customer ids from 1, Order ids from 1000001), so COUNT(Id)
+/// equals the row count.
+Catalog MakeCustomerOrderDatabase(const CustomerOrderConfig& config);
+
+}  // namespace focq
+
+#endif  // FOCQ_SQL_DATAGEN_H_

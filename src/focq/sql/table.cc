@@ -1,0 +1,24 @@
+#include "focq/sql/table.h"
+
+#include "focq/util/check.h"
+
+namespace focq {
+
+std::string ValueToString(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  return std::get<std::string>(v);
+}
+
+void SqlTable::AddRow(std::vector<Value> row) {
+  FOCQ_CHECK_EQ(row.size(), columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+Result<std::size_t> SqlTable::ColumnIndex(const std::string& column) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return i;
+  }
+  return Status::NotFound("no column '" + column + "' in table " + name_);
+}
+
+}  // namespace focq

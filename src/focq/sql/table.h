@@ -1,0 +1,47 @@
+// A tiny in-memory row store used by the Example 5.3 SQL COUNT front end.
+// Values are a variant of 64-bit integers and strings.
+#ifndef FOCQ_SQL_TABLE_H_
+#define FOCQ_SQL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "focq/util/status.h"
+
+namespace focq {
+
+/// One cell value.
+using Value = std::variant<std::int64_t, std::string>;
+
+/// Renders a value for display and for active-domain interning.
+std::string ValueToString(const Value& v);
+
+/// A named table with a fixed column list.
+class SqlTable {
+ public:
+  SqlTable(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t NumColumns() const { return columns_.size(); }
+  std::size_t NumRows() const { return rows_.size(); }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+
+  /// Appends a row; the width must match the column list.
+  void AddRow(std::vector<Value> row);
+
+  /// 0-based index of a column; NotFound if absent.
+  Result<std::size_t> ColumnIndex(const std::string& column) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_SQL_TABLE_H_

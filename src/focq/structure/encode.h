@@ -1,0 +1,38 @@
+// Encodings of the paper's concrete input classes as sigma-structures:
+// undirected graphs ({E/2}, symmetric), directed coloured graphs (Example
+// 5.4's {E, R, B, G}), and strings over a finite alphabet with a linear order
+// (Section 4: {<=} union {P_a : a in Sigma}).
+#ifndef FOCQ_STRUCTURE_ENCODE_H_
+#define FOCQ_STRUCTURE_ENCODE_H_
+
+#include <string>
+#include <vector>
+
+#include "focq/graph/graph.h"
+#include "focq/structure/structure.h"
+
+namespace focq {
+
+/// Names used by the canonical encodings.
+inline constexpr const char* kEdgeSymbolName = "E";
+inline constexpr const char* kOrderSymbolName = "<=";
+
+/// Encodes an undirected graph as a {E/2}-structure with E symmetric
+/// (both (u,v) and (v,u) present for every edge).
+Structure EncodeGraph(const Graph& g);
+
+/// Encodes a directed graph given as arc list over n vertices.
+Structure EncodeDigraph(std::size_t n,
+                        const std::vector<std::pair<ElemId, ElemId>>& arcs);
+
+/// Encodes a string s as the Section 4 structure: universe = positions,
+/// binary <= interpreted as the (reflexive) linear order on positions, and a
+/// unary P_c for each distinct character c of `alphabet`.
+///
+/// Note the order relation has |s|*(|s|+1)/2 tuples, so its Gaifman graph is
+/// a clique -- this unbounded degree is exactly what Theorem 4.3 exploits.
+Structure EncodeString(const std::string& s, const std::string& alphabet);
+
+}  // namespace focq
+
+#endif  // FOCQ_STRUCTURE_ENCODE_H_

@@ -1,0 +1,16 @@
+// Gaifman graph of a sigma-structure (Section 2): vertices are the universe,
+// with an edge between two distinct elements iff they co-occur in some tuple.
+#ifndef FOCQ_STRUCTURE_GAIFMAN_H_
+#define FOCQ_STRUCTURE_GAIFMAN_H_
+
+#include "focq/graph/graph.h"
+#include "focq/structure/structure.h"
+
+namespace focq {
+
+/// Builds the Gaifman graph G_A. Time O(||A|| * max_arity^2).
+Graph BuildGaifmanGraph(const Structure& a);
+
+}  // namespace focq
+
+#endif  // FOCQ_STRUCTURE_GAIFMAN_H_

@@ -1,0 +1,187 @@
+#include "focq/structure/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "focq/graph/graph.h"
+#include "focq/structure/encode.h"
+
+namespace focq {
+namespace {
+
+// Strips comments and surrounding whitespace; empty result means skip.
+std::string CleanLine(const std::string& raw) {
+  std::string line = raw;
+  std::size_t hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  std::size_t begin = line.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  std::size_t end = line.find_last_not_of(" \t\r\n");
+  return line.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Result<Structure> ReadStructure(const std::string& text) {
+  std::istringstream in(text);
+  std::string raw;
+  int line_number = 0;
+
+  auto fail = [&line_number](const std::string& msg) {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": " + msg);
+  };
+
+  // Phase 1: find the universe line and collect the full signature, so the
+  // Structure can be created before tuples are inserted.
+  std::optional<std::size_t> universe;
+  Signature sig;
+  {
+    std::istringstream scan(text);
+    int scan_line = 0;
+    while (std::getline(scan, raw)) {
+      ++scan_line;
+      std::string line = CleanLine(raw);
+      if (line.empty()) continue;
+      std::istringstream fields(line);
+      std::string keyword;
+      fields >> keyword;
+      if (keyword == "universe") {
+        std::size_t n = 0;
+        if (!(fields >> n) || n == 0) {
+          line_number = scan_line;
+          return fail("expected 'universe <positive count>'");
+        }
+        if (universe.has_value()) {
+          line_number = scan_line;
+          return fail("duplicate universe declaration");
+        }
+        universe = n;
+      } else if (keyword == "relation") {
+        std::string name;
+        int arity = -1;
+        if (!(fields >> name >> arity) || arity < 0) {
+          line_number = scan_line;
+          return fail("expected 'relation <name> <arity>'");
+        }
+        if (sig.Contains(name)) {
+          line_number = scan_line;
+          return fail("duplicate relation '" + name + "'");
+        }
+        sig.AddSymbol(name, arity);
+      }
+    }
+  }
+  if (!universe.has_value()) {
+    return Status::InvalidArgument("missing 'universe <count>' declaration");
+  }
+
+  // Phase 2: tuples.
+  Structure a(std::move(sig), *universe);
+  std::optional<SymbolId> current;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    std::string line = CleanLine(raw);
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string first;
+    fields >> first;
+    if (first == "universe") continue;
+    if (first == "relation") {
+      std::string name;
+      fields >> name;
+      current = a.signature().Find(name);
+      continue;
+    }
+    if (!current.has_value()) {
+      return fail("tuple before any 'relation' declaration");
+    }
+    int arity = a.signature().Arity(*current);
+    if (first == "()") {
+      if (arity != 0) return fail("'()' is only valid for arity-0 relations");
+      a.AddTuple(*current, {});
+      continue;
+    }
+    Tuple tuple;
+    std::istringstream tuple_fields(line);
+    long long value = 0;
+    while (tuple_fields >> value) {
+      if (value < 0 || static_cast<std::size_t>(value) >= *universe) {
+        return fail("element id " + std::to_string(value) +
+                    " outside the universe");
+      }
+      tuple.push_back(static_cast<ElemId>(value));
+    }
+    if (static_cast<int>(tuple.size()) != arity) {
+      return fail("expected " + std::to_string(arity) + " ids, got " +
+                  std::to_string(tuple.size()));
+    }
+    a.AddTuple(*current, std::move(tuple));
+  }
+  return a;
+}
+
+Result<Structure> ReadStructureFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadStructure(buffer.str());
+}
+
+std::string WriteStructure(const Structure& a) {
+  std::ostringstream out;
+  out << "universe " << a.universe_size() << "\n";
+  for (SymbolId id = 0; id < a.signature().NumSymbols(); ++id) {
+    out << "relation " << a.signature().Name(id) << " "
+        << a.signature().Arity(id) << "\n";
+    for (const Tuple& t : a.relation(id).tuples()) {
+      if (t.empty()) {
+        out << "()\n";
+        continue;
+      }
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << t[i];
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<Structure> ReadEdgeList(const std::string& text,
+                               std::size_t min_vertices) {
+  std::istringstream in(text);
+  std::string raw;
+  std::vector<std::pair<long long, long long>> edges;
+  long long max_id = -1;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    std::string line = CleanLine(raw);
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    long long u = -1, v = -1;
+    if (!(fields >> u >> v) || u < 0 || v < 0) {
+      return Status::InvalidArgument("edge list line " +
+                                     std::to_string(line_number) +
+                                     ": expected two non-negative ids");
+    }
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  std::size_t n = std::max(static_cast<std::size_t>(max_id + 1), min_vertices);
+  if (n == 0) {
+    return Status::InvalidArgument("edge list describes an empty structure");
+  }
+  Graph g(n);
+  for (auto [u, v] : edges) {
+    g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  g.Finalize();
+  return EncodeGraph(g);
+}
+
+}  // namespace focq

@@ -1,0 +1,30 @@
+#include "focq/structure/neighborhood.h"
+
+#include <algorithm>
+
+#include "focq/graph/bfs.h"
+#include "focq/util/check.h"
+
+namespace focq {
+
+ElemId SubstructureView::ToLocal(ElemId original) const {
+  auto it = std::lower_bound(original_ids.begin(), original_ids.end(), original);
+  FOCQ_CHECK(it != original_ids.end() && *it == original);
+  return static_cast<ElemId>(it - original_ids.begin());
+}
+
+SubstructureView NeighborhoodSubstructure(const Structure& a,
+                                          const Graph& gaifman,
+                                          const std::vector<ElemId>& sources,
+                                          std::uint32_t r) {
+  std::vector<VertexId> ball = Ball(gaifman, sources, r);
+  return InducedView(a, ball);
+}
+
+SubstructureView InducedView(const Structure& a,
+                             const std::vector<ElemId>& elements) {
+  SubstructureView view{a.Induced(elements), elements};
+  return view;
+}
+
+}  // namespace focq

@@ -1,0 +1,37 @@
+// r-neighbourhoods N_r(a-bar) as induced substructures (Section 2), the
+// object on which local formulas are evaluated.
+#ifndef FOCQ_STRUCTURE_NEIGHBORHOOD_H_
+#define FOCQ_STRUCTURE_NEIGHBORHOOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "focq/graph/graph.h"
+#include "focq/structure/structure.h"
+
+namespace focq {
+
+/// An induced substructure together with the element renaming it applied.
+struct SubstructureView {
+  Structure structure;              // renumbered to 0..|B|-1
+  std::vector<ElemId> original_ids; // new id -> original id (sorted)
+
+  /// Maps an original element id into the substructure; the element must be
+  /// contained in the view.
+  ElemId ToLocal(ElemId original) const;
+};
+
+/// The r-neighbourhood N_r(sources) of `a` w.r.t. the given Gaifman graph.
+/// `gaifman` must be BuildGaifmanGraph(a) (passed in so callers can reuse it).
+SubstructureView NeighborhoodSubstructure(const Structure& a,
+                                          const Graph& gaifman,
+                                          const std::vector<ElemId>& sources,
+                                          std::uint32_t r);
+
+/// Induced substructure on an explicit sorted element set.
+SubstructureView InducedView(const Structure& a,
+                             const std::vector<ElemId>& elements);
+
+}  // namespace focq
+
+#endif  // FOCQ_STRUCTURE_NEIGHBORHOOD_H_

@@ -1,0 +1,69 @@
+// The Removal Lemma's structure surgery (Section 7.3): given a sigma-structure
+// A, an element d and a radius r, build the structure A *r d over the
+// signature sigma~_r:
+//
+//   * for every R in sigma of arity k and every I subseteq [k] there is a
+//     symbol R~I of arity k-|I|, interpreted by { a-bar \ I : a-bar in R^A and
+//     I = { i : a_i = d } } -- i.e. the tuples of R are partitioned by the set
+//     of positions where they mention d, and d is projected away;
+//   * unary markers S_1, ..., S_r with S_i = { b != d : dist_A(d, b) <= i }.
+//
+// The universe is A \ {d}, renumbered densely (e < d keeps id e, e > d
+// becomes e-1). The companion formula rewriting (Lemma 7.8) lives in
+// focq/locality/removal_rewrite.h.
+#ifndef FOCQ_STRUCTURE_REMOVAL_H_
+#define FOCQ_STRUCTURE_REMOVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "focq/graph/graph.h"
+#include "focq/structure/structure.h"
+
+namespace focq {
+
+/// Human-readable name of R~I: `base` plus the 1-based positions of I,
+/// e.g. RemovalSymbolName("E", 0b01) == "E~{1}".
+std::string RemovalSymbolName(const std::string& base, unsigned subset_mask);
+
+/// Name of the distance marker S_i.
+std::string DistanceMarkerName(std::uint32_t i);
+
+/// The signature sigma~_r together with lookup tables from original symbols.
+struct RemovalSignature {
+  Signature sig;
+  /// tilde_ids[s][mask] = id of R~I in `sig`, where s is the original symbol
+  /// and mask ranges over subsets of [arity(s)] (bit i-1 <-> position i).
+  std::vector<std::vector<SymbolId>> tilde_ids;
+  /// s_markers[i-1] = id of S_i, for i in [r].
+  std::vector<SymbolId> s_markers;
+};
+
+/// Builds sigma~_r from sigma.
+RemovalSignature BuildRemovalSignature(const Signature& sig, std::uint32_t r);
+
+/// The result of removing element `d` at radius r.
+struct RemovalResult {
+  Structure structure;  // A *r d, over sigma~_r
+  ElemId removed;       // d, in A's numbering
+
+  /// Maps an element of A other than d into A *r d.
+  ElemId ToLocal(ElemId original) const {
+    return original < removed ? original : original - 1;
+  }
+  /// Inverse of ToLocal.
+  ElemId ToOriginal(ElemId local) const {
+    return local < removed ? local : local + 1;
+  }
+};
+
+/// Computes A *r d. `gaifman` must be BuildGaifmanGraph(a); |A| must be >= 2.
+/// Runs in time O(r * ||A||) as the paper states (linear for fixed r).
+RemovalResult RemoveElement(const Structure& a, const Graph& gaifman, ElemId d,
+                            std::uint32_t r,
+                            const RemovalSignature& removal_sig);
+
+}  // namespace focq
+
+#endif  // FOCQ_STRUCTURE_REMOVAL_H_

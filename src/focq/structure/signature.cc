@@ -1,0 +1,51 @@
+#include "focq/structure/signature.h"
+
+#include "focq/util/check.h"
+
+namespace focq {
+
+Signature::Signature(std::initializer_list<RelationSymbol> symbols) {
+  for (const RelationSymbol& s : symbols) AddSymbol(s.name, s.arity);
+}
+
+SymbolId Signature::AddSymbol(std::string name, int arity) {
+  FOCQ_CHECK_GE(arity, 0);
+  SymbolId id = static_cast<SymbolId>(symbols_.size());
+  bool inserted = by_name_.emplace(name, id).second;
+  FOCQ_CHECK(inserted);
+  symbols_.push_back(RelationSymbol{std::move(name), arity});
+  return id;
+}
+
+std::optional<SymbolId> Signature::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Signature::SizeNorm() const {
+  std::size_t total = 0;
+  for (const RelationSymbol& s : symbols_) total += static_cast<std::size_t>(s.arity);
+  return total;
+}
+
+bool Signature::IsPrefixOf(const Signature& other) const {
+  if (symbols_.size() > other.symbols_.size()) return false;
+  for (SymbolId id = 0; id < symbols_.size(); ++id) {
+    if (symbols_[id].name != other.symbols_[id].name ||
+        symbols_[id].arity != other.symbols_[id].arity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Signature::FreshName(const std::string& base) const {
+  if (!Contains(base)) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = base + "#" + std::to_string(i);
+    if (!Contains(candidate)) return candidate;
+  }
+}
+
+}  // namespace focq

@@ -1,0 +1,66 @@
+// Relational signatures (Section 2 of the paper): a finite set of relation
+// symbols, each with an arity >= 0. Signatures are value types; structure
+// expansions extend a copy.
+#ifndef FOCQ_STRUCTURE_SIGNATURE_H_
+#define FOCQ_STRUCTURE_SIGNATURE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace focq {
+
+/// Index of a relation symbol within its signature.
+using SymbolId = std::uint32_t;
+
+/// A single relation symbol.
+struct RelationSymbol {
+  std::string name;
+  int arity = 0;  // may be 0 (nullary relations are allowed, Section 2)
+};
+
+/// A finite relational signature. Symbol names are unique.
+class Signature {
+ public:
+  Signature() = default;
+
+  /// Convenience constructor from (name, arity) pairs.
+  Signature(std::initializer_list<RelationSymbol> symbols);
+
+  /// Adds a new symbol; aborts if the name is already taken.
+  SymbolId AddSymbol(std::string name, int arity);
+
+  /// Number of symbols.
+  std::size_t NumSymbols() const { return symbols_.size(); }
+
+  const RelationSymbol& Symbol(SymbolId id) const { return symbols_[id]; }
+  int Arity(SymbolId id) const { return symbols_[id].arity; }
+  const std::string& Name(SymbolId id) const { return symbols_[id].name; }
+
+  /// Finds a symbol by name.
+  std::optional<SymbolId> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const { return Find(name).has_value(); }
+
+  /// The paper's ||sigma||: the sum of the arities of all symbols.
+  std::size_t SizeNorm() const;
+
+  /// True iff `other`'s symbols are a prefix-compatible superset: every
+  /// symbol of *this appears in `other` with the same id, name and arity.
+  /// This is the shape that structure expansions produce.
+  bool IsPrefixOf(const Signature& other) const;
+
+  /// Returns a fresh symbol name based on `base` that is not yet used
+  /// (base, base#1, base#2, ...).
+  std::string FreshName(const std::string& base) const;
+
+ private:
+  std::vector<RelationSymbol> symbols_;
+  std::unordered_map<std::string, SymbolId> by_name_;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_STRUCTURE_SIGNATURE_H_

@@ -1,0 +1,116 @@
+#include "focq/structure/structure.h"
+
+#include <algorithm>
+
+#include "focq/util/check.h"
+
+namespace focq {
+
+bool Relation::Add(Tuple t) {
+  FOCQ_CHECK_EQ(static_cast<int>(t.size()), arity_);
+  auto [it, inserted] = lookup_.insert(t);
+  if (inserted) tuples_.push_back(std::move(t));
+  return inserted;
+}
+
+Structure::Structure(Signature sig, std::size_t universe_size)
+    : sig_(std::move(sig)), universe_size_(universe_size) {
+  relations_.reserve(sig_.NumSymbols());
+  for (SymbolId id = 0; id < sig_.NumSymbols(); ++id) {
+    relations_.emplace_back(sig_.Arity(id));
+  }
+}
+
+std::size_t Structure::SizeNorm() const {
+  std::size_t total = universe_size_;
+  for (const Relation& r : relations_) total += r.NumTuples();
+  return total;
+}
+
+void Structure::AddTuple(SymbolId id, Tuple t) {
+  FOCQ_CHECK_LT(id, relations_.size());
+  for (ElemId e : t) FOCQ_CHECK_LT(e, universe_size_);
+  relations_[id].Add(std::move(t));
+}
+
+bool Structure::NullaryHolds(SymbolId id) const {
+  FOCQ_CHECK_EQ(sig_.Arity(id), 0);
+  return relations_[id].NumTuples() > 0;
+}
+
+SymbolId Structure::AddUnarySymbol(const std::string& name,
+                                   const std::vector<ElemId>& elements) {
+  SymbolId id = sig_.AddSymbol(name, 1);
+  relations_.emplace_back(1);
+  for (ElemId e : elements) {
+    FOCQ_CHECK_LT(e, universe_size_);
+    relations_[id].Add({e});
+  }
+  return id;
+}
+
+SymbolId Structure::AddNullarySymbol(const std::string& name, bool holds) {
+  SymbolId id = sig_.AddSymbol(name, 0);
+  relations_.emplace_back(0);
+  if (holds) relations_[id].Add({});
+  return id;
+}
+
+Structure Structure::ReductTo(std::size_t num_symbols) const {
+  FOCQ_CHECK_LE(num_symbols, sig_.NumSymbols());
+  Signature reduced;
+  for (SymbolId id = 0; id < num_symbols; ++id) {
+    reduced.AddSymbol(sig_.Name(id), sig_.Arity(id));
+  }
+  Structure out(std::move(reduced), universe_size_);
+  for (SymbolId id = 0; id < num_symbols; ++id) {
+    for (const Tuple& t : relations_[id].tuples()) out.AddTuple(id, t);
+  }
+  return out;
+}
+
+Structure Structure::Induced(const std::vector<ElemId>& elements) const {
+  FOCQ_CHECK(!elements.empty());
+  FOCQ_CHECK(std::is_sorted(elements.begin(), elements.end()));
+  // Dense inverse map: original id -> new id (or kMissing).
+  constexpr ElemId kMissing = static_cast<ElemId>(-1);
+  std::vector<ElemId> remap(universe_size_, kMissing);
+  for (ElemId i = 0; i < elements.size(); ++i) {
+    FOCQ_CHECK_LT(elements[i], universe_size_);
+    FOCQ_CHECK(remap[elements[i]] == kMissing);  // duplicate-free
+    remap[elements[i]] = i;
+  }
+  Structure out(sig_, elements.size());
+  Tuple mapped;
+  for (SymbolId id = 0; id < relations_.size(); ++id) {
+    for (const Tuple& t : relations_[id].tuples()) {
+      mapped.clear();
+      bool inside = true;
+      for (ElemId e : t) {
+        if (remap[e] == kMissing) {
+          inside = false;
+          break;
+        }
+        mapped.push_back(remap[e]);
+      }
+      if (inside) out.AddTuple(id, mapped);
+    }
+  }
+  return out;
+}
+
+Structure Structure::DisjointUnion(const Structure& a, const Structure& b) {
+  FOCQ_CHECK(a.sig_.IsPrefixOf(b.sig_) && b.sig_.IsPrefixOf(a.sig_));
+  Structure out(a.sig_, a.universe_size_ + b.universe_size_);
+  for (SymbolId id = 0; id < a.relations_.size(); ++id) {
+    for (const Tuple& t : a.relations_[id].tuples()) out.AddTuple(id, t);
+    for (const Tuple& t : b.relations_[id].tuples()) {
+      Tuple shifted = t;
+      for (ElemId& e : shifted) e += static_cast<ElemId>(a.universe_size_);
+      out.AddTuple(id, std::move(shifted));
+    }
+  }
+  return out;
+}
+
+}  // namespace focq

@@ -1,0 +1,106 @@
+// Finite sigma-structures (relational databases) over a dense universe
+// {0, ..., n-1}. This is substrate S1 of DESIGN.md: the object every
+// algorithm in the paper operates on.
+#ifndef FOCQ_STRUCTURE_STRUCTURE_H_
+#define FOCQ_STRUCTURE_STRUCTURE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "focq/structure/signature.h"
+#include "focq/util/hash.h"
+
+namespace focq {
+
+/// Universe element identifier.
+using ElemId = std::uint32_t;
+
+/// A database tuple (arity may be 0).
+using Tuple = std::vector<ElemId>;
+
+/// One relation instance: tuples stored both as a flat list (for iteration)
+/// and a hash set (for O(1) membership).
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  std::size_t NumTuples() const { return tuples_.size(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Inserts `t`; duplicate inserts are ignored. Returns true if inserted.
+  bool Add(Tuple t);
+
+  bool Contains(const Tuple& t) const { return lookup_.contains(t); }
+
+ private:
+  int arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, VectorHash> lookup_;
+};
+
+/// A finite sigma-structure: universe {0..n-1} plus one Relation per symbol.
+///
+/// Expansions (adding fresh unary/nullary relations, as the Theorem 6.10
+/// pipeline and the free-variable elimination of Section 5 require) mutate
+/// the structure in place via AddUnarySymbol / AddNullarySymbol; the paper's
+/// reduct operation is `ReductTo`.
+class Structure {
+ public:
+  /// An empty-relation structure over the given signature and universe size.
+  /// The paper requires non-empty universes; n == 0 is permitted here only as
+  /// a transient builder state.
+  Structure(Signature sig, std::size_t universe_size);
+
+  const Signature& signature() const { return sig_; }
+  std::size_t universe_size() const { return universe_size_; }
+
+  /// The paper's order |A|.
+  std::size_t Order() const { return universe_size_; }
+
+  /// The paper's size ||A|| = |A| + sum_R |R^A|.
+  std::size_t SizeNorm() const;
+
+  const Relation& relation(SymbolId id) const { return relations_[id]; }
+
+  /// Adds a tuple to relation `id`; element ids must be < universe_size and
+  /// the tuple length must match the symbol's arity.
+  void AddTuple(SymbolId id, Tuple t);
+
+  /// Membership test, the semantics of atomic formulas.
+  bool Holds(SymbolId id, const Tuple& t) const {
+    return relations_[id].Contains(t);
+  }
+
+  /// Nullary relation truth value (relation = {()} vs empty set).
+  bool NullaryHolds(SymbolId id) const;
+
+  /// Expansion: adds a fresh unary symbol interpreted by `elements`.
+  SymbolId AddUnarySymbol(const std::string& name,
+                          const std::vector<ElemId>& elements);
+
+  /// Expansion: adds a fresh nullary symbol interpreted as {()} iff `holds`.
+  SymbolId AddNullarySymbol(const std::string& name, bool holds);
+
+  /// The sigma-reduct: keeps only the first `num_symbols` symbols.
+  Structure ReductTo(std::size_t num_symbols) const;
+
+  /// The induced substructure A[B] for B = `elements` (sorted, duplicate
+  /// free, non-empty). Elements are renumbered to 0..|B|-1 in sorted order;
+  /// `elements[i]` is the original id of new element i.
+  Structure Induced(const std::vector<ElemId>& elements) const;
+
+  /// Disjoint union of two structures over the same signature; elements of
+  /// `b` are shifted by a.universe_size().
+  static Structure DisjointUnion(const Structure& a, const Structure& b);
+
+ private:
+  Signature sig_;
+  std::size_t universe_size_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_STRUCTURE_STRUCTURE_H_

@@ -1,0 +1,33 @@
+// Lightweight invariant-checking macros. The project does not use exceptions
+// (per style guide); internal invariant violations abort with a message, and
+// recoverable errors flow through focq::Status / focq::Result.
+#ifndef FOCQ_UTIL_CHECK_H_
+#define FOCQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace focq::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "FOCQ_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace focq::internal
+
+/// Aborts the process if `cond` is false. Used for internal invariants that
+/// indicate a bug in focq itself, never for user-input validation.
+#define FOCQ_CHECK(cond)                                          \
+  do {                                                            \
+    if (!(cond)) ::focq::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#define FOCQ_CHECK_EQ(a, b) FOCQ_CHECK((a) == (b))
+#define FOCQ_CHECK_NE(a, b) FOCQ_CHECK((a) != (b))
+#define FOCQ_CHECK_LT(a, b) FOCQ_CHECK((a) < (b))
+#define FOCQ_CHECK_LE(a, b) FOCQ_CHECK((a) <= (b))
+#define FOCQ_CHECK_GT(a, b) FOCQ_CHECK((a) > (b))
+#define FOCQ_CHECK_GE(a, b) FOCQ_CHECK((a) >= (b))
+
+#endif  // FOCQ_UTIL_CHECK_H_

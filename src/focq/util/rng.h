@@ -1,0 +1,37 @@
+// Deterministic, fast pseudo-random number generation for workload
+// generators and property tests. Seeded explicitly everywhere so every
+// benchmark and test run is reproducible.
+#ifndef FOCQ_UTIL_RNG_H_
+#define FOCQ_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace focq {
+
+/// SplitMix64-seeded xoshiro256** generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform value in [0, bound) for bound >= 1 (unbiased via rejection).
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_UTIL_RNG_H_

@@ -1,0 +1,102 @@
+// Error handling without exceptions: Status for operations that can fail,
+// Result<T> for fallible operations that produce a value.
+#ifndef FOCQ_UTIL_STATUS_H_
+#define FOCQ_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "focq/util/check.h"
+
+namespace focq {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed user input (bad query, bad structure)
+  kUnsupported,       // input is outside the fragment a fast path handles
+  kOutOfRange,        // arithmetic overflow / index out of range
+  kNotFound,          // lookup miss (unknown relation symbol, variable, ...)
+  kInternal,          // invariant violation that was caught gracefully
+};
+
+/// The result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "INVALID_ARGUMENT: unknown symbol R".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Accessing the value of a non-OK Result aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}             // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {      // NOLINT: implicit by design
+    FOCQ_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FOCQ_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    FOCQ_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    FOCQ_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define FOCQ_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::focq::Status focq_status__ = (expr);    \
+    if (!focq_status__.ok()) return focq_status__; \
+  } while (0)
+
+}  // namespace focq
+
+#endif  // FOCQ_UTIL_STATUS_H_

@@ -1,0 +1,163 @@
+// Adversarial tests for LocalEvaluator's enumeration optimisations (ball
+// guards, relational-atom candidates, quantifier-prefix descent with
+// shadowing): each case is built so that a subtly wrong candidate
+// restriction would change the answer, and the naive engine arbitrates.
+#include <gtest/gtest.h>
+
+#include "focq/eval/naive_eval.h"
+#include "focq/graph/generators.h"
+#include "focq/locality/local_eval.h"
+#include "focq/logic/build.h"
+#include "focq/logic/printer.h"
+#include "focq/structure/encode.h"
+#include "focq/structure/gaifman.h"
+#include "test_util.h"
+
+namespace focq {
+namespace {
+
+struct Engines {
+  explicit Engines(const Structure& a)
+      : gaifman(BuildGaifmanGraph(a)), naive(a), local(a, gaifman) {}
+  Graph gaifman;
+  NaiveEvaluator naive;
+  LocalEvaluator local;
+};
+
+TEST(Candidates, ShadowedVariableIsNotABinding) {
+  // exists y ( E(x, y) and exists x ( R(x) and E(y, x) ) ):
+  // the inner x shadows the outer one; candidate discovery descending into
+  // the inner scope must NOT treat the inner E(y, x) as constrained by the
+  // outer x binding.
+  Structure a = EncodeDigraph(4, {{0, 1}, {1, 2}});
+  a.AddUnarySymbol("R", {2});
+  Engines e(a);
+  Var x = VarNamed("shx"), y = VarNamed("shy");
+  Formula inner = Exists(x, And(Atom("R", {x}), Atom("E", {y, x})));
+  Formula f = Exists(y, And(Atom("E", {x, y}), inner));
+  for (ElemId v = 0; v < 4; ++v) {
+    EXPECT_EQ(e.naive.Satisfies(f, {{x, v}}), e.local.Satisfies(f, {{x, v}}))
+        << "x=" << v;
+  }
+  // Sanity: true exactly at x=0 (witness y=1, inner x=2).
+  EXPECT_TRUE(e.local.Satisfies(f, {{x, 0}}));
+  EXPECT_FALSE(e.local.Satisfies(f, {{x, 1}}));
+}
+
+TEST(Candidates, CountBinderShadowsOuterBinding) {
+  // With x bound outside, #(x). R(x) must count ALL red elements, not just
+  // the outer binding.
+  Structure a = EncodeDigraph(5, {});
+  a.AddUnarySymbol("R", {1, 2, 3});
+  Engines e(a);
+  Var x = VarNamed("cbx");
+  Term t = Count({x}, Atom("R", {x}));
+  EXPECT_EQ(*e.local.Evaluate(t, {{x, 0}}), 3);
+  EXPECT_EQ(*e.naive.Evaluate(t, {{x, 0}}), 3);
+}
+
+TEST(Candidates, RepeatedVariableInAtom) {
+  // E(y, y) constrains y to the diagonal only.
+  Structure a = EncodeDigraph(4, {{0, 0}, {1, 2}, {3, 3}});
+  Engines e(a);
+  Var y = VarNamed("rvy");
+  Formula f = Exists(y, Atom("E", {y, y}));
+  EXPECT_TRUE(e.local.Satisfies(f));
+  Term t = Count({y}, Atom("E", {y, y}));
+  EXPECT_EQ(*e.local.Evaluate(t), 2);
+  EXPECT_EQ(*e.naive.Evaluate(t), 2);
+}
+
+TEST(Candidates, EqualityCandidateSingleton) {
+  Structure a = EncodeDigraph(6, {{2, 3}});
+  Engines e(a);
+  Var x = VarNamed("eqx"), y = VarNamed("eqy");
+  // exists y (y = x and E(y, 3-ish)) via equality candidates.
+  Formula f = Exists(y, And(Eq(y, x), Atom("E", {y, VarNamed("eqz")})));
+  for (ElemId v = 0; v < 6; ++v) {
+    bool expected = e.naive.Satisfies(f, {{x, v}, {VarNamed("eqz"), 3}});
+    EXPECT_EQ(expected, e.local.Satisfies(f, {{x, v}, {VarNamed("eqz"), 3}}));
+  }
+}
+
+TEST(Candidates, ForallRestrictedByNegatedAtom) {
+  // forall y ( !E(x, y) or R(y) ): "all out-neighbours are red".
+  Structure a = EncodeDigraph(5, {{0, 1}, {0, 2}, {3, 4}});
+  a.AddUnarySymbol("R", {1, 2});
+  Engines e(a);
+  Var x = VarNamed("fax"), y = VarNamed("fay");
+  Formula f = Forall(y, Or(Not(Atom("E", {x, y})), Atom("R", {y})));
+  for (ElemId v = 0; v < 5; ++v) {
+    EXPECT_EQ(e.naive.Satisfies(f, {{x, v}}), e.local.Satisfies(f, {{x, v}}))
+        << v;
+  }
+  EXPECT_TRUE(e.local.Satisfies(f, {{x, 0}}));
+  EXPECT_FALSE(e.local.Satisfies(f, {{x, 3}}));
+}
+
+TEST(Candidates, ForallPrefixDescentWithShadowing) {
+  // forall y forall z ( !E(y, z) or z = x ):
+  // candidates for y must come from E with z treated as a wildcard.
+  Structure a = EncodeDigraph(4, {{0, 2}, {1, 2}});
+  Engines e(a);
+  Var x = VarNamed("fpx"), y = VarNamed("fpy"), z = VarNamed("fpz");
+  Formula f = Forall(y, Forall(z, Or(Not(Atom("E", {y, z})), Eq(z, x))));
+  for (ElemId v = 0; v < 4; ++v) {
+    EXPECT_EQ(e.naive.Satisfies(f, {{x, v}}), e.local.Satisfies(f, {{x, v}}))
+        << v;
+  }
+  EXPECT_TRUE(e.local.Satisfies(f, {{x, 2}}));
+  EXPECT_FALSE(e.local.Satisfies(f, {{x, 1}}));
+}
+
+TEST(Candidates, ExistsPrefixDescentSoundness) {
+  // exists y exists z ( E(y, z) and R(z) and B(y) ): candidates for y flow
+  // through the prefix; z is a wildcard at discovery time.
+  Structure a = EncodeDigraph(6, {{0, 1}, {2, 3}, {4, 5}});
+  a.AddUnarySymbol("R", {1, 5});
+  a.AddUnarySymbol("B", {4});
+  Engines e(a);
+  Var y = VarNamed("epy"), z = VarNamed("epz");
+  Formula f =
+      Exists(y, Exists(z, And({Atom("E", {y, z}), Atom("R", {z}),
+                               Atom("B", {y})})));
+  EXPECT_EQ(e.naive.Satisfies(f), e.local.Satisfies(f));
+  EXPECT_TRUE(e.local.Satisfies(f));  // witness y=4, z=5
+}
+
+TEST(Candidates, GuardBeatsFullSweepButStaysCorrect) {
+  // Mixed ball guard + atom conjunct: whichever the evaluator picks, the
+  // answer must match naive.
+  Rng rng(4242);
+  for (int round = 0; round < 15; ++round) {
+    Structure a = test::RandomColoredStructure(20, 1.5, 0.4, &rng);
+    Engines e(a);
+    Var x = VarNamed("gbx2"), y = VarNamed("gby2");
+    Formula f = Exists(
+        y, And({DistAtMost(y, x, 2), Atom("E", {x, y}), Atom("R", {y})}));
+    for (ElemId v = 0; v < a.universe_size(); ++v) {
+      EXPECT_EQ(e.naive.Satisfies(f, {{x, v}}),
+                e.local.Satisfies(f, {{x, v}}));
+    }
+  }
+}
+
+TEST(Candidates, RandomizedCountingCrossCheck) {
+  // Counting terms with multiple binders, random structures: the candidate
+  // recursion must agree with the naive odometer everywhere.
+  Rng rng(4343);
+  Var x = VarNamed("rcx"), y = VarNamed("rcy"), z = VarNamed("rcz");
+  for (int round = 0; round < 20; ++round) {
+    Structure a = test::RandomColoredStructure(12, 1.6, 0.4, &rng);
+    Engines e(a);
+    Formula body = test::RandomQuantifierFree({x, y, z}, 2, true, 1, &rng);
+    Term t = Count({y, z}, body);
+    for (ElemId v = 0; v < a.universe_size(); ++v) {
+      EXPECT_EQ(*e.naive.Evaluate(t, {{x, v}}), *e.local.Evaluate(t, {{x, v}}))
+          << ToString(t) << " at " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace focq

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "focq/eval/naive_eval.h"
+#include "focq/graph/generators.h"
+#include "focq/locality/decompose.h"
+#include "focq/locality/delta.h"
+#include "focq/logic/build.h"
+#include "focq/logic/printer.h"
+#include "focq/structure/encode.h"
+#include "focq/structure/gaifman.h"
+#include "test_util.h"
+
+namespace focq {
+namespace {
+
+TEST(FoldConstants, Basics) {
+  Var x = VarNamed("fcx");
+  Formula f = And(True(), Atom("R", {x}));
+  EXPECT_EQ(ToString(*FoldConstants(f.ref())), "R(" + VarName(x) + ")");
+  EXPECT_EQ(FoldConstants(Or(False(), False()).ref())->kind, ExprKind::kFalse);
+  EXPECT_EQ(FoldConstants(Not(And(True(), True())).ref())->kind,
+            ExprKind::kFalse);
+  EXPECT_EQ(FoldConstants(Exists(x, False()).ref())->kind, ExprKind::kFalse);
+  EXPECT_EQ(FoldConstants(Forall(x, Or(True(), Atom("R", {x}))).ref())->kind,
+            ExprKind::kTrue);
+}
+
+// The heart of Lemma 6.4: for every pattern graph G (connected or not),
+// the symbolic decomposition evaluates to the same number as naive counting
+// of kernel /\ delta_{G,2r+1}.
+class CountWithPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountWithPatternTest, MatchesNaiveOnRandomInputs) {
+  int k = GetParam();
+  Rng rng(700 + k);
+  std::vector<Var> vars;
+  for (int i = 0; i < k; ++i) vars.push_back(VarNamed("cwp" + std::to_string(i)));
+  int rounds = k == 2 ? 10 : 5;
+  std::size_t n = k == 2 ? 14 : 10;
+  for (int round = 0; round < rounds; ++round) {
+    Structure a = test::RandomColoredStructure(n, 1.3, 0.4, &rng);
+    Graph gaifman = BuildGaifmanGraph(a);
+    ClTermBallEvaluator ball(a, gaifman);
+    NaiveEvaluator naive(a);
+    // Conjunction of per-variable guarded kernels plus a quantifier-free
+    // part: rich enough to exercise purification and Shannon splitting.
+    std::vector<Formula> parts;
+    for (int i = 0; i < k; ++i) {
+      parts.push_back(test::RandomGuardedKernel({vars[i]}, 2, true, 1, &rng, 1));
+    }
+    parts.push_back(test::RandomQuantifierFree(vars, 2, true, 1, &rng));
+    Formula kernel = And(parts);
+    std::optional<std::uint32_t> r = SyntacticLocalityRadius(kernel);
+    ASSERT_TRUE(r.has_value()) << ToString(kernel);
+
+    for (const PatternGraph& g : PatternGraph::AllGraphs(k)) {
+      Result<ClTerm> term = CountWithPattern(kernel, vars, /*unary=*/false,
+                                             *r, g);
+      ASSERT_TRUE(term.ok()) << term.status().ToString() << "\n"
+                             << ToString(kernel);
+      // Every basic must be connected -- that is the point of the lemma.
+      for (const BasicClTerm& b : term->basics()) {
+        EXPECT_TRUE(b.pattern.IsConnected());
+      }
+      Result<CountInt> fast = ball.EvaluateGround(*term);
+      ASSERT_TRUE(fast.ok());
+      Term reference =
+          Count(vars, And(kernel, DeltaFormula(g, 2 * *r + 1, vars)));
+      EXPECT_EQ(*fast, *naive.Evaluate(reference))
+          << "kernel: " << ToString(kernel) << "\npattern: " << g.edge_mask()
+          << " r=" << *r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CountWithPatternTest, ::testing::Values(2, 3));
+
+// Top-level decomposition: #y-bar.kernel == sum over patterns; ground and
+// unary versions against the naive evaluator.
+class DecomposeCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecomposeCountTest, GroundMatchesNaive) {
+  int k = GetParam();
+  Rng rng(800 + k);
+  std::vector<Var> vars;
+  for (int i = 0; i < k; ++i) vars.push_back(VarNamed("dcg" + std::to_string(i)));
+  int rounds = k == 1 ? 12 : (k == 2 ? 8 : 4);
+  std::size_t n = k == 3 ? 10 : 16;
+  for (int round = 0; round < rounds; ++round) {
+    Structure a = test::RandomColoredStructure(n, 1.4, 0.4, &rng);
+    Graph gaifman = BuildGaifmanGraph(a);
+    ClTermBallEvaluator ball(a, gaifman);
+    NaiveEvaluator naive(a);
+    std::vector<Formula> parts;
+    for (int i = 0; i < k; ++i) {
+      parts.push_back(test::RandomGuardedKernel({vars[i]}, 2, true, 1, &rng, 1));
+    }
+    parts.push_back(test::RandomQuantifierFree(vars, 1, true, 1, &rng));
+    Formula kernel = And(parts);
+    Result<Decomposition> d = DecomposeCount(vars, /*unary=*/false, kernel);
+    ASSERT_TRUE(d.ok()) << d.status().ToString() << "\n" << ToString(kernel);
+    Result<CountInt> fast = ball.EvaluateGround(d->term);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(*fast, *naive.Evaluate(Count(vars, kernel)))
+        << ToString(kernel);
+  }
+}
+
+TEST_P(DecomposeCountTest, UnaryMatchesNaive) {
+  int k = GetParam();
+  Rng rng(900 + k);
+  std::vector<Var> vars;
+  for (int i = 0; i < k; ++i) vars.push_back(VarNamed("dcu" + std::to_string(i)));
+  int rounds = k == 1 ? 10 : (k == 2 ? 6 : 3);
+  std::size_t n = k == 3 ? 9 : 14;
+  for (int round = 0; round < rounds; ++round) {
+    Structure a = test::RandomColoredStructure(n, 1.4, 0.4, &rng);
+    Graph gaifman = BuildGaifmanGraph(a);
+    ClTermBallEvaluator ball(a, gaifman);
+    NaiveEvaluator naive(a);
+    std::vector<Formula> parts;
+    for (int i = 0; i < k; ++i) {
+      parts.push_back(test::RandomGuardedKernel({vars[i]}, 2, true, 1, &rng, 1));
+    }
+    parts.push_back(test::RandomQuantifierFree(vars, 1, true, 1, &rng));
+    Formula kernel = And(parts);
+    Result<Decomposition> d = DecomposeCount(vars, /*unary=*/true, kernel);
+    ASSERT_TRUE(d.ok()) << d.status().ToString() << "\n" << ToString(kernel);
+    Result<std::vector<CountInt>> fast = ball.EvaluateAll(d->term);
+    ASSERT_TRUE(fast.ok());
+    std::vector<Var> binders(vars.begin() + 1, vars.end());
+    Term reference = Count(binders, kernel);
+    for (ElemId e = 0; e < a.universe_size(); ++e) {
+      EXPECT_EQ((*fast)[e], *naive.Evaluate(reference, {{vars[0], e}}))
+          << ToString(kernel) << " at " << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DecomposeCountTest, ::testing::Values(1, 2, 3));
+
+TEST(DecomposeCount, RejectsUnguardedKernels) {
+  Var x = VarNamed("rux"), y = VarNamed("ruy");
+  Formula unguarded = Exists(y, Atom("E", {x, y}));
+  Result<Decomposition> d = DecomposeCount({x}, false, unguarded);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DecomposeCount, RejectsForeignFreeVariables) {
+  Var x = VarNamed("ffx"), y = VarNamed("ffy");
+  Result<Decomposition> d = DecomposeCount({x}, false, Atom("E", {x, y}));
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DecomposeCount, DegreeTermHasOneBasic) {
+  // #(y).E(x,y): the adjacent pattern is a single connected basic; the
+  // far pattern is refuted by purification (E(x,y) forces distance 1).
+  Var x = VarNamed("dtx"), y = VarNamed("dty");
+  Result<Decomposition> d = DecomposeCount({x, y}, true, Atom("E", {x, y}));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->radius, 0u);
+  EXPECT_EQ(d->term.NumBasics(), 1u);
+}
+
+// Theorem 6.8 path: a basic local sentence holds iff its cl-term is >= 1.
+TEST(BasicLocalSentence, MatchesNaiveSemantics) {
+  Rng rng(1000);
+  Var y = VarNamed("blsy");
+  // psi(y) = "y is red or has a neighbour at distance <= 1".
+  Formula psi = Or(Atom("R", {y}),
+                   GuardedExists(VarNamed("blsz"), y, 1,
+                                 Atom("E", {y, VarNamed("blsz")})));
+  std::optional<std::uint32_t> r = SyntacticLocalityRadius(psi);
+  ASSERT_TRUE(r.has_value());
+  for (int k = 1; k <= 3; ++k) {
+    Result<Decomposition> d = BasicLocalSentenceTerm(k, *r, y, psi);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    for (int round = 0; round < 6; ++round) {
+      Structure a = test::RandomColoredStructure(12, 1.2, 0.3, &rng);
+      Graph gaifman = BuildGaifmanGraph(a);
+      ClTermBallEvaluator ball(a, gaifman);
+      NaiveEvaluator naive(a);
+      // Reference: the basic local sentence itself.
+      std::vector<Var> ys;
+      std::vector<Formula> parts;
+      for (int i = 0; i < k; ++i) {
+        Var yi = VarNamed("blsref" + std::to_string(i));
+        ys.push_back(yi);
+        parts.push_back(Formula(RenameFreeVar(psi.ref(), y, yi)));
+      }
+      for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j) {
+          parts.push_back(Not(DistAtMost(ys[i], ys[j], 2 * *r)));
+        }
+      }
+      Formula sentence = Exists(ys, And(parts));
+      Result<CountInt> count = ball.EvaluateGround(d->term);
+      ASSERT_TRUE(count.ok());
+      EXPECT_EQ(*count >= 1, naive.Satisfies(sentence)) << "k=" << k;
+      // The count itself also matches the witness count.
+      Term witness_count = Count(ys, And(parts));
+      EXPECT_EQ(*count, *naive.Evaluate(witness_count));
+    }
+  }
+}
+
+TEST(DecomposeCount, StatsGrowWithWidth) {
+  // Data-independence: the number of basic cl-terms depends on the query
+  // (width/pattern structure), not on any structure.
+  Var a = VarNamed("sga"), b = VarNamed("sgb"), c = VarNamed("sgc");
+  Formula kernel2 = And(Atom("R", {a}), Atom("R", {b}));
+  Formula kernel3 = And({Atom("R", {a}), Atom("R", {b}), Atom("R", {c})});
+  Result<Decomposition> d2 = DecomposeCount({a, b}, false, kernel2);
+  Result<Decomposition> d3 = DecomposeCount({a, b, c}, false, kernel3);
+  ASSERT_TRUE(d2.ok());
+  ASSERT_TRUE(d3.ok());
+  EXPECT_GT(d3->term.NumBasics(), d2->term.NumBasics());
+}
+
+}  // namespace
+}  // namespace focq

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "focq/core/enumerate.h"
+#include "focq/graph/generators.h"
+#include "focq/logic/build.h"
+#include "focq/structure/encode.h"
+#include "test_util.h"
+
+namespace focq {
+namespace {
+
+TEST(SolutionStream, EnumeratesInOrder) {
+  Structure a = EncodeGraph(MakePath(8));
+  Var x = VarNamed("esx"), y = VarNamed("esy");
+  // Degree-2 vertices of a path: the inner ones, 1..6.
+  Formula phi = TermEq(Count({y}, Atom("E", {x, y})), Int(2));
+  auto stream = SolutionStream::Open(phi, a);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  std::vector<ElemId> got;
+  while (auto e = (*stream)->Next()) got.push_back(*e);
+  EXPECT_EQ(got, (std::vector<ElemId>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ((*stream)->CandidatesLeft(), 0u);
+  // Reset and re-drain.
+  (*stream)->Reset();
+  std::size_t count = 0;
+  while ((*stream)->Next()) ++count;
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(SolutionStream, SentencesYieldAtMostOnce) {
+  Structure a = EncodeGraph(MakeCycle(5));
+  Var x = VarNamed("ssx"), y = VarNamed("ssy");
+  Formula holds = Exists(x, Ge1(Count({y}, Atom("E", {x, y}))));
+  auto s1 = SolutionStream::Open(holds, a);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_TRUE((*s1)->Next().has_value());
+  EXPECT_FALSE((*s1)->Next().has_value());
+
+  Formula fails = Exists(x, TermEq(Count({y}, Atom("E", {x, y})), Int(7)));
+  auto s2 = SolutionStream::Open(fails, a);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_FALSE((*s2)->Next().has_value());
+}
+
+TEST(SolutionStream, AgreesWithCountSolutions) {
+  Rng rng(991);
+  Var x = VarNamed("eax"), y = VarNamed("eay");
+  for (int round = 0; round < 10; ++round) {
+    Structure a = test::RandomColoredStructure(25, 1.4, 0.4, &rng);
+    Formula phi =
+        Ge1(Count({y}, And(Atom("E", {x, y}), Atom("R", {y}))));
+    auto stream = SolutionStream::Open(phi, a);
+    ASSERT_TRUE(stream.ok());
+    CountInt streamed = 0;
+    while ((*stream)->Next()) ++streamed;
+    EXPECT_EQ(streamed, *CountSolutions(phi, a, {}));
+  }
+}
+
+TEST(SolutionStream, EarlyTerminationIsCheap) {
+  // Only the prefix up to the first hit is inspected.
+  Structure a = EncodeGraph(MakePath(100));
+  Var x = VarNamed("etx"), y = VarNamed("ety");
+  Formula phi = TermEq(Count({y}, Atom("E", {x, y})), Int(1));  // endpoints
+  auto stream = SolutionStream::Open(phi, a);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ((*stream)->Next(), ElemId{0});
+  EXPECT_EQ((*stream)->CandidatesLeft(), 99u);
+}
+
+TEST(SolutionStream, RejectsWideConditions) {
+  Structure a = EncodeGraph(MakePath(4));
+  Var x = VarNamed("ewx"), y = VarNamed("ewy");
+  auto stream = SolutionStream::Open(Atom("E", {x, y}), a);
+  EXPECT_FALSE(stream.ok());
+}
+
+}  // namespace
+}  // namespace focq

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "focq/eval/naive_eval.h"
+#include "focq/graph/generators.h"
+#include "focq/hanf/hanf_eval.h"
+#include "focq/hanf/sphere.h"
+#include "focq/logic/build.h"
+#include "focq/logic/printer.h"
+#include "focq/structure/encode.h"
+#include "focq/structure/gaifman.h"
+#include "test_util.h"
+
+namespace focq {
+namespace {
+
+TEST(RootedIso, PathsAndCycles) {
+  Structure p4a = EncodeGraph(MakePath(4));
+  Structure p4b = EncodeGraph(MakePath(4));
+  // Same rooted position: isomorphic.
+  EXPECT_TRUE(RootedIsomorphic(p4a, 0, p4b, 0));
+  EXPECT_TRUE(RootedIsomorphic(p4a, 0, p4b, 3));   // both endpoints
+  EXPECT_TRUE(RootedIsomorphic(p4a, 1, p4b, 2));   // both inner
+  // Different rooted position: not isomorphic as rooted structures.
+  EXPECT_FALSE(RootedIsomorphic(p4a, 0, p4b, 1));
+  // Path vs cycle of the same size: never isomorphic.
+  Structure c4 = EncodeGraph(MakeCycle(4));
+  EXPECT_FALSE(RootedIsomorphic(p4a, 0, c4, 0));
+  // Cycles are vertex-transitive.
+  Structure c4b = EncodeGraph(MakeCycle(4));
+  EXPECT_TRUE(RootedIsomorphic(c4, 0, c4b, 2));
+}
+
+TEST(RootedIso, RespectsColors) {
+  Structure a = EncodeGraph(MakePath(3));
+  a.AddUnarySymbol("R", {0});
+  Structure b = EncodeGraph(MakePath(3));
+  b.AddUnarySymbol("R", {2});
+  // Rooted at the red endpoint on both sides: isomorphic.
+  EXPECT_TRUE(RootedIsomorphic(a, 0, b, 2));
+  // Rooted at the red endpoint vs the plain endpoint: not isomorphic.
+  EXPECT_FALSE(RootedIsomorphic(a, 0, b, 0));
+  Structure c = EncodeGraph(MakePath(3));
+  c.AddUnarySymbol("R", {1});
+  EXPECT_FALSE(RootedIsomorphic(a, 0, c, 0));
+}
+
+TEST(RootedIso, RespectsDirection) {
+  // Directed edge orientation matters even with the same Gaifman graph.
+  Structure fwd = EncodeDigraph(2, {{0, 1}});
+  Structure bwd = EncodeDigraph(2, {{1, 0}});
+  EXPECT_FALSE(RootedIsomorphic(fwd, 0, bwd, 0));
+  EXPECT_TRUE(RootedIsomorphic(fwd, 0, bwd, 1));
+}
+
+TEST(SphereTypes, PathHasLayeredTypes) {
+  // On a long path at radius 2 there are exactly 3 types: distance-0, -1,
+  // and >=2 from the nearest endpoint.
+  Structure a = EncodeGraph(MakePath(30));
+  Graph g = BuildGaifmanGraph(a);
+  SphereTypeAssignment types = ComputeSphereTypes(a, g, 2);
+  EXPECT_EQ(types.registry.NumTypes(), 3u);
+  EXPECT_EQ(types.type_of[0], types.type_of[29]);
+  EXPECT_EQ(types.type_of[1], types.type_of[28]);
+  EXPECT_EQ(types.type_of[5], types.type_of[15]);
+  EXPECT_NE(types.type_of[0], types.type_of[1]);
+  EXPECT_NE(types.type_of[1], types.type_of[2]);
+}
+
+TEST(SphereTypes, BoundedDegreeSaturates) {
+  // The number of radius-1 types on 3-regular-ish random graphs is bounded
+  // independent of n.
+  Rng rng(41);
+  Structure small = EncodeGraph(MakeRandomBoundedDegree(100, 3, &rng));
+  Structure large = EncodeGraph(MakeRandomBoundedDegree(800, 3, &rng));
+  Graph gs = BuildGaifmanGraph(small);
+  Graph gl = BuildGaifmanGraph(large);
+  std::size_t ts = ComputeSphereTypes(small, gs, 1).registry.NumTypes();
+  std::size_t tl = ComputeSphereTypes(large, gl, 1).registry.NumTypes();
+  EXPECT_LE(tl, ts + 6);  // saturation: more data, (almost) no new types
+  EXPECT_LE(tl, 20u);
+}
+
+TEST(HanfEval, CountSatisfyingMatchesNaive) {
+  Rng rng(42);
+  Var x = VarNamed("hex");
+  for (int round = 0; round < 8; ++round) {
+    Structure a = EncodeGraph(MakeRandomBoundedDegree(60, 3, &rng));
+    std::vector<ElemId> reds;
+    for (ElemId e = 0; e < a.universe_size(); ++e) {
+      if (rng.NextBool(0.3)) reds.push_back(e);
+    }
+    a.AddUnarySymbol("R", reds);
+    Graph g = BuildGaifmanGraph(a);
+    Formula phi = test::RandomGuardedKernel({x}, 2, true, 2, &rng, 2);
+    std::optional<std::uint32_t> r = SyntacticLocalityRadius(phi);
+    ASSERT_TRUE(r.has_value());
+    HanfEvaluator hanf(a, g);
+    Result<CountInt> fast = hanf.CountSatisfying(phi, x, *r);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    NaiveEvaluator naive(a);
+    EXPECT_EQ(*fast, *naive.CountSolutions(phi)) << ToString(phi);
+    EXPECT_GE(hanf.last_num_types(), 1u);
+  }
+}
+
+TEST(HanfEval, RejectsNonLocalFormulas) {
+  Structure a = EncodeGraph(MakePath(5));
+  Graph g = BuildGaifmanGraph(a);
+  HanfEvaluator hanf(a, g);
+  Var x = VarNamed("hrx"), y = VarNamed("hry");
+  Result<CountInt> r = hanf.CountSatisfying(Exists(y, Atom("E", {x, y})), x, 3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+  // Local but with a too-small budget: also rejected.
+  Result<CountInt> r2 =
+      hanf.CountSatisfying(DistAtMost(x, x, 0), x, 0);
+  EXPECT_TRUE(r2.ok());  // radius 0 is enough for dist(x,x)<=0
+}
+
+TEST(HanfEval, BasicClTermMatchesBallEvaluator) {
+  Rng rng(43);
+  Var y1 = VarNamed("hby1"), y2 = VarNamed("hby2");
+  for (int round = 0; round < 6; ++round) {
+    Structure a = EncodeGraph(MakeRandomBoundedDegree(70, 3, &rng));
+    std::vector<ElemId> reds;
+    for (ElemId e = 0; e < a.universe_size(); ++e) {
+      if (rng.NextBool(0.4)) reds.push_back(e);
+    }
+    a.AddUnarySymbol("R", reds);
+    Graph g = BuildGaifmanGraph(a);
+    Formula kernel = test::RandomQuantifierFree({y1, y2}, 2, true, 1, &rng);
+    PatternGraph edge(2, 0);
+    edge.SetEdge(0, 1);
+    BasicClTerm basic{{y1, y2}, true, kernel, 1, edge};
+
+    HanfEvaluator hanf(a, g);
+    Result<std::vector<CountInt>> fast = hanf.EvaluateBasicAll(basic);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    ClTermBallEvaluator ball(a, g);
+    Result<std::vector<CountInt>> expected = ball.EvaluateBasicAll(basic);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(*fast, *expected) << ToString(kernel);
+  }
+}
+
+}  // namespace
+}  // namespace focq

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "focq/eval/naive_eval.h"
+#include "focq/graph/generators.h"
+#include "focq/hardness/string_reduction.h"
+#include "focq/hardness/tree_reduction.h"
+#include "focq/logic/build.h"
+#include "focq/logic/fragment.h"
+#include "focq/structure/encode.h"
+#include "focq/structure/gaifman.h"
+#include "focq/util/rng.h"
+
+namespace focq {
+namespace {
+
+// FO graph sentences used across the reduction tests.
+Formula TriangleSentence() {
+  Var x = VarNamed("h1x"), y = VarNamed("h1y"), z = VarNamed("h1z");
+  return Exists(
+      x, Exists(y, Exists(z, And({Atom("E", {x, y}), Atom("E", {y, z}),
+                                  Atom("E", {z, x})}))));
+}
+
+Formula IsolatedVertexSentence() {
+  Var x = VarNamed("h2x"), y = VarNamed("h2y");
+  return Exists(x, Forall(y, Not(Atom("E", {x, y}))));
+}
+
+Formula DominatingVertexSentence() {
+  Var x = VarNamed("h3x"), y = VarNamed("h3y");
+  return Exists(x, Forall(y, Or(Eq(x, y), Atom("E", {x, y}))));
+}
+
+Formula HasEdgeSentence() {
+  Var x = VarNamed("h4x"), y = VarNamed("h4y");
+  return Exists(x, Exists(y, Atom("E", {x, y})));
+}
+
+TEST(TreeReduction, TreeShapeIsATree) {
+  Rng rng(31);
+  for (int round = 0; round < 5; ++round) {
+    Graph g = MakeErdosRenyi(6, 0.4, &rng);
+    TreeEncoding enc = BuildReductionTree(g);
+    Graph gaifman = BuildGaifmanGraph(enc.structure);
+    // A tree: connected with |V| - 1 edges.
+    EXPECT_TRUE(IsConnected(gaifman));
+    EXPECT_EQ(gaifman.num_edges(), gaifman.num_vertices() - 1);
+    EXPECT_EQ(enc.a_vertices.size(), g.num_vertices());
+  }
+}
+
+TEST(TreeReduction, QuadraticSize) {
+  // ||T_G|| grows quadratically in |V(G)| for dense G.
+  Graph small = MakeClique(4);
+  Graph large = MakeClique(8);
+  std::size_t s = BuildReductionTree(small).structure.Order();
+  std::size_t l = BuildReductionTree(large).structure.Order();
+  // Doubling n roughly quadruples the size.
+  EXPECT_GT(l, 3 * s);
+  EXPECT_LT(l, 8 * s);
+}
+
+TEST(TreeReduction, VertexClassification) {
+  Rng rng(32);
+  Graph g = MakeErdosRenyi(5, 0.5, &rng);
+  TreeEncoding enc = BuildReductionTree(g);
+  NaiveEvaluator eval(enc.structure);
+  Var x = VarNamed("tcx");
+  Formula is_a = TreePsiA(x);
+  // Exactly the a-vertices satisfy psi_a.
+  std::set<ElemId> a_set(enc.a_vertices.begin(), enc.a_vertices.end());
+  for (ElemId e = 0; e < enc.structure.universe_size(); ++e) {
+    EXPECT_EQ(eval.Satisfies(is_a, {{x, e}}), a_set.contains(e)) << e;
+  }
+}
+
+TEST(TreeReduction, EdgeSimulation) {
+  Rng rng(33);
+  Graph g = MakeErdosRenyi(5, 0.5, &rng);
+  TreeEncoding enc = BuildReductionTree(g);
+  NaiveEvaluator eval(enc.structure);
+  Var x = VarNamed("tex"), y = VarNamed("tey");
+  Formula psi_e = TreePsiEdge(x, y);
+  EXPECT_FALSE(IsFOC1(psi_e));  // the paper's point: psi_E is outside FOC1
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      bool simulated = eval.Satisfies(
+          psi_e, {{x, enc.a_vertices[u]}, {y, enc.a_vertices[v]}});
+      EXPECT_EQ(simulated, g.HasEdge(u, v)) << u << "-" << v;
+    }
+  }
+}
+
+class TreeReductionSentenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TreeReductionSentenceTest, PreservesModelChecking) {
+  auto [sentence_id, seed] = GetParam();
+  Formula phi;
+  switch (sentence_id) {
+    case 0: phi = TriangleSentence(); break;
+    case 1: phi = IsolatedVertexSentence(); break;
+    case 2: phi = DominatingVertexSentence(); break;
+    default: phi = HasEdgeSentence(); break;
+  }
+  Rng rng(100 + seed);
+  Graph g = MakeErdosRenyi(5, 0.35, &rng);
+  Structure graph_structure = EncodeGraph(g);
+  NaiveEvaluator graph_eval(graph_structure);
+  bool expected = graph_eval.Satisfies(phi);
+
+  TreeEncoding enc = BuildReductionTree(g);
+  Result<Formula> phi_hat = RewriteGraphSentenceForTree(phi);
+  ASSERT_TRUE(phi_hat.ok()) << phi_hat.status().ToString();
+  NaiveEvaluator tree_eval(enc.structure);
+  EXPECT_EQ(tree_eval.Satisfies(*phi_hat), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sentences, TreeReductionSentenceTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2)));
+
+TEST(TreeReduction, RejectsNonFo) {
+  Var x = VarNamed("trx"), y = VarNamed("try");
+  Formula counting = Ge1(Count({y}, Atom("E", {x, y})));
+  EXPECT_FALSE(RewriteGraphSentenceForTree(Exists(x, counting)).ok());
+}
+
+TEST(StringReduction, StringShape) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.Finalize();
+  // Vertex 0: "ac" + neighbour 1 -> "bcc"; vertex 1: "acc" + "bc" + "bccc";
+  // vertex 2: "accc" + "bcc".
+  EXPECT_EQ(BuildReductionString(g), "acbccaccbcbcccacccbcc");
+}
+
+TEST(StringReduction, RunLengthTerm) {
+  Graph g(3);
+  g.AddEdge(0, 2);
+  g.Finalize();
+  Structure s = BuildReductionStringStructure(g);
+  NaiveEvaluator eval(s);
+  Var x = VarNamed("srx");
+  Term run = CRunLength(x);
+  // String: a c b ccc | a cc | a ccc b c  = "acbcccaccacccbc".
+  EXPECT_EQ(*eval.Evaluate(run, {{x, 0}}), 1);  // run after first 'a'
+  EXPECT_EQ(*eval.Evaluate(run, {{x, 2}}), 3);  // run after the 'b'
+}
+
+class StringReductionSentenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StringReductionSentenceTest, PreservesModelChecking) {
+  auto [sentence_id, seed] = GetParam();
+  Formula phi;
+  switch (sentence_id) {
+    case 0: phi = TriangleSentence(); break;
+    case 1: phi = IsolatedVertexSentence(); break;
+    default: phi = HasEdgeSentence(); break;
+  }
+  Rng rng(200 + seed);
+  Graph g = MakeErdosRenyi(4, 0.4, &rng);
+  Structure graph_structure = EncodeGraph(g);
+  NaiveEvaluator graph_eval(graph_structure);
+  bool expected = graph_eval.Satisfies(phi);
+
+  Structure s = BuildReductionStringStructure(g);
+  Result<Formula> phi_hat = RewriteGraphSentenceForString(phi);
+  ASSERT_TRUE(phi_hat.ok()) << phi_hat.status().ToString();
+  NaiveEvaluator string_eval(s);
+  EXPECT_EQ(string_eval.Satisfies(*phi_hat), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sentences, StringReductionSentenceTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace focq

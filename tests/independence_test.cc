@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "focq/eval/naive_eval.h"
+#include "focq/graph/generators.h"
+#include "focq/locality/independence.h"
+#include "focq/logic/build.h"
+#include "focq/structure/encode.h"
+#include "focq/structure/gaifman.h"
+#include "test_util.h"
+
+namespace focq {
+namespace {
+
+TEST(Independence, ScatteredRedsOnAPath) {
+  // Path of 9 vertices, reds at 0, 4, 8 (pairwise distance 4).
+  Structure a = EncodeGraph(MakePath(9));
+  a.AddUnarySymbol("R", {0, 4, 8});
+  NaiveEvaluator naive(a);
+  Var x = VarNamed("inx");
+  for (int k = 1; k <= 4; ++k) {
+    for (std::uint32_t r : {1u, 3u, 4u}) {
+      IndependenceSentence s =
+          MakeIndependenceSentence(k, r, x, Atom("R", {x}));
+      bool expected = naive.Satisfies(s.ToFormula());
+      // Ground truth by hand: 3 reds pairwise 4 apart.
+      bool by_hand = (k == 1) || (k == 2 && r <= 7) || (k == 3 && r <= 3) ||
+                     (k >= 4 ? false : false);
+      if (k == 2) by_hand = r < 4 || r <= 7;  // dist > r needs r < ...
+      // Simplify: just trust the naive engine; check a couple of pinned
+      // cases explicitly below.
+      (void)by_hand;
+      // Theorem 6.8 route: the witness-count cl-term.
+      Result<Decomposition> d = s.WitnessCountTerm();
+      ASSERT_TRUE(d.ok()) << d.status().ToString();
+      Graph g = BuildGaifmanGraph(a);
+      ClTermBallEvaluator ball(a, g);
+      Result<CountInt> count = ball.EvaluateGround(d->term);
+      ASSERT_TRUE(count.ok());
+      EXPECT_EQ(*count >= 1, expected) << "k=" << k << " r=" << r;
+    }
+  }
+  // Pinned cases: three reds pairwise distance 4.
+  IndependenceSentence s3 =
+      MakeIndependenceSentence(3, 3, x, Atom("R", {x}));
+  EXPECT_TRUE(naive.Satisfies(s3.ToFormula()));
+  IndependenceSentence s3_too_far =
+      MakeIndependenceSentence(3, 4, x, Atom("R", {x}));
+  EXPECT_FALSE(naive.Satisfies(s3_too_far.ToFormula()));
+}
+
+TEST(Independence, CountTermMatchesNaiveOnRandomInputs) {
+  Rng rng(555);
+  Var x = VarNamed("iny");
+  for (int round = 0; round < 10; ++round) {
+    Structure a = test::RandomColoredStructure(12, 1.3, 0.4, &rng);
+    Graph g = BuildGaifmanGraph(a);
+    NaiveEvaluator naive(a);
+    ClTermBallEvaluator ball(a, g);
+    Formula psi = test::RandomQuantifierFree({x}, 2, true, 1, &rng);
+    for (int k = 1; k <= 3; ++k) {
+      IndependenceSentence s = MakeIndependenceSentence(k, 2, x, psi);
+      Result<Decomposition> d = s.WitnessCountTerm();
+      ASSERT_TRUE(d.ok()) << d.status().ToString();
+      Result<CountInt> count = ball.EvaluateGround(d->term);
+      ASSERT_TRUE(count.ok());
+      EXPECT_EQ(*count >= 1, naive.Satisfies(s.ToFormula()));
+    }
+  }
+}
+
+TEST(Independence, RecognizerRoundTrip) {
+  Var x = VarNamed("inz");
+  Formula psi = And(Atom("R", {x}), Not(Eq(x, x)));
+  // k = 1 has no separation atoms and is not recognisable (see the
+  // rejection test); round-trip starts at k = 2.
+  for (int k = 2; k <= 4; ++k) {
+    IndependenceSentence s = MakeIndependenceSentence(k, 5, x, psi);
+    std::optional<IndependenceSentence> back =
+        RecognizeIndependenceSentence(s.ToFormula());
+    ASSERT_TRUE(back.has_value()) << k;
+    EXPECT_EQ(back->k, k);
+    EXPECT_EQ(back->r, 5u);
+    ExprRef canon = RenameFreeVar(back->psi.ref(), back->witness_var, x);
+    EXPECT_TRUE(ExprEquals(*canon, psi.node()));
+  }
+}
+
+TEST(Independence, RecognizerRejectsNonShapes) {
+  Var x = VarNamed("inw"), y = VarNamed("inv");
+  // Not a sentence.
+  EXPECT_FALSE(RecognizeIndependenceSentence(Atom("R", {x})).has_value());
+  // Missing the separation atom.
+  EXPECT_FALSE(RecognizeIndependenceSentence(
+                   Exists(x, Exists(y, And(Atom("R", {x}), Atom("R", {y})))))
+                   .has_value());
+  // Quantified witness property.
+  Var z = VarNamed("inu");
+  Formula quantified = Exists(
+      x, Exists(y, And({Exists(z, Atom("E", {x, z})),
+                        Exists(z, Atom("E", {y, z})),
+                        Not(DistAtMost(x, y, 2))})));
+  EXPECT_FALSE(RecognizeIndependenceSentence(quantified).has_value());
+  // Mismatched witness properties.
+  Formula mismatched = Exists(
+      x, Exists(y, And({Atom("R", {x}), Atom("B", {y}),
+                        Not(DistAtMost(x, y, 2))})));
+  EXPECT_FALSE(RecognizeIndependenceSentence(mismatched).has_value());
+  // k = 1 (no separation atoms) is not recognisable as an independence
+  // sentence from the formula alone.
+  EXPECT_FALSE(
+      RecognizeIndependenceSentence(Exists(x, Atom("R", {x}))).has_value());
+}
+
+}  // namespace
+}  // namespace focq

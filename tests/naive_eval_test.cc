@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "focq/eval/naive_eval.h"
+#include "focq/graph/generators.h"
+#include "focq/logic/build.h"
+#include "focq/structure/encode.h"
+
+namespace focq {
+namespace {
+
+// A directed 4-cycle 0 -> 1 -> 2 -> 3 -> 0 plus the chord 0 -> 2.
+Structure DirectedTestGraph() {
+  return EncodeDigraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+}
+
+TEST(NaiveEval, AtomsAndEquality) {
+  Structure a = DirectedTestGraph();
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx"), y = VarNamed("ny");
+  EXPECT_TRUE(eval.Satisfies(Atom("E", {x, y}), {{x, 0}, {y, 1}}));
+  EXPECT_FALSE(eval.Satisfies(Atom("E", {x, y}), {{x, 1}, {y, 0}}));
+  EXPECT_TRUE(eval.Satisfies(Eq(x, y), {{x, 2}, {y, 2}}));
+  EXPECT_FALSE(eval.Satisfies(Eq(x, y), {{x, 2}, {y, 3}}));
+}
+
+TEST(NaiveEval, Connectives) {
+  Structure a = DirectedTestGraph();
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx"), y = VarNamed("ny");
+  Formula e = Atom("E", {x, y});
+  EXPECT_TRUE(eval.Satisfies(Or(e, Eq(x, y)), {{x, 1}, {y, 1}}));
+  EXPECT_FALSE(eval.Satisfies(And(e, Eq(x, y)), {{x, 0}, {y, 1}}));
+  EXPECT_TRUE(eval.Satisfies(Not(e), {{x, 1}, {y, 0}}));
+  EXPECT_TRUE(eval.Satisfies(True()));
+  EXPECT_FALSE(eval.Satisfies(False()));
+}
+
+TEST(NaiveEval, Quantifiers) {
+  Structure a = DirectedTestGraph();
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx"), y = VarNamed("ny");
+  // Every vertex has an out-neighbour.
+  EXPECT_TRUE(eval.Satisfies(Forall(x, Exists(y, Atom("E", {x, y})))));
+  // Some vertex has two distinct out-neighbours (vertex 0).
+  Var z = VarNamed("nz");
+  EXPECT_TRUE(eval.Satisfies(Exists(
+      x, Exists(y, Exists(z, And({Atom("E", {x, y}), Atom("E", {x, z}),
+                                  Not(Eq(y, z))}))))));
+  // No vertex has an edge to itself.
+  EXPECT_TRUE(eval.Satisfies(Not(Exists(x, Atom("E", {x, x})))));
+}
+
+TEST(NaiveEval, CountingTerms) {
+  Structure a = DirectedTestGraph();
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx"), y = VarNamed("ny");
+  // Total elements.
+  EXPECT_EQ(*eval.Evaluate(Count({x}, Eq(x, x))), 4);
+  // Total edges.
+  EXPECT_EQ(*eval.Evaluate(Count({x, y}, Atom("E", {x, y}))), 5);
+  // Out-degree of vertex 0 (the paper's t := #(z).E(y,z)).
+  EXPECT_EQ(*eval.Evaluate(Count({y}, Atom("E", {x, y})), {{x, 0}}), 2);
+  EXPECT_EQ(*eval.Evaluate(Count({y}, Atom("E", {x, y})), {{x, 1}}), 1);
+  // Zero-ary count: 1 if the body holds, else 0.
+  EXPECT_EQ(*eval.Evaluate(Count({}, Exists(x, Atom("E", {x, x})))), 0);
+  EXPECT_EQ(*eval.Evaluate(Count({}, Exists(x, Atom("E", {x, y}))), {{y, 2}}), 1);
+}
+
+TEST(NaiveEval, TermArithmetic) {
+  Structure a = DirectedTestGraph();
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx");
+  Term n = Count({x}, Eq(x, x));
+  EXPECT_EQ(*eval.Evaluate(Add(n, Int(3))), 7);
+  EXPECT_EQ(*eval.Evaluate(Mul(n, n)), 16);
+  EXPECT_EQ(*eval.Evaluate(Sub(Int(3), n)), -1);
+}
+
+TEST(NaiveEval, PaperExample32PrimeSum) {
+  // Prime( #(x).x=x + #(x,y).E(x,y) ): 4 nodes + 5 edges = 9, not prime.
+  Structure a = DirectedTestGraph();
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx"), y = VarNamed("ny");
+  Formula f = Pred(PredPrime(), {Add(Count({x}, Eq(x, x)),
+                                     Count({x, y}, Atom("E", {x, y})))});
+  EXPECT_FALSE(eval.Satisfies(f));
+  // Drop the chord: 4 + 4 = 8, still not prime; drop one more edge: 7 prime.
+  Structure b = EncodeDigraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  NaiveEvaluator eval_b(b);
+  EXPECT_TRUE(eval_b.Satisfies(f));
+}
+
+TEST(NaiveEval, PaperExample32DegreeCountPrime) {
+  // exists x Prime( #(y). P=( #(z).E(x,z), #(z).E(y,z) ) ):
+  // some out-degree d such that the number of nodes of out-degree d is prime.
+  Structure a = DirectedTestGraph();  // out-degrees: 2,1,1,1
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx"), y = VarNamed("ny"), z = VarNamed("nz");
+  Formula same_deg = TermEq(Count({z}, Atom("E", {x, z})),
+                            Count({z}, Atom("E", {y, z})));
+  Formula f = Exists(x, Pred(PredPrime(), {Count({y}, same_deg)}));
+  // Out-degree 1 occurs 3 times (prime) -> true.
+  EXPECT_TRUE(eval.Satisfies(f));
+}
+
+TEST(NaiveEval, PaperExample54ColoredDigraph) {
+  // Signature {E, R, B, G}; directed triangle 0->1->2->0, vertex 3 isolated.
+  Structure a = EncodeDigraph(4, {{0, 1}, {1, 2}, {2, 0}});
+  a.AddUnarySymbol("R", {3});          // one red node
+  a.AddUnarySymbol("B", {1, 2});       // blue nodes
+  a.AddUnarySymbol("G", {2});          // one green node
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx"), y = VarNamed("ny"), z = VarNamed("nz");
+
+  Term t_red = Count({x}, Atom("R", {x}));
+  EXPECT_EQ(*eval.Evaluate(t_red), 1);
+
+  // t_triangle(x) = #(y,z). E(x,y) & E(y,z) & E(z,x).
+  Term t_tri = Count({y, z}, And({Atom("E", {x, y}), Atom("E", {y, z}),
+                                  Atom("E", {z, x})}));
+  EXPECT_EQ(*eval.Evaluate(t_tri, {{x, 0}}), 1);
+  EXPECT_EQ(*eval.Evaluate(t_tri, {{x, 3}}), 0);
+
+  // phi_{tri,R}(x): x participates in as many triangles as there are reds.
+  Formula phi = TermEq(t_tri, t_red);
+  EXPECT_TRUE(eval.Satisfies(phi, {{x, 0}}));
+  EXPECT_FALSE(eval.Satisfies(phi, {{x, 3}}));
+  // Number of such nodes: the three triangle vertices.
+  EXPECT_EQ(*eval.Evaluate(Count({x}, phi)), 3);
+
+  // t_B(x) = number of blue out-neighbours.
+  Term t_blue = Count({y}, And(Atom("E", {x, y}), Atom("B", {y})));
+  EXPECT_EQ(*eval.Evaluate(t_blue, {{x, 0}}), 1);
+}
+
+TEST(NaiveEval, CountSolutionsMatchesDefinition) {
+  Structure a = DirectedTestGraph();
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx"), y = VarNamed("ny");
+  // Pairs with an edge: 5.
+  EXPECT_EQ(*eval.CountSolutions(Atom("E", {x, y})), 5);
+  // Vertices with out-degree >= 2: just vertex 0.
+  Formula deg2 = Ge1(Sub(Count({y}, Atom("E", {x, y})), Int(1)));
+  EXPECT_EQ(*eval.CountSolutions(deg2), 1);
+  // A sentence counts as 0 or 1.
+  EXPECT_EQ(*eval.CountSolutions(Exists(x, Atom("E", {x, x}))), 0);
+}
+
+TEST(NaiveEval, DistanceAtoms) {
+  Structure a = EncodeGraph(MakePath(6));
+  NaiveEvaluator eval(a);
+  Var x = VarNamed("nx"), y = VarNamed("ny");
+  EXPECT_TRUE(eval.Satisfies(DistAtMost(x, y, 3), {{x, 0}, {y, 3}}));
+  EXPECT_FALSE(eval.Satisfies(DistAtMost(x, y, 2), {{x, 0}, {y, 3}}));
+  EXPECT_TRUE(eval.Satisfies(DistAtMost(x, y, 0), {{x, 2}, {y, 2}}));
+}
+
+TEST(NaiveEval, OverflowSurfacesAsError) {
+  Structure a = DirectedTestGraph();
+  NaiveEvaluator eval(a);
+  Term big = Int(INT64_MAX);
+  Result<CountInt> r = eval.Evaluate(Add(big, Int(1)));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace focq

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "focq/eval/naive_eval.h"
+#include "focq/graph/generators.h"
+#include "focq/locality/removal_rewrite.h"
+#include "focq/logic/build.h"
+#include "focq/logic/printer.h"
+#include "focq/structure/encode.h"
+#include "focq/structure/gaifman.h"
+#include "focq/structure/removal.h"
+#include "test_util.h"
+
+namespace focq {
+namespace {
+
+TEST(RemovalStructure, SymbolNaming) {
+  EXPECT_EQ(RemovalSymbolName("E", 0), "E~{}");
+  EXPECT_EQ(RemovalSymbolName("E", 0b01), "E~{1}");
+  EXPECT_EQ(RemovalSymbolName("E", 0b10), "E~{2}");
+  EXPECT_EQ(RemovalSymbolName("T", 0b101), "T~{1,3}");
+  EXPECT_EQ(DistanceMarkerName(3), "S_3");
+}
+
+TEST(RemovalStructure, SignatureShape) {
+  Signature sig({{"E", 2}, {"R", 1}});
+  RemovalSignature rs = BuildRemovalSignature(sig, 2);
+  // E: 4 subsets; R: 2 subsets; plus S_1, S_2.
+  EXPECT_EQ(rs.sig.NumSymbols(), 8u);
+  EXPECT_EQ(rs.sig.Arity(rs.tilde_ids[0][0b00]), 2);
+  EXPECT_EQ(rs.sig.Arity(rs.tilde_ids[0][0b01]), 1);
+  EXPECT_EQ(rs.sig.Arity(rs.tilde_ids[0][0b11]), 0);
+  EXPECT_EQ(rs.sig.Arity(rs.s_markers[0]), 1);
+}
+
+TEST(RemovalStructure, TuplePartitionAndMarkers) {
+  // Path 0-1-2-3, remove element 1 at radius 2.
+  Structure a = EncodeGraph(MakePath(4));
+  Graph gaifman = BuildGaifmanGraph(a);
+  RemovalSignature rs = BuildRemovalSignature(a.signature(), 2);
+  RemovalResult res = RemoveElement(a, gaifman, 1, 2, rs);
+  EXPECT_EQ(res.structure.universe_size(), 3u);
+  // Local ids: 0 -> 0, 2 -> 1, 3 -> 2.
+  EXPECT_EQ(res.ToLocal(0), 0u);
+  EXPECT_EQ(res.ToLocal(2), 1u);
+  EXPECT_EQ(res.ToOriginal(2), 3u);
+  // Surviving edge tuples (2,3),(3,2) land in E~{}.
+  EXPECT_TRUE(res.structure.Holds(rs.tilde_ids[0][0], {1, 2}));
+  EXPECT_TRUE(res.structure.Holds(rs.tilde_ids[0][0], {2, 1}));
+  EXPECT_FALSE(res.structure.Holds(rs.tilde_ids[0][0], {0, 1}));
+  // (1,0) had d at position 1 -> E~{1} gets (0); (0,1) -> E~{2} gets (0).
+  EXPECT_TRUE(res.structure.Holds(rs.tilde_ids[0][0b01], {0}));
+  EXPECT_TRUE(res.structure.Holds(rs.tilde_ids[0][0b10], {0}));
+  EXPECT_TRUE(res.structure.Holds(rs.tilde_ids[0][0b01], {1}));  // from (1,2)
+  // Markers: S_1 = {0, 2}; S_2 additionally 3.
+  EXPECT_TRUE(res.structure.Holds(rs.s_markers[0], {0}));
+  EXPECT_TRUE(res.structure.Holds(rs.s_markers[0], {1}));
+  EXPECT_FALSE(res.structure.Holds(rs.s_markers[0], {2}));
+  EXPECT_TRUE(res.structure.Holds(rs.s_markers[1], {2}));
+}
+
+// Lemma 7.8 property test: A |= phi[a-bar] iff A *r d |= phi~_V[a-bar \ V].
+TEST(RemovalRewrite, PreservesFormulas) {
+  Rng rng(1200);
+  Var x = VarNamed("rwx"), y = VarNamed("rwy");
+  for (int round = 0; round < 25; ++round) {
+    Structure a = test::RandomColoredStructure(12, 1.4, 0.4, &rng);
+    Graph gaifman = BuildGaifmanGraph(a);
+    const std::uint32_t r = 4;
+    RemovalSignature rs = BuildRemovalSignature(a.signature(), r);
+    Formula phi = test::RandomGuardedKernel({x, y}, 3, true, 2, &rng);
+    NaiveEvaluator naive(a);
+    ElemId d = static_cast<ElemId>(rng.NextBelow(a.universe_size()));
+    RemovalResult removed = RemoveElement(a, gaifman, d, r, rs);
+    NaiveEvaluator naive_removed(removed.structure);
+    for (int trial = 0; trial < 10; ++trial) {
+      ElemId ax = static_cast<ElemId>(rng.NextBelow(a.universe_size()));
+      ElemId ay = static_cast<ElemId>(rng.NextBelow(a.universe_size()));
+      std::set<Var> v;
+      std::vector<std::pair<Var, ElemId>> binding;
+      if (ax == d) {
+        v.insert(x);
+      } else {
+        binding.emplace_back(x, removed.ToLocal(ax));
+      }
+      if (ay == d) {
+        v.insert(y);
+      } else {
+        binding.emplace_back(y, removed.ToLocal(ay));
+      }
+      Result<Formula> rewritten = RemovalRewrite(phi, a.signature(), r, v);
+      ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+      EXPECT_EQ(naive.Satisfies(phi, {{x, ax}, {y, ay}}),
+                naive_removed.Satisfies(*rewritten, binding))
+          << ToString(phi) << " d=" << d << " a=(" << ax << "," << ay << ")";
+    }
+  }
+}
+
+// Also exercise unguarded FO formulas (the lemma does not need guards).
+TEST(RemovalRewrite, PreservesUnguardedFormulas) {
+  Rng rng(1300);
+  Var x = VarNamed("rux2"), y = VarNamed("ruy2");
+  Formula phi = Exists(
+      y, And(Atom("E", {x, y}),
+             Forall(VarNamed("ruz2"),
+                    Or(Not(Atom("E", {y, VarNamed("ruz2")})),
+                       DistAtMost(x, VarNamed("ruz2"), 2)))));
+  for (int round = 0; round < 10; ++round) {
+    Structure a = test::RandomGraphStructure(11, 1.5, &rng);
+    Graph gaifman = BuildGaifmanGraph(a);
+    const std::uint32_t r = 3;
+    RemovalSignature rs = BuildRemovalSignature(a.signature(), r);
+    NaiveEvaluator naive(a);
+    ElemId d = static_cast<ElemId>(rng.NextBelow(a.universe_size()));
+    RemovalResult removed = RemoveElement(a, gaifman, d, r, rs);
+    NaiveEvaluator naive_removed(removed.structure);
+    for (ElemId ax = 0; ax < a.universe_size(); ++ax) {
+      std::set<Var> v;
+      std::vector<std::pair<Var, ElemId>> binding;
+      if (ax == d) {
+        v.insert(x);
+      } else {
+        binding.emplace_back(x, removed.ToLocal(ax));
+      }
+      Result<Formula> rewritten = RemovalRewrite(phi, a.signature(), r, v);
+      ASSERT_TRUE(rewritten.ok());
+      EXPECT_EQ(naive.Satisfies(phi, {{x, ax}}),
+                naive_removed.Satisfies(*rewritten, binding));
+    }
+  }
+}
+
+// Lemma 7.9(a): ground term decomposition sums to the original value.
+TEST(RemovalRewrite, GroundTermDecomposition) {
+  Rng rng(1400);
+  Var x = VarNamed("rgx"), y = VarNamed("rgy");
+  for (int round = 0; round < 15; ++round) {
+    Structure a = test::RandomColoredStructure(10, 1.3, 0.4, &rng);
+    Graph gaifman = BuildGaifmanGraph(a);
+    const std::uint32_t r = 3;
+    RemovalSignature rs = BuildRemovalSignature(a.signature(), r);
+    Formula phi = test::RandomQuantifierFree({x, y}, 2, true, 2, &rng);
+    NaiveEvaluator naive(a);
+    CountInt expected = *naive.Evaluate(Count({x, y}, phi));
+    ElemId d = static_cast<ElemId>(rng.NextBelow(a.universe_size()));
+    RemovalResult removed = RemoveElement(a, gaifman, d, r, rs);
+    NaiveEvaluator naive_removed(removed.structure);
+    Result<std::vector<RemovalTermPart>> parts =
+        RemoveGroundTerm({x, y}, phi, a.signature(), r);
+    ASSERT_TRUE(parts.ok());
+    CountInt total = 0;
+    for (const RemovalTermPart& part : *parts) {
+      total += *naive_removed.Evaluate(Count(part.vars, part.body));
+    }
+    EXPECT_EQ(total, expected) << ToString(phi) << " d=" << d;
+  }
+}
+
+// Lemma 7.9(b): unary term decomposition, at the removed element and away
+// from it.
+TEST(RemovalRewrite, UnaryTermDecomposition) {
+  Rng rng(1500);
+  Var x = VarNamed("rvx"), y = VarNamed("rvy");
+  for (int round = 0; round < 15; ++round) {
+    Structure a = test::RandomColoredStructure(10, 1.3, 0.4, &rng);
+    Graph gaifman = BuildGaifmanGraph(a);
+    const std::uint32_t r = 3;
+    RemovalSignature rs = BuildRemovalSignature(a.signature(), r);
+    Formula phi = test::RandomQuantifierFree({x, y}, 2, true, 2, &rng);
+    NaiveEvaluator naive(a);
+    Term u = Count({y}, phi);
+    ElemId d = static_cast<ElemId>(rng.NextBelow(a.universe_size()));
+    RemovalResult removed = RemoveElement(a, gaifman, d, r, rs);
+    NaiveEvaluator naive_removed(removed.structure);
+    Result<RemovalUnaryParts> parts =
+        RemoveUnaryTerm({x, y}, phi, a.signature(), r);
+    ASSERT_TRUE(parts.ok());
+    // u[d] from the ground parts.
+    CountInt at_removed = 0;
+    for (const RemovalTermPart& part : parts->at_removed) {
+      at_removed += *naive_removed.Evaluate(Count(part.vars, part.body));
+    }
+    EXPECT_EQ(at_removed, *naive.Evaluate(u, {{x, d}}));
+    // u[a] for a != d from the unary parts.
+    for (ElemId e = 0; e < a.universe_size(); ++e) {
+      if (e == d) continue;
+      CountInt value = 0;
+      for (const RemovalTermPart& part : parts->elsewhere) {
+        ASSERT_GE(part.vars.size(), 1u);
+        ASSERT_EQ(part.vars[0], x);
+        std::vector<Var> binders(part.vars.begin() + 1, part.vars.end());
+        value += *naive_removed.Evaluate(Count(binders, part.body),
+                                         {{x, removed.ToLocal(e)}});
+      }
+      EXPECT_EQ(value, *naive.Evaluate(u, {{x, e}})) << ToString(phi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace focq

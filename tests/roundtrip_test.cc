@@ -1,0 +1,125 @@
+// Property test: printing any expression and re-parsing it yields a
+// structurally identical AST, across randomly generated FOC(P) expressions
+// (formulas with guards, distance atoms, numerical predicates and nested
+// counting terms).
+#include <gtest/gtest.h>
+
+#include "focq/logic/build.h"
+#include "focq/logic/parser.h"
+#include "focq/logic/printer.h"
+#include "focq/util/rng.h"
+
+namespace focq {
+namespace {
+
+// Random FOC(P) generators (richer than test_util's guarded kernels: these
+// also emit numerical predicates and nested counts).
+Formula RandomFormula(const std::vector<Var>& vars, int depth, Rng* rng);
+
+Term RandomTerm(const std::vector<Var>& vars, int depth, Rng* rng) {
+  if (depth == 0 || rng->NextBool(0.3)) {
+    return Int(rng->NextInRange(-20, 20));
+  }
+  switch (rng->NextBelow(4)) {
+    case 0:
+      return Add(RandomTerm(vars, depth - 1, rng),
+                 RandomTerm(vars, depth - 1, rng));
+    case 1:
+      return Mul(RandomTerm(vars, depth - 1, rng),
+                 RandomTerm(vars, depth - 1, rng));
+    case 2:
+      return Sub(RandomTerm(vars, depth - 1, rng),
+                 RandomTerm(vars, depth - 1, rng));
+    default: {
+      Var fresh = FreshVar("rt");
+      std::vector<Var> inner = vars;
+      inner.push_back(fresh);
+      return Count({fresh}, RandomFormula(inner, depth - 1, rng));
+    }
+  }
+}
+
+Formula RandomFormula(const std::vector<Var>& vars, int depth, Rng* rng) {
+  if (depth == 0 || rng->NextBool(0.25)) {
+    Var x = vars[rng->NextBelow(vars.size())];
+    Var y = vars[rng->NextBelow(vars.size())];
+    switch (rng->NextBelow(5)) {
+      case 0: return Atom("E", {x, y});
+      case 1: return Eq(x, y);
+      case 2: return Atom("R", {x});
+      case 3: return DistAtMost(x, y, static_cast<std::uint32_t>(
+                                          rng->NextBelow(9)));
+      default: return rng->NextBool(0.5) ? True() : False();
+    }
+  }
+  switch (rng->NextBelow(6)) {
+    case 0:
+      return Not(RandomFormula(vars, depth - 1, rng));
+    case 1:
+      return Or(RandomFormula(vars, depth - 1, rng),
+                RandomFormula(vars, depth - 1, rng));
+    case 2:
+      return And(RandomFormula(vars, depth - 1, rng),
+                 RandomFormula(vars, depth - 1, rng));
+    case 3: {
+      Var fresh = FreshVar("rf");
+      std::vector<Var> inner = vars;
+      inner.push_back(fresh);
+      return Exists(fresh, RandomFormula(inner, depth - 1, rng));
+    }
+    case 4: {
+      Var fresh = FreshVar("rf");
+      std::vector<Var> inner = vars;
+      inner.push_back(fresh);
+      return Forall(fresh, RandomFormula(inner, depth - 1, rng));
+    }
+    default:
+      switch (rng->NextBelow(3)) {
+        case 0:
+          return Ge1(RandomTerm(vars, depth - 1, rng));
+        case 1:
+          return TermEq(RandomTerm(vars, depth - 1, rng),
+                        RandomTerm(vars, depth - 1, rng));
+        default:
+          return Pred(PredPrime(), {RandomTerm(vars, depth - 1, rng)});
+      }
+  }
+}
+
+TEST(PrinterParserRoundTrip, RandomFormulas) {
+  Rng rng(777);
+  Var x = VarNamed("rr_x"), y = VarNamed("rr_y");
+  for (int i = 0; i < 200; ++i) {
+    Formula f = RandomFormula({x, y}, 1 + static_cast<int>(rng.NextBelow(4)),
+                              &rng);
+    std::string text = ToString(f);
+    Result<Formula> reparsed = ParseFormula(text);
+    ASSERT_TRUE(reparsed.ok()) << text << "\n" << reparsed.status().ToString();
+    EXPECT_TRUE(ExprEquals(f.node(), reparsed->node())) << text;
+  }
+}
+
+TEST(PrinterParserRoundTrip, RandomTerms) {
+  Rng rng(778);
+  Var x = VarNamed("rr_x"), y = VarNamed("rr_y");
+  for (int i = 0; i < 200; ++i) {
+    Term t = RandomTerm({x, y}, 1 + static_cast<int>(rng.NextBelow(4)), &rng);
+    std::string text = ToString(t);
+    Result<Term> reparsed = ParseTerm(text);
+    ASSERT_TRUE(reparsed.ok()) << text << "\n" << reparsed.status().ToString();
+    EXPECT_TRUE(ExprEquals(t.node(), reparsed->node())) << text;
+  }
+}
+
+TEST(PrinterParserRoundTrip, SizeIsStable) {
+  // Printing is deterministic: same AST, same text.
+  Rng rng(779);
+  Var x = VarNamed("rr_x");
+  for (int i = 0; i < 50; ++i) {
+    Formula f = RandomFormula({x}, 3, &rng);
+    EXPECT_EQ(ToString(f), ToString(f));
+  }
+}
+
+}  // namespace
+}  // namespace focq

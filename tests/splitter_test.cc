@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "focq/graph/bfs.h"
+#include "focq/graph/generators.h"
+#include "focq/graph/splitter.h"
+
+namespace focq {
+namespace {
+
+TEST(SplitterGame, SplitterWinsSingletonImmediately) {
+  Graph g(1);
+  g.Finalize();
+  auto splitter = MakeTreeSplitter();
+  auto connector = MakeGreedyConnector();
+  SplitterGameResult res =
+      PlaySplitterGame(g, 2, splitter.get(), connector.get(), 10);
+  EXPECT_TRUE(res.splitter_won);
+  EXPECT_EQ(res.rounds, 1u);
+}
+
+TEST(SplitterGame, TreeStrategyWinsFastOnTrees) {
+  Rng rng(21);
+  auto splitter = MakeTreeSplitter();
+  for (std::uint32_t r : {1u, 2u, 4u}) {
+    for (int i = 0; i < 3; ++i) {
+      Graph t = MakeRandomTree(150, &rng);
+      auto greedy = MakeGreedyConnector();
+      SplitterGameResult res =
+          PlaySplitterGame(t, r, splitter.get(), greedy.get(), 3 * r + 5);
+      EXPECT_TRUE(res.splitter_won) << "r=" << r;
+      EXPECT_LE(res.rounds, 2 * r + 3) << "r=" << r;
+    }
+  }
+}
+
+TEST(SplitterGame, BoundedOnPathsAndGrids) {
+  auto splitter = MakeCenterSplitter();
+  auto connector = MakeGreedyConnector();
+  Graph path = MakePath(300);
+  SplitterGameResult res =
+      PlaySplitterGame(path, 2, splitter.get(), connector.get(), 30);
+  EXPECT_TRUE(res.splitter_won);
+
+  Graph grid = MakeGrid(15, 15);
+  SplitterGameResult res2 =
+      PlaySplitterGame(grid, 2, splitter.get(), connector.get(), 40);
+  EXPECT_TRUE(res2.splitter_won);
+}
+
+TEST(SplitterGame, CliqueResistsAtLargeRadius) {
+  // On K_n with radius >= 1, every ball is the whole clique; Splitter can
+  // only remove one vertex per round, so the game needs ~n rounds -- the
+  // somewhere-dense signature.
+  Graph clique = MakeClique(30);
+  auto splitter = MakeMaxDegreeSplitter();
+  auto connector = MakeGreedyConnector();
+  SplitterGameResult res =
+      PlaySplitterGame(clique, 1, splitter.get(), connector.get(), 10);
+  EXPECT_FALSE(res.splitter_won);
+  SplitterGameResult res2 =
+      PlaySplitterGame(clique, 1, splitter.get(), connector.get(), 30);
+  EXPECT_TRUE(res2.splitter_won);
+  EXPECT_EQ(res2.rounds, 30u);
+}
+
+TEST(SplitterGame, RandomConnectorIsDeterministicPerSeed) {
+  Rng rng(22);
+  Graph t = MakeRandomTree(80, &rng);
+  auto splitter = MakeTreeSplitter();
+  auto c1 = MakeRandomConnector(5);
+  auto c2 = MakeRandomConnector(5);
+  SplitterGameResult r1 = PlaySplitterGame(t, 2, splitter.get(), c1.get(), 20);
+  SplitterGameResult r2 = PlaySplitterGame(t, 2, splitter.get(), c2.get(), 20);
+  EXPECT_EQ(r1.rounds, r2.rounds);
+  EXPECT_EQ(r1.splitter_won, r2.splitter_won);
+}
+
+TEST(SplitterStep, RemovesChosenVertexFromBall) {
+  Rng rng(23);
+  Graph t = MakeRandomTree(60, &rng);
+  SplitterPosition pos = InitialPosition(t);
+  auto splitter = MakeTreeSplitter();
+  SplitterStep step = ApplySplitterStep(pos, 30, 2, splitter.get());
+  // The surviving ball plus the removed vertex is exactly N_2(30).
+  std::vector<VertexId> ball = Ball(t, {30}, 2);
+  EXPECT_EQ(step.surviving_ball.size() + 1, ball.size());
+  for (VertexId v : step.surviving_ball) {
+    EXPECT_TRUE(std::binary_search(ball.begin(), ball.end(), v));
+    EXPECT_NE(v, step.removed);
+  }
+  EXPECT_TRUE(std::binary_search(ball.begin(), ball.end(), step.removed));
+}
+
+}  // namespace
+}  // namespace focq
