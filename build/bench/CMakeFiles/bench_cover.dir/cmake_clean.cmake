@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cover.dir/bench_cover.cc.o"
+  "CMakeFiles/bench_cover.dir/bench_cover.cc.o.d"
+  "bench_cover"
+  "bench_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decompose.dir/bench_decompose.cc.o"
+  "CMakeFiles/bench_decompose.dir/bench_decompose.cc.o.d"
+  "bench_decompose"
+  "bench_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hanf.dir/bench_hanf.cc.o"
+  "CMakeFiles/bench_hanf.dir/bench_hanf.cc.o.d"
+  "bench_hanf"
+  "bench_hanf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hanf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_removal.dir/bench_removal.cc.o"
+  "CMakeFiles/bench_removal.dir/bench_removal.cc.o.d"
+  "bench_removal"
+  "bench_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_splitter.dir/bench_splitter.cc.o"
+  "CMakeFiles/bench_splitter.dir/bench_splitter.cc.o.d"
+  "bench_splitter"
+  "bench_splitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hardness_reduction.dir/hardness_reduction.cpp.o"
+  "CMakeFiles/example_hardness_reduction.dir/hardness_reduction.cpp.o.d"
+  "example_hardness_reduction"
+  "example_hardness_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hardness_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_machinery_tour.dir/machinery_tour.cpp.o"
+  "CMakeFiles/example_machinery_tour.dir/machinery_tour.cpp.o.d"
+  "example_machinery_tour"
+  "example_machinery_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_machinery_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

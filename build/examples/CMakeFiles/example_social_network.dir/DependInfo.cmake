@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/social_network.cpp" "examples/CMakeFiles/example_social_network.dir/social_network.cpp.o" "gcc" "examples/CMakeFiles/example_social_network.dir/social_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focq_hardness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_hanf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sql_count.dir/sql_count.cpp.o"
+  "CMakeFiles/example_sql_count.dir/sql_count.cpp.o.d"
+  "example_sql_count"
+  "example_sql_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sql_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_core.dir/focq/core/api.cc.o"
+  "CMakeFiles/focq_core.dir/focq/core/api.cc.o.d"
+  "CMakeFiles/focq_core.dir/focq/core/enumerate.cc.o"
+  "CMakeFiles/focq_core.dir/focq/core/enumerate.cc.o.d"
+  "CMakeFiles/focq_core.dir/focq/core/evaluator.cc.o"
+  "CMakeFiles/focq_core.dir/focq/core/evaluator.cc.o.d"
+  "CMakeFiles/focq_core.dir/focq/core/plan.cc.o"
+  "CMakeFiles/focq_core.dir/focq/core/plan.cc.o.d"
+  "CMakeFiles/focq_core.dir/focq/core/removal_engine.cc.o"
+  "CMakeFiles/focq_core.dir/focq/core/removal_engine.cc.o.d"
+  "libfocq_core.a"
+  "libfocq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_cover.dir/focq/cover/cover_term.cc.o"
+  "CMakeFiles/focq_cover.dir/focq/cover/cover_term.cc.o.d"
+  "CMakeFiles/focq_cover.dir/focq/cover/neighborhood_cover.cc.o"
+  "CMakeFiles/focq_cover.dir/focq/cover/neighborhood_cover.cc.o.d"
+  "libfocq_cover.a"
+  "libfocq_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_eval.dir/focq/eval/naive_eval.cc.o"
+  "CMakeFiles/focq_eval.dir/focq/eval/naive_eval.cc.o.d"
+  "CMakeFiles/focq_eval.dir/focq/eval/query.cc.o"
+  "CMakeFiles/focq_eval.dir/focq/eval/query.cc.o.d"
+  "libfocq_eval.a"
+  "libfocq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfocq_eval.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/focq/graph/bfs.cc" "src/CMakeFiles/focq_graph.dir/focq/graph/bfs.cc.o" "gcc" "src/CMakeFiles/focq_graph.dir/focq/graph/bfs.cc.o.d"
+  "/root/repo/src/focq/graph/generators.cc" "src/CMakeFiles/focq_graph.dir/focq/graph/generators.cc.o" "gcc" "src/CMakeFiles/focq_graph.dir/focq/graph/generators.cc.o.d"
+  "/root/repo/src/focq/graph/graph.cc" "src/CMakeFiles/focq_graph.dir/focq/graph/graph.cc.o" "gcc" "src/CMakeFiles/focq_graph.dir/focq/graph/graph.cc.o.d"
+  "/root/repo/src/focq/graph/pattern_graph.cc" "src/CMakeFiles/focq_graph.dir/focq/graph/pattern_graph.cc.o" "gcc" "src/CMakeFiles/focq_graph.dir/focq/graph/pattern_graph.cc.o.d"
+  "/root/repo/src/focq/graph/splitter.cc" "src/CMakeFiles/focq_graph.dir/focq/graph/splitter.cc.o" "gcc" "src/CMakeFiles/focq_graph.dir/focq/graph/splitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_graph.dir/focq/graph/bfs.cc.o"
+  "CMakeFiles/focq_graph.dir/focq/graph/bfs.cc.o.d"
+  "CMakeFiles/focq_graph.dir/focq/graph/generators.cc.o"
+  "CMakeFiles/focq_graph.dir/focq/graph/generators.cc.o.d"
+  "CMakeFiles/focq_graph.dir/focq/graph/graph.cc.o"
+  "CMakeFiles/focq_graph.dir/focq/graph/graph.cc.o.d"
+  "CMakeFiles/focq_graph.dir/focq/graph/pattern_graph.cc.o"
+  "CMakeFiles/focq_graph.dir/focq/graph/pattern_graph.cc.o.d"
+  "CMakeFiles/focq_graph.dir/focq/graph/splitter.cc.o"
+  "CMakeFiles/focq_graph.dir/focq/graph/splitter.cc.o.d"
+  "libfocq_graph.a"
+  "libfocq_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

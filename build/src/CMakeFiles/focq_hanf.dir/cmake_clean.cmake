@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_hanf.dir/focq/hanf/hanf_eval.cc.o"
+  "CMakeFiles/focq_hanf.dir/focq/hanf/hanf_eval.cc.o.d"
+  "CMakeFiles/focq_hanf.dir/focq/hanf/sphere.cc.o"
+  "CMakeFiles/focq_hanf.dir/focq/hanf/sphere.cc.o.d"
+  "libfocq_hanf.a"
+  "libfocq_hanf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_hanf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_hardness.dir/focq/hardness/string_reduction.cc.o"
+  "CMakeFiles/focq_hardness.dir/focq/hardness/string_reduction.cc.o.d"
+  "CMakeFiles/focq_hardness.dir/focq/hardness/tree_reduction.cc.o"
+  "CMakeFiles/focq_hardness.dir/focq/hardness/tree_reduction.cc.o.d"
+  "libfocq_hardness.a"
+  "libfocq_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfocq_hardness.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_locality.dir/focq/locality/cl_term.cc.o"
+  "CMakeFiles/focq_locality.dir/focq/locality/cl_term.cc.o.d"
+  "CMakeFiles/focq_locality.dir/focq/locality/decompose.cc.o"
+  "CMakeFiles/focq_locality.dir/focq/locality/decompose.cc.o.d"
+  "CMakeFiles/focq_locality.dir/focq/locality/delta.cc.o"
+  "CMakeFiles/focq_locality.dir/focq/locality/delta.cc.o.d"
+  "CMakeFiles/focq_locality.dir/focq/locality/independence.cc.o"
+  "CMakeFiles/focq_locality.dir/focq/locality/independence.cc.o.d"
+  "CMakeFiles/focq_locality.dir/focq/locality/local_eval.cc.o"
+  "CMakeFiles/focq_locality.dir/focq/locality/local_eval.cc.o.d"
+  "CMakeFiles/focq_locality.dir/focq/locality/removal_rewrite.cc.o"
+  "CMakeFiles/focq_locality.dir/focq/locality/removal_rewrite.cc.o.d"
+  "libfocq_locality.a"
+  "libfocq_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

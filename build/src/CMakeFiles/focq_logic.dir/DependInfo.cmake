@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/focq/logic/build.cc" "src/CMakeFiles/focq_logic.dir/focq/logic/build.cc.o" "gcc" "src/CMakeFiles/focq_logic.dir/focq/logic/build.cc.o.d"
+  "/root/repo/src/focq/logic/expr.cc" "src/CMakeFiles/focq_logic.dir/focq/logic/expr.cc.o" "gcc" "src/CMakeFiles/focq_logic.dir/focq/logic/expr.cc.o.d"
+  "/root/repo/src/focq/logic/fragment.cc" "src/CMakeFiles/focq_logic.dir/focq/logic/fragment.cc.o" "gcc" "src/CMakeFiles/focq_logic.dir/focq/logic/fragment.cc.o.d"
+  "/root/repo/src/focq/logic/numpred.cc" "src/CMakeFiles/focq_logic.dir/focq/logic/numpred.cc.o" "gcc" "src/CMakeFiles/focq_logic.dir/focq/logic/numpred.cc.o.d"
+  "/root/repo/src/focq/logic/parser.cc" "src/CMakeFiles/focq_logic.dir/focq/logic/parser.cc.o" "gcc" "src/CMakeFiles/focq_logic.dir/focq/logic/parser.cc.o.d"
+  "/root/repo/src/focq/logic/printer.cc" "src/CMakeFiles/focq_logic.dir/focq/logic/printer.cc.o" "gcc" "src/CMakeFiles/focq_logic.dir/focq/logic/printer.cc.o.d"
+  "/root/repo/src/focq/logic/qrank.cc" "src/CMakeFiles/focq_logic.dir/focq/logic/qrank.cc.o" "gcc" "src/CMakeFiles/focq_logic.dir/focq/logic/qrank.cc.o.d"
+  "/root/repo/src/focq/logic/vars.cc" "src/CMakeFiles/focq_logic.dir/focq/logic/vars.cc.o" "gcc" "src/CMakeFiles/focq_logic.dir/focq/logic/vars.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focq_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_logic.dir/focq/logic/build.cc.o"
+  "CMakeFiles/focq_logic.dir/focq/logic/build.cc.o.d"
+  "CMakeFiles/focq_logic.dir/focq/logic/expr.cc.o"
+  "CMakeFiles/focq_logic.dir/focq/logic/expr.cc.o.d"
+  "CMakeFiles/focq_logic.dir/focq/logic/fragment.cc.o"
+  "CMakeFiles/focq_logic.dir/focq/logic/fragment.cc.o.d"
+  "CMakeFiles/focq_logic.dir/focq/logic/numpred.cc.o"
+  "CMakeFiles/focq_logic.dir/focq/logic/numpred.cc.o.d"
+  "CMakeFiles/focq_logic.dir/focq/logic/parser.cc.o"
+  "CMakeFiles/focq_logic.dir/focq/logic/parser.cc.o.d"
+  "CMakeFiles/focq_logic.dir/focq/logic/printer.cc.o"
+  "CMakeFiles/focq_logic.dir/focq/logic/printer.cc.o.d"
+  "CMakeFiles/focq_logic.dir/focq/logic/qrank.cc.o"
+  "CMakeFiles/focq_logic.dir/focq/logic/qrank.cc.o.d"
+  "CMakeFiles/focq_logic.dir/focq/logic/vars.cc.o"
+  "CMakeFiles/focq_logic.dir/focq/logic/vars.cc.o.d"
+  "libfocq_logic.a"
+  "libfocq_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

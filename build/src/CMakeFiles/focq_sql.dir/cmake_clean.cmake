@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_sql.dir/focq/sql/catalog.cc.o"
+  "CMakeFiles/focq_sql.dir/focq/sql/catalog.cc.o.d"
+  "CMakeFiles/focq_sql.dir/focq/sql/count_query.cc.o"
+  "CMakeFiles/focq_sql.dir/focq/sql/count_query.cc.o.d"
+  "CMakeFiles/focq_sql.dir/focq/sql/datagen.cc.o"
+  "CMakeFiles/focq_sql.dir/focq/sql/datagen.cc.o.d"
+  "CMakeFiles/focq_sql.dir/focq/sql/table.cc.o"
+  "CMakeFiles/focq_sql.dir/focq/sql/table.cc.o.d"
+  "libfocq_sql.a"
+  "libfocq_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

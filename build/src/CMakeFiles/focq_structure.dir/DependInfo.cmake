@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/focq/structure/encode.cc" "src/CMakeFiles/focq_structure.dir/focq/structure/encode.cc.o" "gcc" "src/CMakeFiles/focq_structure.dir/focq/structure/encode.cc.o.d"
+  "/root/repo/src/focq/structure/gaifman.cc" "src/CMakeFiles/focq_structure.dir/focq/structure/gaifman.cc.o" "gcc" "src/CMakeFiles/focq_structure.dir/focq/structure/gaifman.cc.o.d"
+  "/root/repo/src/focq/structure/incidence.cc" "src/CMakeFiles/focq_structure.dir/focq/structure/incidence.cc.o" "gcc" "src/CMakeFiles/focq_structure.dir/focq/structure/incidence.cc.o.d"
+  "/root/repo/src/focq/structure/io.cc" "src/CMakeFiles/focq_structure.dir/focq/structure/io.cc.o" "gcc" "src/CMakeFiles/focq_structure.dir/focq/structure/io.cc.o.d"
+  "/root/repo/src/focq/structure/neighborhood.cc" "src/CMakeFiles/focq_structure.dir/focq/structure/neighborhood.cc.o" "gcc" "src/CMakeFiles/focq_structure.dir/focq/structure/neighborhood.cc.o.d"
+  "/root/repo/src/focq/structure/removal.cc" "src/CMakeFiles/focq_structure.dir/focq/structure/removal.cc.o" "gcc" "src/CMakeFiles/focq_structure.dir/focq/structure/removal.cc.o.d"
+  "/root/repo/src/focq/structure/signature.cc" "src/CMakeFiles/focq_structure.dir/focq/structure/signature.cc.o" "gcc" "src/CMakeFiles/focq_structure.dir/focq/structure/signature.cc.o.d"
+  "/root/repo/src/focq/structure/structure.cc" "src/CMakeFiles/focq_structure.dir/focq/structure/structure.cc.o" "gcc" "src/CMakeFiles/focq_structure.dir/focq/structure/structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

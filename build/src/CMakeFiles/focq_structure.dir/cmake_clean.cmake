@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_structure.dir/focq/structure/encode.cc.o"
+  "CMakeFiles/focq_structure.dir/focq/structure/encode.cc.o.d"
+  "CMakeFiles/focq_structure.dir/focq/structure/gaifman.cc.o"
+  "CMakeFiles/focq_structure.dir/focq/structure/gaifman.cc.o.d"
+  "CMakeFiles/focq_structure.dir/focq/structure/incidence.cc.o"
+  "CMakeFiles/focq_structure.dir/focq/structure/incidence.cc.o.d"
+  "CMakeFiles/focq_structure.dir/focq/structure/io.cc.o"
+  "CMakeFiles/focq_structure.dir/focq/structure/io.cc.o.d"
+  "CMakeFiles/focq_structure.dir/focq/structure/neighborhood.cc.o"
+  "CMakeFiles/focq_structure.dir/focq/structure/neighborhood.cc.o.d"
+  "CMakeFiles/focq_structure.dir/focq/structure/removal.cc.o"
+  "CMakeFiles/focq_structure.dir/focq/structure/removal.cc.o.d"
+  "CMakeFiles/focq_structure.dir/focq/structure/signature.cc.o"
+  "CMakeFiles/focq_structure.dir/focq/structure/signature.cc.o.d"
+  "CMakeFiles/focq_structure.dir/focq/structure/structure.cc.o"
+  "CMakeFiles/focq_structure.dir/focq/structure/structure.cc.o.d"
+  "libfocq_structure.a"
+  "libfocq_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

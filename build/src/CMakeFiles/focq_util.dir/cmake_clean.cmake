@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_util.dir/focq/util/checked_arith.cc.o"
+  "CMakeFiles/focq_util.dir/focq/util/checked_arith.cc.o.d"
+  "CMakeFiles/focq_util.dir/focq/util/rng.cc.o"
+  "CMakeFiles/focq_util.dir/focq/util/rng.cc.o.d"
+  "CMakeFiles/focq_util.dir/focq/util/status.cc.o"
+  "CMakeFiles/focq_util.dir/focq/util/status.cc.o.d"
+  "libfocq_util.a"
+  "libfocq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

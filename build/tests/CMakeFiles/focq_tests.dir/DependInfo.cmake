@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/candidate_test.cc" "tests/CMakeFiles/focq_tests.dir/candidate_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/candidate_test.cc.o.d"
+  "/root/repo/tests/cl_term_test.cc" "tests/CMakeFiles/focq_tests.dir/cl_term_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/cl_term_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/focq_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/cover_test.cc" "tests/CMakeFiles/focq_tests.dir/cover_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/cover_test.cc.o.d"
+  "/root/repo/tests/decompose_test.cc" "tests/CMakeFiles/focq_tests.dir/decompose_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/decompose_test.cc.o.d"
+  "/root/repo/tests/enumerate_test.cc" "tests/CMakeFiles/focq_tests.dir/enumerate_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/enumerate_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/focq_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/hanf_test.cc" "tests/CMakeFiles/focq_tests.dir/hanf_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/hanf_test.cc.o.d"
+  "/root/repo/tests/hardness_test.cc" "tests/CMakeFiles/focq_tests.dir/hardness_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/hardness_test.cc.o.d"
+  "/root/repo/tests/independence_test.cc" "tests/CMakeFiles/focq_tests.dir/independence_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/independence_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/focq_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/local_eval_test.cc" "tests/CMakeFiles/focq_tests.dir/local_eval_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/local_eval_test.cc.o.d"
+  "/root/repo/tests/logic_test.cc" "tests/CMakeFiles/focq_tests.dir/logic_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/logic_test.cc.o.d"
+  "/root/repo/tests/naive_eval_test.cc" "tests/CMakeFiles/focq_tests.dir/naive_eval_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/naive_eval_test.cc.o.d"
+  "/root/repo/tests/pipeline_edge_test.cc" "tests/CMakeFiles/focq_tests.dir/pipeline_edge_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/pipeline_edge_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/focq_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/removal_engine_test.cc" "tests/CMakeFiles/focq_tests.dir/removal_engine_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/removal_engine_test.cc.o.d"
+  "/root/repo/tests/removal_test.cc" "tests/CMakeFiles/focq_tests.dir/removal_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/removal_test.cc.o.d"
+  "/root/repo/tests/roundtrip_test.cc" "tests/CMakeFiles/focq_tests.dir/roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/roundtrip_test.cc.o.d"
+  "/root/repo/tests/splitter_test.cc" "tests/CMakeFiles/focq_tests.dir/splitter_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/splitter_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/focq_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/structure_test.cc" "tests/CMakeFiles/focq_tests.dir/structure_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/structure_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/focq_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/focq_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focq_hardness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_hanf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focq_cli.dir/focq_cli.cpp.o"
+  "CMakeFiles/focq_cli.dir/focq_cli.cpp.o.d"
+  "focq_cli"
+  "focq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
