@@ -93,5 +93,40 @@ void ExactArgs(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_SparseCover)->Apply(SparseArgs)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ExactBallCover)->Apply(ExactArgs)->Unit(benchmark::kMillisecond);
 
+// E12 companion: thread scaling of cover construction (the parallel pass 2
+// dominates; the greedy centre pass stays serial, bounding the speedup).
+// Cluster counters must not move across the thread sweep.
+void BM_SparseCoverThreads(benchmark::State& state) {
+  int family = static_cast<int>(state.range(0));
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  std::uint32_t r = static_cast<std::uint32_t>(state.range(2));
+  int threads = static_cast<int>(state.range(3));
+  Rng rng(99);
+  Graph g = MakeFamily(family, n, &rng);
+  NeighborhoodCover cover;
+  for (auto _ : state) {
+    cover = SparseCover(g, r, threads);
+    benchmark::DoNotOptimize(cover.clusters.data());
+  }
+  state.SetLabel(FamilyName(family));
+  state.counters["threads"] = static_cast<double>(threads);
+  ReportCover(state, g, cover);
+}
+
+void SparseThreadArgs(benchmark::internal::Benchmark* b) {
+  for (int family : {0, 1, 2}) {
+    for (std::int64_t r : {2, 4}) {
+      for (std::int64_t threads : {1, 2, 4, 8}) {
+        b->Args({family, 65536, r, threads});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_SparseCoverThreads)
+    ->Apply(SparseThreadArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace focq

@@ -120,6 +120,93 @@ BENCHMARK(BM_CountSolutionsLocal)->Apply(LocalArgs)->Unit(benchmark::kMillisecon
 BENCHMARK(BM_CountSolutionsCover)->Apply(LocalArgs)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CountSolutionsNaive)->Apply(NaiveArgs)->Unit(benchmark::kMillisecond);
 
+// E12 -- thread scaling of the parallel engine. The same query and families
+// as above, swept over worker counts; `solutions` must be identical across
+// the sweep (the determinism contract) and time should drop until the
+// per-chunk work no longer amortises the fan-out. See EXPERIMENTS.md, E12.
+void BM_CountSolutionsLocalThreads(benchmark::State& state) {
+  int family = static_cast<int>(state.range(0));
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  int threads = static_cast<int>(state.range(2));
+  Rng rng(77);
+  Structure a = MakeFamily(family, n, &rng);
+  Formula phi = ScalingCondition();
+  EvalOptions options{Engine::kLocal, TermEngine::kBall, threads};
+  CountInt result = 0;
+  for (auto _ : state) {
+    result = *CountSolutions(phi, a, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(FamilyName(family));
+  state.counters["n"] = static_cast<double>(a.Order());
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["solutions"] = static_cast<double>(result);
+}
+
+void BM_CountSolutionsCoverThreads(benchmark::State& state) {
+  int family = static_cast<int>(state.range(0));
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  int threads = static_cast<int>(state.range(2));
+  Rng rng(77);
+  Structure a = MakeFamily(family, n, &rng);
+  Formula phi = ScalingCondition();
+  EvalOptions options{Engine::kLocal, TermEngine::kSparseCover, threads};
+  CountInt result = 0;
+  for (auto _ : state) {
+    result = *CountSolutions(phi, a, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(FamilyName(family));
+  state.counters["n"] = static_cast<double>(a.Order());
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["solutions"] = static_cast<double>(result);
+}
+
+void BM_CountSolutionsNaiveThreads(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  Rng rng(77);
+  Structure a = MakeFamily(2, n, &rng);
+  Formula phi = ScalingCondition();
+  EvalOptions options{Engine::kNaive, TermEngine::kBall, threads};
+  CountInt result = 0;
+  for (auto _ : state) {
+    result = *CountSolutions(phi, a, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(FamilyName(2));
+  state.counters["n"] = static_cast<double>(a.Order());
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["solutions"] = static_cast<double>(result);
+}
+
+void LocalThreadArgs(benchmark::internal::Benchmark* b) {
+  for (int family : {0, 1, 2}) {
+    for (std::int64_t n : {16384, 65536}) {
+      for (std::int64_t threads : {1, 2, 4, 8}) b->Args({family, n, threads});
+    }
+  }
+}
+
+void NaiveThreadArgs(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : {1024, 2048}) {
+    for (std::int64_t threads : {1, 2, 4, 8}) b->Args({n, threads});
+  }
+}
+
+BENCHMARK(BM_CountSolutionsLocalThreads)
+    ->Apply(LocalThreadArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_CountSolutionsCoverThreads)
+    ->Apply(LocalThreadArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_CountSolutionsNaiveThreads)
+    ->Apply(NaiveThreadArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // Model checking a FOC1 sentence (Theorem 5.5's other half).
 void BM_ModelCheckLocal(benchmark::State& state) {
   int family = static_cast<int>(state.range(0));

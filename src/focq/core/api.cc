@@ -8,6 +8,7 @@
 #include "focq/eval/naive_eval.h"
 #include "focq/logic/build.h"
 #include "focq/structure/gaifman.h"
+#include "focq/util/thread_pool.h"
 
 namespace focq {
 
@@ -22,7 +23,7 @@ Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
   }
   Result<EvalPlan> plan = CompileFormula(sentence, a.signature());
   if (!plan.ok()) return plan.status();
-  PlanExecutor exec(*plan, a, ExecOptions{options.term_engine});
+  PlanExecutor exec(*plan, a, ExecOptions{options.term_engine, options.num_threads});
   FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
   return exec.CheckSentence();
 }
@@ -38,7 +39,7 @@ Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
   }
   Result<EvalPlan> plan = CompileTerm(t, a.signature());
   if (!plan.ok()) return plan.status();
-  PlanExecutor exec(*plan, a, ExecOptions{options.term_engine});
+  PlanExecutor exec(*plan, a, ExecOptions{options.term_engine, options.num_threads});
   FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
   return exec.TermValue();
 }
@@ -53,7 +54,7 @@ Result<CountInt> CountSolutions(const Formula& phi, const Structure& a,
   }
   if (options.engine == Engine::kNaive) {
     NaiveEvaluator eval(a);
-    return eval.CountSolutions(phi);
+    return eval.CountSolutions(phi, options.num_threads);
   }
   return EvaluateGroundTerm(Count(free, phi), a, options);
 }
@@ -65,7 +66,7 @@ Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
                                             const EvalOptions& options) {
   // One free variable: evaluate the condition and every head term for all
   // elements in bulk.
-  ExecOptions exec_options{options.term_engine};
+  ExecOptions exec_options{options.term_engine, options.num_threads};
 
   Result<EvalPlan> cond_plan = CompileFormula(q.condition, a.signature());
   if (!cond_plan.ok()) return cond_plan.status();
@@ -105,9 +106,9 @@ Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
 // otherwise sweep A^k. Either way every candidate is verified against the
 // full condition with the guard-and-index-aware LocalEvaluator.
 Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
-                                            const Structure& a) {
+                                            const Structure& a,
+                                            const EvalOptions& options) {
   Graph gaifman = BuildGaifmanGraph(a);
-  LocalEvaluator eval(a, gaifman);
   const std::size_t k = q.head_vars.size();
 
   // Find a driver atom.
@@ -170,19 +171,45 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
     sweep(0);
   }
 
+  // Verify candidates in parallel: each chunk checks its share of the
+  // (sorted) candidate list with a private evaluator and collects rows into
+  // a private vector; concatenating those in chunk order reproduces the
+  // serial row order exactly.
+  std::vector<Tuple> ordered(candidates.begin(), candidates.end());
+  const std::size_t num_chunks =
+      MakeChunkGrid(ordered.size(), options.num_threads).num_chunks;
+  std::vector<std::vector<QueryRow>> chunk_rows(num_chunks);
+  std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ParallelFor(
+      options.num_threads, ordered.size(),
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        LocalEvaluator eval(a, gaifman);
+        for (std::size_t c = begin; c < end; ++c) {
+          const Tuple& head = ordered[c];
+          Env env;
+          for (std::size_t i = 0; i < k; ++i) {
+            env.Bind(q.head_vars[i], head[i]);
+          }
+          if (!eval.Satisfies(q.condition, &env)) continue;
+          QueryRow row;
+          row.elements = head;
+          for (const Term& t : q.head_terms) {
+            Result<CountInt> v = eval.Evaluate(t, &env);
+            if (!v.ok()) {
+              chunk_status[chunk] = v.status();
+              return;
+            }
+            row.counts.push_back(*v);
+          }
+          chunk_rows[chunk].push_back(std::move(row));
+        }
+      });
   QueryResult result;
-  for (const Tuple& head : candidates) {
-    Env env;
-    for (std::size_t i = 0; i < k; ++i) env.Bind(q.head_vars[i], head[i]);
-    if (!eval.Satisfies(q.condition, &env)) continue;
-    QueryRow row;
-    row.elements = head;
-    for (const Term& t : q.head_terms) {
-      Result<CountInt> v = eval.Evaluate(t, &env);
-      if (!v.ok()) return v.status();
-      row.counts.push_back(*v);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (!chunk_status[c].ok()) return chunk_status[c];
+    for (QueryRow& row : chunk_rows[c]) {
+      result.rows.push_back(std::move(row));
     }
-    result.rows.push_back(std::move(row));
   }
   return result;
 }
@@ -196,7 +223,7 @@ Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
     return EvaluateQueryNaive(q, a);
   }
   if (q.head_vars.size() >= 2) {
-    return EvaluateMultiQueryLocal(q, a);
+    return EvaluateMultiQueryLocal(q, a, options);
   }
   if (q.head_vars.empty()) {
     Result<bool> holds = ModelCheck(q.condition, a, options);

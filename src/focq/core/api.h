@@ -22,6 +22,11 @@ enum class Engine {
 struct EvalOptions {
   Engine engine = Engine::kLocal;
   TermEngine term_engine = TermEngine::kBall;  // used by Engine::kLocal
+  // Worker threads for the parallel engine: 0 = all hardware threads,
+  // 1 (default) = serial. Every result is bit-identical for every value —
+  // parallel loops write disjoint slots and reduce partial counts in a
+  // fixed chunk order (see DESIGN.md, "Concurrency model").
+  int num_threads = 1;
 };
 
 /// Decides A |= phi for a sentence phi of FOC(P). With Engine::kLocal, phi

@@ -1,8 +1,10 @@
 #include "focq/core/evaluator.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "focq/structure/gaifman.h"
+#include "focq/util/thread_pool.h"
 
 namespace focq {
 
@@ -16,15 +18,16 @@ PlanExecutor::PlanExecutor(const EvalPlan& plan, const Structure& input,
 NeighborhoodCover& PlanExecutor::CoverFor(std::uint32_t radius) {
   auto it = covers_.find(radius);
   if (it != covers_.end()) return it->second;
-  NeighborhoodCover cover = options_.term_engine == TermEngine::kExactCover
-                                ? ExactBallCover(gaifman_, radius)
-                                : SparseCover(gaifman_, radius);
+  NeighborhoodCover cover =
+      options_.term_engine == TermEngine::kExactCover
+          ? ExactBallCover(gaifman_, radius, options_.num_threads)
+          : SparseCover(gaifman_, radius, options_.num_threads);
   return covers_.emplace(radius, std::move(cover)).first->second;
 }
 
 Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
   if (options_.term_engine == TermEngine::kBall) {
-    ClTermBallEvaluator eval(structure_, gaifman_);
+    ClTermBallEvaluator eval(structure_, gaifman_, options_.num_threads);
     return eval.EvaluateAll(term);
   }
   // Cover engines: one cover per required radius; evaluate factor-wise and
@@ -35,7 +38,8 @@ Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
   factor_values.reserve(term.basics().size());
   for (const BasicClTerm& b : term.basics()) {
     NeighborhoodCover& cover = CoverFor(RequiredCoverRadius(b));
-    ClTermCoverEvaluator eval(structure_, gaifman_, cover);
+    ClTermCoverEvaluator eval(structure_, gaifman_, cover,
+                              options_.num_threads);
     if (b.unary) {
       Result<std::vector<CountInt>> v = eval.EvaluateBasicAll(b);
       if (!v.ok()) return v.status();
@@ -56,18 +60,35 @@ Status PlanExecutor::MaterializeLayers() {
       if (def.fallback) {
         // Direct evaluation of the original P(t-bar) subformula over the
         // current expansion (whose earlier markers it may mention).
-        LocalEvaluator eval(structure_, gaifman_);
         if (def.arity == 0) {
+          LocalEvaluator eval(structure_, gaifman_);
           bool holds = eval.Satisfies(def.fallback_formula);
           structure_.AddNullarySymbol(def.name, holds);
         } else {
+          // Per-element checks are independent; chunks collect into private
+          // vectors that concatenate in chunk order, which — chunks being
+          // contiguous ranges — reproduces the serial (sorted) element list.
+          const std::size_t n = structure_.universe_size();
+          const std::size_t num_chunks =
+              MakeChunkGrid(n, options_.num_threads).num_chunks;
+          std::vector<std::vector<ElemId>> chunk_elements(num_chunks);
+          ParallelFor(options_.num_threads, n,
+                      [&](std::size_t chunk, std::size_t begin,
+                          std::size_t end) {
+                        LocalEvaluator chunk_eval(structure_, gaifman_);
+                        Env env;
+                        for (std::size_t a = begin; a < end; ++a) {
+                          env.Bind(def.free_var, static_cast<ElemId>(a));
+                          if (chunk_eval.Satisfies(def.fallback_formula,
+                                                   &env)) {
+                            chunk_elements[chunk].push_back(
+                                static_cast<ElemId>(a));
+                          }
+                        }
+                      });
           std::vector<ElemId> elements;
-          Env env;
-          for (ElemId a = 0; a < structure_.universe_size(); ++a) {
-            env.Bind(def.free_var, a);
-            if (eval.Satisfies(def.fallback_formula, &env)) {
-              elements.push_back(a);
-            }
+          for (const auto& part : chunk_elements) {
+            elements.insert(elements.end(), part.begin(), part.end());
           }
           structure_.AddUnarySymbol(def.name, elements);
         }
@@ -125,12 +146,27 @@ Result<bool> PlanExecutor::CheckAt(ElemId a) {
 
 Result<std::vector<bool>> PlanExecutor::CheckAll() {
   FOCQ_CHECK(materialized_ && !plan_.is_term);
-  std::vector<bool> out(structure_.universe_size(), false);
-  for (ElemId a = 0; a < structure_.universe_size(); ++a) {
-    Result<bool> v = CheckAt(a);
-    if (!v.ok()) return v.status();
-    out[a] = *v;
-  }
+  const std::size_t n = structure_.universe_size();
+  std::vector<Var> free = FreeVars(plan_.final_formula);
+  FOCQ_CHECK_LE(free.size(), 1u);
+  // std::vector<bool> packs bits, so concurrent writes to distinct indices
+  // race; collect into bytes and convert after the join.
+  std::vector<std::uint8_t> buffer(n, 0);
+  ParallelFor(options_.num_threads, n,
+              [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                LocalEvaluator chunk_eval(structure_, gaifman_);
+                for (std::size_t a = begin; a < end; ++a) {
+                  Env env;
+                  if (!free.empty()) {
+                    env.Bind(free[0], static_cast<ElemId>(a));
+                  }
+                  buffer[a] = chunk_eval.Satisfies(plan_.final_formula, &env)
+                                  ? 1
+                                  : 0;
+                }
+              });
+  std::vector<bool> out(n, false);
+  for (std::size_t a = 0; a < n; ++a) out[a] = buffer[a] != 0;
   return out;
 }
 
@@ -156,13 +192,28 @@ Result<std::vector<CountInt>> PlanExecutor::TermValues() {
     }
     return v;
   }
-  std::vector<CountInt> out(structure_.universe_size(), 0);
-  for (ElemId a = 0; a < structure_.universe_size(); ++a) {
-    Env env;
-    env.Bind(plan_.final_free_var, a);
-    Result<CountInt> v = final_eval_->Evaluate(plan_.final_term_residual, &env);
-    if (!v.ok()) return v.status();
-    out[a] = *v;
+  const std::size_t n = structure_.universe_size();
+  std::vector<CountInt> out(n, 0);
+  const std::size_t num_chunks =
+      MakeChunkGrid(n, options_.num_threads).num_chunks;
+  std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ParallelFor(options_.num_threads, n,
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                LocalEvaluator chunk_eval(structure_, gaifman_);
+                for (std::size_t a = begin; a < end; ++a) {
+                  Env env;
+                  env.Bind(plan_.final_free_var, static_cast<ElemId>(a));
+                  Result<CountInt> v =
+                      chunk_eval.Evaluate(plan_.final_term_residual, &env);
+                  if (!v.ok()) {
+                    chunk_status[chunk] = v.status();
+                    return;
+                  }
+                  out[a] = *v;
+                }
+              });
+  for (const Status& s : chunk_status) {
+    if (!s.ok()) return s;
   }
   return out;
 }

@@ -25,6 +25,11 @@ enum class TermEngine {
 
 struct ExecOptions {
   TermEngine term_engine = TermEngine::kBall;
+  // Worker threads for cover construction, cl-term evaluation and the
+  // residual per-element loops (0 = all hardware threads, 1 = serial).
+  // Results are bit-identical for every value (see DESIGN.md, "Concurrency
+  // model").
+  int num_threads = 1;
 };
 
 /// Executes one plan against one structure.

@@ -4,15 +4,18 @@
 #include "focq/structure/incidence.h"
 #include "focq/structure/neighborhood.h"
 #include "focq/util/checked_arith.h"
+#include "focq/util/thread_pool.h"
 
 namespace focq {
 
 ClTermCoverEvaluator::ClTermCoverEvaluator(const Structure& structure,
                                            const Graph& gaifman,
-                                           const NeighborhoodCover& cover)
+                                           const NeighborhoodCover& cover,
+                                           int num_threads)
     : structure_(structure),
       gaifman_(gaifman),
       cover_(cover),
+      num_threads_(EffectiveThreads(num_threads)),
       incidence_(structure) {
   FOCQ_CHECK_EQ(gaifman.num_vertices(), structure.universe_size());
   FOCQ_CHECK_EQ(cover.assignment.size(), structure.universe_size());
@@ -27,17 +30,37 @@ Result<std::vector<CountInt>> ClTermCoverEvaluator::EvaluateBasicAll(
   FOCQ_CHECK(basic.unary);
   FOCQ_CHECK_GE(cover_.r, RequiredCoverRadius(basic));
   std::vector<CountInt> out(structure_.universe_size(), 0);
-  for (std::size_t c = 0; c < cover_.NumClusters(); ++c) {
-    if (anchors_of_cluster_[c].empty()) continue;
-    // Materialise B_X = A[X] once per cluster (scanning only local tuples).
-    SubstructureView view = InducedViewFast(incidence_, cover_.clusters[c]);
-    Graph sub_gaifman = BuildGaifmanGraph(view.structure);
-    ClTermBallEvaluator sub_eval(view.structure, sub_gaifman);
-    for (ElemId a : anchors_of_cluster_[c]) {
-      Result<CountInt> v = sub_eval.EvaluateBasicAt(basic, view.ToLocal(a));
-      if (!v.ok()) return v.status();
-      out[a] = *v;
-    }
+  const std::size_t num_clusters = cover_.NumClusters();
+  const std::size_t num_chunks =
+      MakeChunkGrid(num_clusters, num_threads_).num_chunks;
+  std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  // Per-cluster local evaluation (Theorem 5.5's embarrassingly parallel
+  // core): every anchor belongs to exactly one cluster, so chunks write
+  // disjoint slots of `out`; shared state (structure, gaifman, incidence,
+  // cover) is only read.
+  ParallelFor(
+      num_threads_, num_clusters,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+          if (anchors_of_cluster_[c].empty()) continue;
+          // Materialise B_X = A[X] once per cluster (only local tuples).
+          SubstructureView view =
+              InducedViewFast(incidence_, cover_.clusters[c]);
+          Graph sub_gaifman = BuildGaifmanGraph(view.structure);
+          ClTermBallEvaluator sub_eval(view.structure, sub_gaifman);
+          for (ElemId a : anchors_of_cluster_[c]) {
+            Result<CountInt> v =
+                sub_eval.EvaluateBasicAt(basic, view.ToLocal(a));
+            if (!v.ok()) {
+              chunk_status[chunk] = v.status();
+              return;
+            }
+            out[a] = *v;
+          }
+        }
+      });
+  for (const Status& s : chunk_status) {
+    if (!s.ok()) return s;
   }
   return out;
 }

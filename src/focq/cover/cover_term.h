@@ -22,12 +22,19 @@
 namespace focq {
 
 /// Per-cluster cl-term evaluator.
+///
+/// Clusters are mutually independent (each anchor is counted in exactly one
+/// cluster), so with num_threads > 1 the per-cluster materialisation and
+/// evaluation fan out across workers; anchors write disjoint output slots
+/// and errors surface in cluster-chunk order, keeping results bit-identical
+/// to the serial evaluation.
 class ClTermCoverEvaluator {
  public:
   /// `gaifman` must be the Gaifman graph of `structure`; `cover` a
   /// neighbourhood cover of it. All three must outlive the evaluator.
+  /// `num_threads`: per-cluster fan-out (0 = all hardware threads).
   ClTermCoverEvaluator(const Structure& structure, const Graph& gaifman,
-                       const NeighborhoodCover& cover);
+                       const NeighborhoodCover& cover, int num_threads = 1);
 
   /// Values of a unary basic cl-term at every element. The cover's radius
   /// must be at least RequiredCoverRadius(basic).
@@ -44,6 +51,7 @@ class ClTermCoverEvaluator {
   const Structure& structure_;
   const Graph& gaifman_;
   const NeighborhoodCover& cover_;
+  int num_threads_;
   TupleIncidence incidence_;  // makes per-cluster materialisation local
   // anchors_of_cluster_[c]: elements assigned to cluster c.
   std::vector<std::vector<ElemId>> anchors_of_cluster_;

@@ -4,6 +4,7 @@
 
 #include "focq/graph/bfs.h"
 #include "focq/util/check.h"
+#include "focq/util/thread_pool.h"
 
 namespace focq {
 
@@ -23,26 +24,35 @@ std::size_t NeighborhoodCover::MaxDegree() const {
   return best;
 }
 
-NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r) {
+NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
+                                 int num_threads) {
   NeighborhoodCover cover;
   cover.r = r;
   cover.cluster_radius = r;
   std::size_t n = gaifman.num_vertices();
-  cover.clusters.reserve(n);
+  cover.clusters.resize(n);
   cover.assignment.resize(n);
-  cover.centers.reserve(n);
-  BallExplorer explorer(gaifman);
-  for (VertexId v = 0; v < n; ++v) {
-    std::vector<ElemId> ball = explorer.Explore(v, r);
-    std::sort(ball.begin(), ball.end());
-    cover.assignment[v] = static_cast<std::uint32_t>(cover.clusters.size());
-    cover.clusters.push_back(std::move(ball));
-    cover.centers.push_back(v);
-  }
+  cover.centers.resize(n);
+  // Cluster c is always the r-ball of vertex c, so every slot is independent
+  // of every other: chunks write disjoint ranges and the result is the same
+  // for any thread count.
+  ParallelFor(num_threads, n,
+              [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                BallExplorer explorer(gaifman);
+                for (std::size_t v = begin; v < end; ++v) {
+                  std::vector<ElemId> ball =
+                      explorer.Explore(static_cast<VertexId>(v), r);
+                  std::sort(ball.begin(), ball.end());
+                  cover.assignment[v] = static_cast<std::uint32_t>(v);
+                  cover.clusters[v] = std::move(ball);
+                  cover.centers[v] = static_cast<ElemId>(v);
+                }
+              });
   return cover;
 }
 
-NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r) {
+NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
+                              int num_threads) {
   NeighborhoodCover cover;
   cover.r = r;
   cover.cluster_radius = 2 * r;
@@ -66,13 +76,19 @@ NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r) {
 
   // Pass 2: clusters are the 2r-balls of the centres; every vertex is
   // assigned the cluster of the centre that claimed it, which contains its
-  // whole r-ball (dist(v, centre) <= r).
+  // whole r-ball (dist(v, centre) <= r). Each cluster slot is independent,
+  // so the (dominant) ball materialisation fans out across threads.
   cover.clusters.resize(cover.centers.size());
-  for (std::uint32_t c = 0; c < cover.centers.size(); ++c) {
-    std::vector<ElemId> ball = explorer.Explore(cover.centers[c], 2 * r);
-    std::sort(ball.begin(), ball.end());
-    cover.clusters[c] = std::move(ball);
-  }
+  ParallelFor(num_threads, cover.centers.size(),
+              [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                BallExplorer chunk_explorer(gaifman);
+                for (std::size_t c = begin; c < end; ++c) {
+                  std::vector<ElemId> ball =
+                      chunk_explorer.Explore(cover.centers[c], 2 * r);
+                  std::sort(ball.begin(), ball.end());
+                  cover.clusters[c] = std::move(ball);
+                }
+              });
   for (VertexId v = 0; v < n; ++v) {
     FOCQ_CHECK_NE(covering_center[v], kUnclaimed);
     cover.assignment[v] = covering_center[v];

@@ -41,11 +41,18 @@ struct NeighborhoodCover {
   std::size_t MaxDegree() const;
 };
 
-/// X(a) = N_r(a) for every a.
-NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r);
+/// X(a) = N_r(a) for every a. The per-centre ball BFS parallelises over
+/// `num_threads` workers (0 = all hardware threads); the result is identical
+/// to the serial construction for every thread count.
+NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
+                                 int num_threads = 1);
 
-/// Greedy (r, 2r)-cover (see file comment).
-NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r);
+/// Greedy (r, 2r)-cover (see file comment). The greedy centre selection is
+/// order-dependent and stays serial; the per-centre 2r-ball materialisation
+/// (the dominant cost) parallelises over `num_threads` workers with a
+/// thread-count-independent result.
+NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
+                              int num_threads = 1);
 
 /// Verifies the cover invariants: every cluster is connected, has radius at
 /// most cover.cluster_radius (witnessed by its centre), and N_r(a) is

@@ -2,6 +2,7 @@
 
 #include "focq/logic/build.h"
 #include "focq/util/checked_arith.h"
+#include "focq/util/thread_pool.h"
 
 namespace focq {
 
@@ -243,6 +244,55 @@ Result<CountInt> NaiveEvaluator::CountSolutions(const Formula& f) {
   std::vector<Var> free = FreeVars(f);
   Term counter = Count(free, f);
   return Evaluate(counter);
+}
+
+Result<CountInt> NaiveEvaluator::CountSolutions(const Formula& f,
+                                                int num_threads) {
+  const int workers = EffectiveThreads(num_threads);
+  std::vector<Var> free = FreeVars(f);
+  std::size_t n = structure_.universe_size();
+  if (workers <= 1 || free.empty() || n <= 1) return CountSolutions(f);
+  // Fan the first free variable out over the universe: each chunk counts the
+  // solutions whose x1-component lies in it with a private evaluator, then
+  // partial counts reduce in chunk order. Expression trees are immutable
+  // during evaluation, so sharing `rest_counter` across workers is safe, and
+  // since every partial count is non-negative, overflow occurs iff the
+  // serial count overflows.
+  std::vector<Var> rest(free.begin() + 1, free.end());
+  Term rest_counter = Count(rest, f);
+  const std::size_t num_chunks = MakeChunkGrid(n, workers).num_chunks;
+  std::vector<CountInt> partial(num_chunks, 0);
+  std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ParallelFor(workers, n,
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                NaiveEvaluator worker(structure_);
+                for (std::size_t a = begin; a < end; ++a) {
+                  Env env;
+                  env.Bind(free[0], static_cast<ElemId>(a));
+                  Result<CountInt> v = worker.Evaluate(rest_counter, &env);
+                  if (!v.ok()) {
+                    chunk_status[chunk] = v.status();
+                    return;
+                  }
+                  auto sum = CheckedAdd(partial[chunk], *v);
+                  if (!sum) {
+                    chunk_status[chunk] = Status::OutOfRange(
+                        "counting-term value overflows int64");
+                    return;
+                  }
+                  partial[chunk] = *sum;
+                }
+              });
+  CountInt total = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (!chunk_status[c].ok()) return chunk_status[c];
+    auto sum = CheckedAdd(total, partial[c]);
+    if (!sum) {
+      return Status::OutOfRange("counting-term value overflows int64");
+    }
+    total = *sum;
+  }
+  return total;
 }
 
 }  // namespace focq

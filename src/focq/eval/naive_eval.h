@@ -78,6 +78,13 @@ class NaiveEvaluator {
   /// phi (Corollary 5.6's task). Free variables are taken in sorted order.
   Result<CountInt> CountSolutions(const Formula& f);
 
+  /// Parallel variant: fans the first (sorted) free variable out across
+  /// worker threads, each counting with a private evaluator; partial counts
+  /// reduce in chunk order, so the result — including overflow behaviour —
+  /// is bit-identical to the serial count. num_threads: 0 = all hardware
+  /// threads, <= 1 or a sentence falls back to the serial path.
+  Result<CountInt> CountSolutions(const Formula& f, int num_threads);
+
  private:
   bool EvalFormula(const Expr& e, Env* env);
   std::optional<CountInt> EvalTerm(const Expr& e, Env* env);

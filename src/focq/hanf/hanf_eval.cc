@@ -3,11 +3,13 @@
 #include "focq/locality/local_eval.h"
 #include "focq/logic/printer.h"
 #include "focq/structure/gaifman.h"
+#include "focq/util/thread_pool.h"
 
 namespace focq {
 
-HanfEvaluator::HanfEvaluator(const Structure& a, const Graph& gaifman)
-    : a_(a), gaifman_(gaifman) {
+HanfEvaluator::HanfEvaluator(const Structure& a, const Graph& gaifman,
+                             int num_threads)
+    : a_(a), gaifman_(gaifman), num_threads_(EffectiveThreads(num_threads)) {
   FOCQ_CHECK_EQ(gaifman.num_vertices(), a.universe_size());
 }
 
@@ -25,18 +27,42 @@ Result<CountInt> HanfEvaluator::CountSatisfying(const Formula& phi, Var x,
         "formula is not certifiably " + std::to_string(r) +
         "-local: " + ToString(phi));
   }
-  SphereTypeAssignment types = ComputeSphereTypes(a_, gaifman_, r);
+  SphereTypeAssignment types = ComputeSphereTypes(a_, gaifman_, r,
+                                                  num_threads_);
   last_num_types_ = types.registry.NumTypes();
+  const std::size_t num_types = types.registry.NumTypes();
+  // Types are mutually independent; evaluate each representative once, then
+  // reduce the per-chunk partial counts in chunk order so overflow behaviour
+  // and the total match the serial loop exactly.
+  const std::size_t num_chunks =
+      MakeChunkGrid(num_types, num_threads_).num_chunks;
+  std::vector<CountInt> partial(num_chunks, 0);
+  std::vector<std::uint8_t> overflow(num_chunks, 0);
+  ParallelFor(num_threads_, num_types,
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                for (std::size_t id = begin; id < end; ++id) {
+                  const Structure& rep = types.registry.Representative(
+                      static_cast<SphereTypeId>(id));
+                  Graph rep_gaifman = BuildGaifmanGraph(rep);
+                  LocalEvaluator eval(rep, rep_gaifman);
+                  bool sat = eval.Satisfies(
+                      phi, {{x, types.registry.RepresentativeCenter(
+                                    static_cast<SphereTypeId>(id))}});
+                  if (!sat) continue;
+                  auto sum = CheckedAdd(
+                      partial[chunk],
+                      static_cast<CountInt>(types.elements_of_type[id].size()));
+                  if (!sum) {
+                    overflow[chunk] = 1;
+                    return;
+                  }
+                  partial[chunk] = *sum;
+                }
+              });
   CountInt total = 0;
-  for (SphereTypeId id = 0; id < types.registry.NumTypes(); ++id) {
-    const Structure& rep = types.registry.Representative(id);
-    Graph rep_gaifman = BuildGaifmanGraph(rep);
-    LocalEvaluator eval(rep, rep_gaifman);
-    bool sat = eval.Satisfies(
-        phi, {{x, types.registry.RepresentativeCenter(id)}});
-    if (!sat) continue;
-    auto sum = CheckedAdd(
-        total, static_cast<CountInt>(types.elements_of_type[id].size()));
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (overflow[c]) return Status::OutOfRange("type count overflows int64");
+    auto sum = CheckedAdd(total, partial[c]);
     if (!sum) return Status::OutOfRange("type count overflows int64");
     total = *sum;
   }
@@ -49,20 +75,38 @@ Result<std::vector<CountInt>> HanfEvaluator::EvaluateBasicAll(
   // around the anchor (tuples stay within (k-1)(2r+1), the kernel needs r
   // more, and pattern-distance witnesses another separation).
   std::uint32_t sphere_radius = RequiredCoverRadius(basic);
-  SphereTypeAssignment types = ComputeSphereTypes(a_, gaifman_, sphere_radius);
+  SphereTypeAssignment types = ComputeSphereTypes(a_, gaifman_, sphere_radius,
+                                                  num_threads_);
   last_num_types_ = types.registry.NumTypes();
 
   std::vector<CountInt> out(a_.universe_size(), 0);
-  for (SphereTypeId id = 0; id < types.registry.NumTypes(); ++id) {
-    const Structure& rep = types.registry.Representative(id);
-    Graph rep_gaifman = BuildGaifmanGraph(rep);
-    ClTermBallEvaluator eval(rep, rep_gaifman);
-    BasicClTerm unary = basic;
-    unary.unary = true;
-    Result<CountInt> value = eval.EvaluateBasicAt(
-        unary, types.registry.RepresentativeCenter(id));
-    if (!value.ok()) return value.status();
-    for (ElemId e : types.elements_of_type[id]) out[e] = *value;
+  const std::size_t num_types = types.registry.NumTypes();
+  // elements_of_type partitions the universe, so type chunks broadcast into
+  // disjoint slots of `out`; errors surface in type-chunk order.
+  const std::size_t num_chunks =
+      MakeChunkGrid(num_types, num_threads_).num_chunks;
+  std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ParallelFor(num_threads_, num_types,
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                for (std::size_t id = begin; id < end; ++id) {
+                  const Structure& rep = types.registry.Representative(
+                      static_cast<SphereTypeId>(id));
+                  Graph rep_gaifman = BuildGaifmanGraph(rep);
+                  ClTermBallEvaluator eval(rep, rep_gaifman);
+                  BasicClTerm unary = basic;
+                  unary.unary = true;
+                  Result<CountInt> value = eval.EvaluateBasicAt(
+                      unary, types.registry.RepresentativeCenter(
+                                 static_cast<SphereTypeId>(id)));
+                  if (!value.ok()) {
+                    chunk_status[chunk] = value.status();
+                    return;
+                  }
+                  for (ElemId e : types.elements_of_type[id]) out[e] = *value;
+                }
+              });
+  for (const Status& s : chunk_status) {
+    if (!s.ok()) return s;
   }
   return out;
 }

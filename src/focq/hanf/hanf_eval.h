@@ -16,10 +16,16 @@
 namespace focq {
 
 /// Type-sharing evaluator over one structure.
+///
+/// Thread-compatible, not thread-safe. With num_threads > 1 both the sphere
+/// extraction (see ComputeSphereTypes) and the per-type evaluation loops fan
+/// out across workers; per-type counts reduce in type-id order with checked
+/// arithmetic, so results are bit-identical to the serial evaluation.
 class HanfEvaluator {
  public:
   /// `gaifman` must be BuildGaifmanGraph(a); both must outlive this object.
-  HanfEvaluator(const Structure& a, const Graph& gaifman);
+  /// `num_threads`: fan-out width (0 = all hardware threads, 1 = serial).
+  HanfEvaluator(const Structure& a, const Graph& gaifman, int num_threads = 1);
 
   /// Number of elements satisfying phi(x), where phi must be r-local around
   /// x (checked syntactically: its guarded locality radius must be <= r).
@@ -37,6 +43,7 @@ class HanfEvaluator {
  private:
   const Structure& a_;
   const Graph& gaifman_;
+  int num_threads_;
   std::size_t last_num_types_ = 0;
 };
 

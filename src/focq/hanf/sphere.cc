@@ -1,11 +1,13 @@
 #include "focq/hanf/sphere.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "focq/graph/bfs.h"
 #include "focq/structure/gaifman.h"
 #include "focq/util/check.h"
 #include "focq/util/hash.h"
+#include "focq/util/thread_pool.h"
 
 namespace focq {
 namespace {
@@ -227,20 +229,45 @@ SphereTypeId SphereTypeRegistry::TypeOf(const Structure& sphere,
 }
 
 SphereTypeAssignment ComputeSphereTypes(const Structure& a,
-                                        const Graph& gaifman,
-                                        std::uint32_t r) {
+                                        const Graph& gaifman, std::uint32_t r,
+                                        int num_threads) {
   SphereTypeAssignment out;
-  out.type_of.resize(a.universe_size());
+  const std::size_t n = a.universe_size();
+  out.type_of.resize(n);
   TupleIncidence incidence(a);
-  BallExplorer explorer(gaifman);
-  for (ElemId e = 0; e < a.universe_size(); ++e) {
-    std::vector<ElemId> ball = explorer.Explore(e, r);
-    std::sort(ball.begin(), ball.end());
-    SubstructureView view = InducedViewFast(incidence, ball);
-    SphereTypeId id = out.registry.TypeOf(view.structure, view.ToLocal(e));
-    out.type_of[e] = id;
-    if (out.elements_of_type.size() <= id) out.elements_of_type.resize(id + 1);
-    out.elements_of_type[id].push_back(e);
+  const int workers = EffectiveThreads(num_threads);
+
+  // Interning must stay sequential in element order: TypeOf assigns dense ids
+  // on first sight, so the order of first sightings determines every id. We
+  // therefore pipeline in blocks — extract the (dominant) sphere views of one
+  // block in parallel, then intern them in element order — which yields the
+  // exact serial assignment for any thread count.
+  const std::size_t kBlock = 4096;
+  std::vector<std::optional<SubstructureView>> views;
+  for (std::size_t block_begin = 0; block_begin < n; block_begin += kBlock) {
+    const std::size_t block_size = std::min(kBlock, n - block_begin);
+    views.assign(block_size, std::nullopt);
+    ParallelFor(workers, block_size,
+                [&](std::size_t /*chunk*/, std::size_t begin,
+                    std::size_t end) {
+                  BallExplorer explorer(gaifman);
+                  for (std::size_t i = begin; i < end; ++i) {
+                    ElemId e = static_cast<ElemId>(block_begin + i);
+                    std::vector<ElemId> ball = explorer.Explore(e, r);
+                    std::sort(ball.begin(), ball.end());
+                    views[i] = InducedViewFast(incidence, ball);
+                  }
+                });
+    for (std::size_t i = 0; i < block_size; ++i) {
+      ElemId e = static_cast<ElemId>(block_begin + i);
+      SphereTypeId id =
+          out.registry.TypeOf(views[i]->structure, views[i]->ToLocal(e));
+      out.type_of[e] = id;
+      if (out.elements_of_type.size() <= id) {
+        out.elements_of_type.resize(id + 1);
+      }
+      out.elements_of_type[id].push_back(e);
+    }
   }
   return out;
 }

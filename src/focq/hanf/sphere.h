@@ -72,8 +72,14 @@ struct SphereTypeAssignment {
 
 /// Computes the radius-r sphere type of every element. `gaifman` must be
 /// BuildGaifmanGraph(a).
+///
+/// With num_threads > 1 the (dominant) sphere extraction — ball BFS plus
+/// induced-substructure materialisation — fans out across workers in blocks;
+/// interning into the registry stays sequential in element order, so type
+/// ids and the whole assignment are bit-identical to the serial run.
 SphereTypeAssignment ComputeSphereTypes(const Structure& a,
-                                        const Graph& gaifman, std::uint32_t r);
+                                        const Graph& gaifman, std::uint32_t r,
+                                        int num_threads = 1);
 
 }  // namespace focq
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "focq/util/checked_arith.h"
+#include "focq/util/thread_pool.h"
 
 namespace focq {
 namespace {
@@ -123,8 +124,11 @@ ClTerm ClTerm::Mul(const ClTerm& a, const ClTerm& b) {
 }
 
 ClTermBallEvaluator::ClTermBallEvaluator(const Structure& structure,
-                                         const Graph& gaifman)
-    : structure_(structure), gaifman_(gaifman), eval_(structure, gaifman) {}
+                                         const Graph& gaifman, int num_threads)
+    : structure_(structure),
+      gaifman_(gaifman),
+      num_threads_(EffectiveThreads(num_threads)),
+      eval_(structure, gaifman) {}
 
 ClosenessOracle& ClTermBallEvaluator::OracleFor(std::uint32_t d) {
   std::unique_ptr<ClosenessOracle>& slot = oracles_[d];
@@ -220,11 +224,36 @@ Result<CountInt> ClTermBallEvaluator::CountAnchored(const BasicClTerm& basic,
 Result<std::vector<CountInt>> ClTermBallEvaluator::EvaluateBasicAll(
     const BasicClTerm& basic) {
   FOCQ_CHECK(basic.unary);
-  std::vector<CountInt> out(structure_.universe_size(), 0);
-  for (ElemId a = 0; a < structure_.universe_size(); ++a) {
-    Result<CountInt> c = CountAnchored(basic, a);
-    if (!c.ok()) return c.status();
-    out[a] = *c;
+  const std::size_t n = structure_.universe_size();
+  std::vector<CountInt> out(n, 0);
+  if (num_threads_ <= 1) {
+    for (ElemId a = 0; a < n; ++a) {
+      Result<CountInt> c = CountAnchored(basic, a);
+      if (!c.ok()) return c.status();
+      out[a] = *c;
+    }
+    return out;
+  }
+  // Each chunk gets a serial worker evaluator (the oracle/index caches are
+  // not thread-safe) and writes disjoint anchor slots; errors are surfaced
+  // in chunk order so failure reporting is deterministic too.
+  std::vector<Status> chunk_status(MakeChunkGrid(n, num_threads_).num_chunks,
+                                   Status::Ok());
+  ParallelFor(num_threads_, n,
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                ClTermBallEvaluator worker(structure_, gaifman_);
+                for (std::size_t a = begin; a < end; ++a) {
+                  Result<CountInt> c =
+                      worker.CountAnchored(basic, static_cast<ElemId>(a));
+                  if (!c.ok()) {
+                    chunk_status[chunk] = c.status();
+                    return;
+                  }
+                  out[a] = *c;
+                }
+              });
+  for (const Status& s : chunk_status) {
+    if (!s.ok()) return s;
   }
   return out;
 }
@@ -232,11 +261,49 @@ Result<std::vector<CountInt>> ClTermBallEvaluator::EvaluateBasicAll(
 Result<CountInt> ClTermBallEvaluator::EvaluateBasicGround(
     const BasicClTerm& basic) {
   FOCQ_CHECK(!basic.unary);
+  const std::size_t n = structure_.universe_size();
+  if (num_threads_ <= 1) {
+    CountInt total = 0;
+    for (ElemId a = 0; a < n; ++a) {
+      Result<CountInt> c = CountAnchored(basic, a);
+      if (!c.ok()) return c.status();
+      auto sum = CheckedAdd(total, *c);
+      if (!sum) return Status::OutOfRange("cl-term count overflows int64");
+      total = *sum;
+    }
+    return total;
+  }
+  // Per-chunk partial counts, reduced in chunk order. Anchored counts are
+  // non-negative, so the partial sums overflow exactly when the serial
+  // running sum would: the parallel value (and error) is bit-identical.
+  const std::size_t num_chunks = MakeChunkGrid(n, num_threads_).num_chunks;
+  std::vector<CountInt> partial(num_chunks, 0);
+  std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ParallelFor(num_threads_, n,
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                ClTermBallEvaluator worker(structure_, gaifman_);
+                CountInt acc = 0;
+                for (std::size_t a = begin; a < end; ++a) {
+                  Result<CountInt> c =
+                      worker.CountAnchored(basic, static_cast<ElemId>(a));
+                  if (!c.ok()) {
+                    chunk_status[chunk] = c.status();
+                    return;
+                  }
+                  auto sum = CheckedAdd(acc, *c);
+                  if (!sum) {
+                    chunk_status[chunk] =
+                        Status::OutOfRange("cl-term count overflows int64");
+                    return;
+                  }
+                  acc = *sum;
+                }
+                partial[chunk] = acc;
+              });
   CountInt total = 0;
-  for (ElemId a = 0; a < structure_.universe_size(); ++a) {
-    Result<CountInt> c = CountAnchored(basic, a);
-    if (!c.ok()) return c.status();
-    auto sum = CheckedAdd(total, *c);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (!chunk_status[c].ok()) return chunk_status[c];
+    auto sum = CheckedAdd(total, partial[c]);
     if (!sum) return Status::OutOfRange("cl-term count overflows int64");
     total = *sum;
   }

@@ -100,10 +100,18 @@ Result<std::vector<CountInt>> CombineMonomials(
 std::uint32_t RequiredCoverRadius(const BasicClTerm& basic);
 
 /// Evaluates cl-terms on one structure by local exploration.
+///
+/// Thread-compatible, not thread-safe (mutable oracle/index caches). With
+/// num_threads > 1 the per-anchor loops of EvaluateBasicAll /
+/// EvaluateBasicGround fan out over worker-local evaluators; partial counts
+/// are reduced in chunk order with checked arithmetic, so the result is
+/// bit-identical to the serial evaluation.
 class ClTermBallEvaluator {
  public:
-  /// `gaifman` must be the Gaifman graph of `structure`.
-  ClTermBallEvaluator(const Structure& structure, const Graph& gaifman);
+  /// `gaifman` must be the Gaifman graph of `structure`. `num_threads`
+  /// controls the per-anchor fan-out (0 = all hardware threads, 1 = serial).
+  ClTermBallEvaluator(const Structure& structure, const Graph& gaifman,
+                      int num_threads = 1);
 
   /// Values of a unary basic cl-term at every element of the universe.
   Result<std::vector<CountInt>> EvaluateBasicAll(const BasicClTerm& basic);
@@ -131,6 +139,7 @@ class ClTermBallEvaluator {
 
   const Structure& structure_;
   const Graph& gaifman_;
+  int num_threads_;
   LocalEvaluator eval_;
   std::unordered_map<std::uint32_t, std::unique_ptr<ClosenessOracle>> oracles_;
 

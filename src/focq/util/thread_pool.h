@@ -1,0 +1,112 @@
+// A small work-stealing thread pool and a deterministic parallel-for.
+//
+// Concurrency model (DESIGN.md, "Concurrency model"):
+//   * One process-wide pool (ThreadPool::Shared()), created lazily and sized
+//     to the hardware. Evaluation modules never own threads; they own loops.
+//   * ParallelFor splits [0, n) into a fixed grid of contiguous chunks.
+//     Chunks are *claimed* dynamically (load balancing / stealing), but each
+//     chunk is identified by its index, so callers write per-chunk partial
+//     results and reduce them in chunk order. With checked integer
+//     arithmetic this makes parallel results bit-identical to serial
+//     evaluation regardless of thread count or scheduling.
+//   * num_threads <= 1 short-circuits to an inline serial loop; 0 means
+//     "all hardware threads".
+//   * Nested ParallelFor calls are safe: the calling thread always
+//     participates in draining its own chunk grid, so progress never depends
+//     on a pool worker being free.
+#ifndef FOCQ_UTIL_THREAD_POOL_H_
+#define FOCQ_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace focq {
+
+/// The number of hardware threads (>= 1 even when the runtime reports 0).
+int HardwareThreads();
+
+/// Normalises a num_threads knob: 0 means all hardware threads, anything
+/// else is clamped to >= 1.
+int EffectiveThreads(int num_threads);
+
+/// A fixed grid of contiguous chunks over [0, n). The grid depends only on
+/// (n, workers), never on scheduling, which is what makes ordered per-chunk
+/// reduction deterministic.
+struct ChunkGrid {
+  std::size_t n = 0;
+  std::size_t num_chunks = 0;
+
+  /// Half-open bounds of `chunk`; chunks partition [0, n) in order.
+  std::pair<std::size_t, std::size_t> Bounds(std::size_t chunk) const {
+    return {chunk * n / num_chunks, (chunk + 1) * n / num_chunks};
+  }
+};
+
+/// Builds the chunk grid for `n` items on `workers` threads: enough chunks
+/// per worker that stealing balances skewed per-item costs, but never more
+/// chunks than items.
+ChunkGrid MakeChunkGrid(std::size_t n, int workers);
+
+/// A work-stealing pool: one deque per worker, round-robin submission,
+/// workers pop their own deque front and steal from others' backs when idle.
+/// Tasks must not block on other tasks (ParallelFor obeys this: its waiters
+/// are always external callers, never pool tasks without work to drain).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks run on an arbitrary worker, in no particular
+  /// order (workers steal).
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, sized to HardwareThreads(), created on first use.
+  static ThreadPool& Shared();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int self);
+  bool FindTask(int self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> pending_{0};  // queued-but-unclaimed task count
+  bool stop_ = false;                    // guarded by sleep_mutex_
+};
+
+/// The chunk body: (chunk_index, begin, end) over a half-open item range.
+using ParallelChunkBody =
+    std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+/// Runs `body` over every chunk of MakeChunkGrid(n, EffectiveThreads(
+/// num_threads)) and blocks until all chunks completed. The calling thread
+/// participates; up to workers-1 helpers are drawn from ThreadPool::Shared().
+/// All writes made by `body` happen-before the return.
+///
+/// Determinism contract: `body` must write only to per-chunk slots (or to
+/// disjoint item slots); the caller reduces partial results in chunk order.
+void ParallelFor(int num_threads, std::size_t n, const ParallelChunkBody& body);
+
+}  // namespace focq
+
+#endif  // FOCQ_UTIL_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 //
 // Usage:
 //   focq_cli <structure-file> [--edges] [--engine naive|local|cover]
+//            [--threads N]
 //            (--check '<sentence>' | --count '<formula>' | --term '<term>')
 //            [--stats]
 //
@@ -14,12 +15,16 @@
 //   --engine           naive = Definition 3.1 semantics;
 //                      local = Theorem 6.10 pipeline (default);
 //                      cover = local with sparse-cover cl-term evaluation
+//   --threads          worker threads (0 = all hardware threads, default 1);
+//                      results are identical for every value
 //   --stats            print plan statistics (layers, cl-terms, fallbacks)
 //
 // Examples:
 //   focq_cli graph.fs --check 'exists x. @eq(#(y). (E(x, y)), 4)'
 //   focq_cli web.edges --edges --count '@ge1(#(y). (E(x, y)) - 10)'
+//   focq_cli web.edges --edges --threads=8 --engine cover --count '...'
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -38,7 +43,7 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage: focq_cli <structure-file> [--edges] "
-               "[--engine naive|local|cover] [--stats]\n"
+               "[--engine naive|local|cover] [--threads N] [--stats]\n"
                "                (--check S | --count F | --term T)\n");
   return 2;
 }
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
   bool edges = false;
   bool stats = false;
   std::string engine_name = "local";
+  std::string threads_text = "1";
   std::string mode, query_text;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -67,6 +73,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       engine_name = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      threads_text = v;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads_text = arg.substr(std::string("--threads=").size());
     } else if (arg == "--check" || arg == "--count" || arg == "--term") {
       const char* v = next();
       if (v == nullptr || !mode.empty()) return Usage();
@@ -79,6 +91,15 @@ int main(int argc, char** argv) {
   if (mode.empty()) return Usage();
 
   EvalOptions options;
+  try {
+    std::size_t pos = 0;
+    options.num_threads = std::stoi(threads_text, &pos);
+    if (pos != threads_text.size() || options.num_threads < 0) {
+      return Fail("--threads expects a non-negative integer");
+    }
+  } catch (const std::exception&) {
+    return Fail("--threads expects a non-negative integer");
+  }
   if (engine_name == "naive") {
     options.engine = Engine::kNaive;
   } else if (engine_name == "local") {
