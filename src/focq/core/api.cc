@@ -176,12 +176,13 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
   // a private vector; concatenating those in chunk order reproduces the
   // serial row order exactly.
   std::vector<Tuple> ordered(candidates.begin(), candidates.end());
+  const int workers = EffectiveThreads(options.num_threads);
   const std::size_t num_chunks =
-      MakeChunkGrid(ordered.size(), options.num_threads).num_chunks;
+      MakeChunkGrid(ordered.size(), workers).num_chunks;
   std::vector<std::vector<QueryRow>> chunk_rows(num_chunks);
   std::vector<Status> chunk_status(num_chunks, Status::Ok());
   ParallelFor(
-      options.num_threads, ordered.size(),
+      workers, ordered.size(),
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         LocalEvaluator eval(a, gaifman);
         for (std::size_t c = begin; c < end; ++c) {

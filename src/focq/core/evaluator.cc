@@ -69,10 +69,10 @@ Status PlanExecutor::MaterializeLayers() {
           // vectors that concatenate in chunk order, which — chunks being
           // contiguous ranges — reproduces the serial (sorted) element list.
           const std::size_t n = structure_.universe_size();
-          const std::size_t num_chunks =
-              MakeChunkGrid(n, options_.num_threads).num_chunks;
+          const int workers = EffectiveThreads(options_.num_threads);
+          const std::size_t num_chunks = MakeChunkGrid(n, workers).num_chunks;
           std::vector<std::vector<ElemId>> chunk_elements(num_chunks);
-          ParallelFor(options_.num_threads, n,
+          ParallelFor(workers, n,
                       [&](std::size_t chunk, std::size_t begin,
                           std::size_t end) {
                         LocalEvaluator chunk_eval(structure_, gaifman_);
@@ -194,10 +194,10 @@ Result<std::vector<CountInt>> PlanExecutor::TermValues() {
   }
   const std::size_t n = structure_.universe_size();
   std::vector<CountInt> out(n, 0);
-  const std::size_t num_chunks =
-      MakeChunkGrid(n, options_.num_threads).num_chunks;
+  const int workers = EffectiveThreads(options_.num_threads);
+  const std::size_t num_chunks = MakeChunkGrid(n, workers).num_chunks;
   std::vector<Status> chunk_status(num_chunks, Status::Ok());
-  ParallelFor(options_.num_threads, n,
+  ParallelFor(workers, n,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 LocalEvaluator chunk_eval(structure_, gaifman_);
                 for (std::size_t a = begin; a < end; ++a) {

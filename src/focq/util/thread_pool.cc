@@ -29,8 +29,8 @@ int EffectiveThreads(int num_threads) {
 ChunkGrid MakeChunkGrid(std::size_t n, int workers) {
   ChunkGrid grid;
   grid.n = n;
-  std::size_t target =
-      static_cast<std::size_t>(std::max(1, workers)) * kChunksPerWorker;
+  std::size_t target = static_cast<std::size_t>(EffectiveThreads(workers)) *
+                       kChunksPerWorker;
   grid.num_chunks = std::max<std::size_t>(1, std::min(n, target));
   return grid;
 }

@@ -52,7 +52,10 @@ struct ChunkGrid {
 
 /// Builds the chunk grid for `n` items on `workers` threads: enough chunks
 /// per worker that stealing balances skewed per-item costs, but never more
-/// chunks than items.
+/// chunks than items. `workers` is normalised with EffectiveThreads (so 0
+/// means all hardware threads), guaranteeing the grid matches the one
+/// ParallelFor(workers, n, ...) runs over — callers sizing per-chunk arrays
+/// may pass the raw knob.
 ChunkGrid MakeChunkGrid(std::size_t n, int workers);
 
 /// A work-stealing pool: one deque per worker, round-robin submission,

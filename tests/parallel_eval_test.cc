@@ -52,18 +52,21 @@ TEST_P(ParallelEquivalenceTest, CoverConstructionIsThreadCountIndependent) {
   Graph g = MakeFamilyGraph(family, 300, &rng);
   for (std::uint32_t r : {1u, 2u}) {
     NeighborhoodCover serial_sparse = SparseCover(g, r, 1);
-    NeighborhoodCover parallel_sparse = SparseCover(g, r, 8);
-    EXPECT_EQ(serial_sparse.clusters, parallel_sparse.clusters);
-    EXPECT_EQ(serial_sparse.centers, parallel_sparse.centers);
-    EXPECT_EQ(serial_sparse.assignment, parallel_sparse.assignment);
-    CheckCoverInvariants(g, parallel_sparse);
-
     NeighborhoodCover serial_exact = ExactBallCover(g, r, 1);
-    NeighborhoodCover parallel_exact = ExactBallCover(g, r, 8);
-    EXPECT_EQ(serial_exact.clusters, parallel_exact.clusters);
-    EXPECT_EQ(serial_exact.centers, parallel_exact.centers);
-    EXPECT_EQ(serial_exact.assignment, parallel_exact.assignment);
-    CheckCoverInvariants(g, parallel_exact);
+    // 0 = all hardware threads; its grid must match the serial one too.
+    for (int threads : {8, 0}) {
+      NeighborhoodCover parallel_sparse = SparseCover(g, r, threads);
+      EXPECT_EQ(serial_sparse.clusters, parallel_sparse.clusters);
+      EXPECT_EQ(serial_sparse.centers, parallel_sparse.centers);
+      EXPECT_EQ(serial_sparse.assignment, parallel_sparse.assignment);
+      CheckCoverInvariants(g, parallel_sparse);
+
+      NeighborhoodCover parallel_exact = ExactBallCover(g, r, threads);
+      EXPECT_EQ(serial_exact.clusters, parallel_exact.clusters);
+      EXPECT_EQ(serial_exact.centers, parallel_exact.centers);
+      EXPECT_EQ(serial_exact.assignment, parallel_exact.assignment);
+      CheckCoverInvariants(g, parallel_exact);
+    }
   }
 }
 
@@ -77,7 +80,7 @@ TEST_P(ParallelEquivalenceTest, LocalEngineCountsAreThreadCountIndependent) {
   Result<CountInt> expected = CountSolutions(phi, a, serial);
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
-  for (int threads : {2, 4, 8}) {
+  for (int threads : {0, 2, 4, 8}) {
     EvalOptions options{Engine::kLocal, TermEngine::kBall, threads};
     Result<CountInt> got = CountSolutions(phi, a, options);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
@@ -95,7 +98,7 @@ TEST_P(ParallelEquivalenceTest, CoverEngineCountsAreThreadCountIndependent) {
   Result<CountInt> expected = CountSolutions(phi, a, serial);
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
-  for (int threads : {2, 8}) {
+  for (int threads : {0, 2, 8}) {
     EvalOptions options{Engine::kLocal, TermEngine::kSparseCover, threads};
     Result<CountInt> got = CountSolutions(phi, a, options);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
@@ -113,7 +116,7 @@ TEST_P(ParallelEquivalenceTest, NaiveEngineCountsAreThreadCountIndependent) {
   Result<CountInt> expected = eval.CountSolutions(phi);
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
-  for (int threads : {2, 4, 8}) {
+  for (int threads : {0, 2, 4, 8}) {
     Result<CountInt> got = eval.CountSolutions(phi, threads);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     EXPECT_EQ(*got, *expected) << "threads=" << threads;
@@ -132,12 +135,15 @@ TEST_P(ParallelEquivalenceTest, SphereTypesAreThreadCountIndependent) {
   Graph gaifman = BuildGaifmanGraph(a);
   for (std::uint32_t r : {1u, 2u}) {
     SphereTypeAssignment serial = ComputeSphereTypes(a, gaifman, r, 1);
-    SphereTypeAssignment parallel = ComputeSphereTypes(a, gaifman, r, 8);
-    // Sequential interning in element order makes the dense ids themselves
-    // identical, not just the partition.
-    EXPECT_EQ(serial.type_of, parallel.type_of);
-    EXPECT_EQ(serial.registry.NumTypes(), parallel.registry.NumTypes());
-    EXPECT_EQ(serial.elements_of_type, parallel.elements_of_type);
+    for (int threads : {8, 0}) {
+      SphereTypeAssignment parallel = ComputeSphereTypes(a, gaifman, r,
+                                                         threads);
+      // Sequential interning in element order makes the dense ids themselves
+      // identical, not just the partition.
+      EXPECT_EQ(serial.type_of, parallel.type_of);
+      EXPECT_EQ(serial.registry.NumTypes(), parallel.registry.NumTypes());
+      EXPECT_EQ(serial.elements_of_type, parallel.elements_of_type);
+    }
   }
 }
 
@@ -155,7 +161,7 @@ TEST_P(ParallelEquivalenceTest, HanfCountsAreThreadCountIndependent) {
   Result<CountInt> expected = serial.CountSatisfying(phi, x, *r);
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
-  for (int threads : {2, 8}) {
+  for (int threads : {0, 2, 8}) {
     HanfEvaluator parallel(a, gaifman, threads);
     Result<CountInt> got = parallel.CountSatisfying(phi, x, *r);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
@@ -178,7 +184,40 @@ TEST_P(ParallelEquivalenceTest, UnaryQueryRowsAreThreadCountIndependent) {
   Result<QueryResult> expected = EvaluateQuery(q, a, serial);
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
-  for (int threads : {2, 8}) {
+  for (int threads : {0, 2, 8}) {
+    EvalOptions options{Engine::kLocal, TermEngine::kBall, threads};
+    Result<QueryResult> got = EvaluateQuery(q, a, options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->rows.size(), expected->rows.size());
+    for (std::size_t i = 0; i < got->rows.size(); ++i) {
+      EXPECT_EQ(got->rows[i].elements, expected->rows[i].elements);
+      EXPECT_EQ(got->rows[i].counts, expected->rows[i].counts);
+    }
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, BinaryQueryRowsAreThreadCountIndependent) {
+  // Two head variables route through the multi-query candidate verifier,
+  // whose per-chunk row/status arrays must match the ParallelFor grid for
+  // every thread knob (including 0 = all hardware threads).
+  int family = GetParam();
+  Rng rng(8000 + family);
+  Structure a = EncodeGraph(MakeFamilyGraph(family, 120, &rng));
+  Foc1Query q;
+  Var x = VarNamed("bqx"), y = VarNamed("bqy"), z = VarNamed("bqz");
+  q.head_vars = {x, y};
+  // No atom covers both head variables, so candidates come from the full
+  // A^2 sweep (well past the 8-chunk grid a one-worker sizing would allow).
+  q.condition = And(Ge1(Count({z}, Atom("E", {x, z}))),
+                    Ge1(Count({z}, Atom("E", {z, y}))));
+  q.head_terms = {Mul(Count({z}, Atom("E", {x, z})),
+                      Count({z}, Atom("E", {z, y})))};
+
+  EvalOptions serial{Engine::kLocal, TermEngine::kBall, 1};
+  Result<QueryResult> expected = EvaluateQuery(q, a, serial);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  for (int threads : {0, 2, 8}) {
     EvalOptions options{Engine::kLocal, TermEngine::kBall, threads};
     Result<QueryResult> got = EvaluateQuery(q, a, options);
     ASSERT_TRUE(got.ok()) << got.status().ToString();

@@ -26,7 +26,7 @@ TEST(EffectiveThreadsTest, NormalizesTheKnob) {
 
 TEST(ChunkGridTest, PartitionsTheRangeExactly) {
   for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 1000u, 4097u}) {
-    for (int workers : {1, 2, 3, 8, 64}) {
+    for (int workers : {0, 1, 2, 3, 8, 64}) {
       ChunkGrid grid = MakeChunkGrid(n, workers);
       ASSERT_GE(grid.num_chunks, 1u);
       ASSERT_LE(grid.num_chunks, std::max<std::size_t>(n, 1));
@@ -39,6 +39,18 @@ TEST(ChunkGridTest, PartitionsTheRangeExactly) {
       }
       EXPECT_EQ(expected_begin, n);
     }
+  }
+}
+
+TEST(ChunkGridTest, NormalizesTheWorkerKnobLikeParallelFor) {
+  // Callers size per-chunk result arrays with MakeChunkGrid(n, knob) and run
+  // ParallelFor(knob, n, ...); both must agree for every knob value — in
+  // particular 0 ("all hardware threads") must not collapse to one worker.
+  for (std::size_t n : {1u, 100u, 4097u}) {
+    EXPECT_EQ(MakeChunkGrid(n, 0).num_chunks,
+              MakeChunkGrid(n, HardwareThreads()).num_chunks);
+    EXPECT_EQ(MakeChunkGrid(n, -3).num_chunks,
+              MakeChunkGrid(n, 1).num_chunks);
   }
 }
 
@@ -92,6 +104,26 @@ TEST_P(ParallelForTest, VisitsEachIndexExactlyOnce) {
     for (std::size_t i = 0; i < n; ++i) {
       ASSERT_EQ(visits[i].load(), 1) << "index " << i << " n " << n;
     }
+  }
+}
+
+TEST_P(ParallelForTest, ChunkIndicesStayInsideTheCallerSizedGrid) {
+  // Callers allocate per-chunk result arrays of size
+  // MakeChunkGrid(n, knob).num_chunks and index them with the chunk id the
+  // body receives; any id at or past that bound is an out-of-bounds write.
+  const int threads = GetParam();
+  for (std::size_t n : {1u, 7u, 1000u, 4097u}) {
+    const std::size_t num_chunks = MakeChunkGrid(n, threads).num_chunks;
+    std::atomic<std::size_t> max_chunk{0};
+    ParallelFor(threads, n,
+                [&](std::size_t chunk, std::size_t /*begin*/,
+                    std::size_t /*end*/) {
+                  std::size_t seen = max_chunk.load();
+                  while (chunk > seen &&
+                         !max_chunk.compare_exchange_weak(seen, chunk)) {
+                  }
+                });
+    EXPECT_LT(max_chunk.load(), num_chunks) << "n " << n;
   }
 }
 
@@ -158,7 +190,7 @@ TEST_P(ParallelForTest, StressManySmallGrids) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelForTest,
-                         ::testing::Values(1, 2, 4, 8));
+                         ::testing::Values(0, 1, 2, 4, 8));
 
 }  // namespace
 }  // namespace focq
