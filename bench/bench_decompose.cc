@@ -9,6 +9,7 @@
 // local exploration) versus the naive odometer over A^k.
 #include <benchmark/benchmark.h>
 
+#include "focq/core/plan.h"
 #include "focq/eval/naive_eval.h"
 #include "focq/graph/generators.h"
 #include "focq/locality/decompose.h"
@@ -52,6 +53,24 @@ void BM_DecomposeCount(benchmark::State& state) {
   state.counters["radius"] = radius;
   state.counters["basic_cl_terms"] = static_cast<double>(basics);
   state.counters["monomials"] = static_cast<double>(monomials);
+
+  // The full compiled plan for the same counting term, so BENCH_decompose.json
+  // carries the EvalPlan::Stats shape next to the raw decomposition size.
+  Structure sig_holder = EncodeGraph(MakeClique(2));
+  sig_holder.AddUnarySymbol("R", {});
+  Result<EvalPlan> plan =
+      CompileTerm(Count(vars, kernel), sig_holder.signature());
+  if (plan.ok()) {
+    EvalPlan::Stats s = plan->ComputeStats();
+    state.counters["plan.layers"] = static_cast<double>(s.num_layers);
+    state.counters["plan.relations"] = static_cast<double>(s.num_relations);
+    state.counters["plan.fallback_relations"] =
+        static_cast<double>(s.num_fallback_relations);
+    state.counters["plan.basic_cl_terms"] =
+        static_cast<double>(s.num_basic_cl_terms);
+    state.counters["plan.max_width"] = static_cast<double>(s.max_width);
+    state.counters["plan.max_radius"] = static_cast<double>(s.max_radius);
+  }
 }
 
 BENCHMARK(BM_DecomposeCount)

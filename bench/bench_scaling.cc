@@ -8,14 +8,32 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <initializer_list>
+#include <utility>
 
 #include "focq/core/api.h"
 #include "focq/graph/generators.h"
 #include "focq/logic/build.h"
+#include "focq/obs/metrics.h"
 #include "focq/structure/encode.h"
 
 namespace focq {
 namespace {
+
+// Registers focq pipeline counters on the benchmark, averaged per iteration
+// (the sink accumulates across the timing loop). Counter names land verbatim
+// in BENCH_scaling.json, so downstream scripts read e.g.
+// "clterm.anchors_evaluated" next to the timings.
+void AttachFocqCounters(
+    benchmark::State& state, const MetricsSink& metrics,
+    std::initializer_list<const char*> names) {
+  const double iters = static_cast<double>(state.iterations());
+  if (iters == 0) return;
+  for (const char* name : names) {
+    state.counters[name] =
+        static_cast<double>(metrics.Counter(name)) / iters;
+  }
+}
 
 Structure MakeFamily(int family, std::size_t n, Rng* rng) {
   switch (family) {
@@ -52,7 +70,9 @@ void BM_CountSolutionsLocal(benchmark::State& state) {
   Rng rng(77);
   Structure a = MakeFamily(family, n, &rng);
   Formula phi = ScalingCondition();
+  MetricsSink metrics;
   EvalOptions options{Engine::kLocal, TermEngine::kBall};
+  options.metrics = &metrics;
   CountInt result = 0;
   for (auto _ : state) {
     result = *CountSolutions(phi, a, options);
@@ -65,6 +85,10 @@ void BM_CountSolutionsLocal(benchmark::State& state) {
       static_cast<double>(a.Order()),
       benchmark::Counter::kIsIterationInvariantRate |
           benchmark::Counter::kInvert);
+  AttachFocqCounters(state, metrics,
+                     {"plan.layers", "plan.basic_cl_terms",
+                      "plan.fallback_relations", "clterm.anchors_evaluated",
+                      "clterm.balls_fetched", "clterm.placements_checked"});
 }
 
 // Ablation: the same pipeline with cl-terms evaluated per cluster of a
@@ -76,7 +100,9 @@ void BM_CountSolutionsCover(benchmark::State& state) {
   Rng rng(77);
   Structure a = MakeFamily(family, n, &rng);
   Formula phi = ScalingCondition();
+  MetricsSink metrics;
   EvalOptions options{Engine::kLocal, TermEngine::kSparseCover};
+  options.metrics = &metrics;
   CountInt result = 0;
   for (auto _ : state) {
     result = *CountSolutions(phi, a, options);
@@ -85,6 +111,14 @@ void BM_CountSolutionsCover(benchmark::State& state) {
   state.SetLabel(FamilyName(family));
   state.counters["n"] = static_cast<double>(a.Order());
   state.counters["solutions"] = static_cast<double>(result);
+  AttachFocqCounters(state, metrics,
+                     {"cover.clusters", "cover.total_cluster_size",
+                      "cover.bfs_vertices",
+                      "cover_eval.clusters_materialized",
+                      "clterm.anchors_evaluated"});
+  // High-water mark, not a sum: report it undivided.
+  state.counters["cover.max_degree"] =
+      static_cast<double>(metrics.Counter("cover.max_degree"));
 }
 
 void BM_CountSolutionsNaive(benchmark::State& state) {
@@ -93,7 +127,9 @@ void BM_CountSolutionsNaive(benchmark::State& state) {
   Rng rng(77);
   Structure a = MakeFamily(family, n, &rng);
   Formula phi = ScalingCondition();
+  MetricsSink metrics;
   EvalOptions options{Engine::kNaive, TermEngine::kBall};
+  options.metrics = &metrics;
   CountInt result = 0;
   for (auto _ : state) {
     result = *CountSolutions(phi, a, options);
@@ -102,6 +138,7 @@ void BM_CountSolutionsNaive(benchmark::State& state) {
   state.SetLabel(FamilyName(family));
   state.counters["n"] = static_cast<double>(a.Order());
   state.counters["solutions"] = static_cast<double>(result);
+  AttachFocqCounters(state, metrics, {"naive.tuples_enumerated"});
 }
 
 void LocalArgs(benchmark::internal::Benchmark* b) {
@@ -131,7 +168,9 @@ void BM_CountSolutionsLocalThreads(benchmark::State& state) {
   Rng rng(77);
   Structure a = MakeFamily(family, n, &rng);
   Formula phi = ScalingCondition();
+  MetricsSink metrics;
   EvalOptions options{Engine::kLocal, TermEngine::kBall, threads};
+  options.metrics = &metrics;
   CountInt result = 0;
   for (auto _ : state) {
     result = *CountSolutions(phi, a, options);
@@ -141,6 +180,11 @@ void BM_CountSolutionsLocalThreads(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(a.Order());
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["solutions"] = static_cast<double>(result);
+  // Input-determined work counters: must not move across the thread sweep
+  // (the determinism contract), which BENCH_scaling.json makes checkable.
+  AttachFocqCounters(state, metrics,
+                     {"clterm.anchors_evaluated", "clterm.balls_fetched",
+                      "clterm.placements_checked"});
 }
 
 void BM_CountSolutionsCoverThreads(benchmark::State& state) {
@@ -150,7 +194,9 @@ void BM_CountSolutionsCoverThreads(benchmark::State& state) {
   Rng rng(77);
   Structure a = MakeFamily(family, n, &rng);
   Formula phi = ScalingCondition();
+  MetricsSink metrics;
   EvalOptions options{Engine::kLocal, TermEngine::kSparseCover, threads};
+  options.metrics = &metrics;
   CountInt result = 0;
   for (auto _ : state) {
     result = *CountSolutions(phi, a, options);
@@ -160,6 +206,10 @@ void BM_CountSolutionsCoverThreads(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(a.Order());
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["solutions"] = static_cast<double>(result);
+  AttachFocqCounters(state, metrics,
+                     {"cover.clusters", "cover.bfs_vertices",
+                      "cover_eval.clusters_materialized",
+                      "clterm.anchors_evaluated"});
 }
 
 void BM_CountSolutionsNaiveThreads(benchmark::State& state) {

@@ -11,6 +11,45 @@
 #include "focq/util/thread_pool.h"
 
 namespace focq {
+namespace {
+
+ExecOptions MakeExecOptions(const EvalOptions& options) {
+  ExecOptions exec{options.term_engine, options.num_threads};
+  exec.metrics = options.metrics;
+  exec.trace = options.trace;
+  return exec;
+}
+
+// Plan-shape counters (sums and high-water marks over every compilation this
+// sink observes); all derived from the query alone, hence thread-count
+// independent by construction.
+void RecordPlanMetrics(const EvalPlan& plan, MetricsSink* metrics) {
+  if (metrics == nullptr) return;
+  EvalPlan::Stats stats = plan.ComputeStats();
+  metrics->AddCounter("plan.compilations", 1);
+  metrics->AddCounter("plan.layers",
+                      static_cast<std::int64_t>(stats.num_layers));
+  metrics->AddCounter("plan.relations",
+                      static_cast<std::int64_t>(stats.num_relations));
+  metrics->AddCounter(
+      "plan.fallback_relations",
+      static_cast<std::int64_t>(stats.num_fallback_relations));
+  metrics->AddCounter("plan.basic_cl_terms",
+                      static_cast<std::int64_t>(stats.num_basic_cl_terms));
+  metrics->MaxCounter("plan.max_width",
+                      static_cast<std::int64_t>(stats.max_width));
+  metrics->MaxCounter("plan.max_radius",
+                      static_cast<std::int64_t>(stats.max_radius));
+}
+
+// With the naive engine the work tally lives on the evaluator; flush it so
+// both engines report through the same sink interface.
+void FlushNaiveMetrics(const NaiveEvaluator& eval, MetricsSink* metrics) {
+  if (metrics == nullptr) return;
+  metrics->AddCounter("naive.tuples_enumerated", eval.tuples_enumerated());
+}
+
+}  // namespace
 
 Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
                         const EvalOptions& options) {
@@ -18,12 +57,19 @@ Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
     return Status::InvalidArgument("ModelCheck expects a sentence");
   }
   if (options.engine == Engine::kNaive) {
+    ScopedSpan span(options.trace, "naive_eval");
     NaiveEvaluator eval(a);
-    return eval.Satisfies(sentence);
+    bool holds = eval.Satisfies(sentence);
+    FlushNaiveMetrics(eval, options.metrics);
+    return holds;
   }
-  Result<EvalPlan> plan = CompileFormula(sentence, a.signature());
+  Result<EvalPlan> plan = [&] {
+    ScopedSpan span(options.trace, "compile");
+    return CompileFormula(sentence, a.signature());
+  }();
   if (!plan.ok()) return plan.status();
-  PlanExecutor exec(*plan, a, ExecOptions{options.term_engine, options.num_threads});
+  RecordPlanMetrics(*plan, options.metrics);
+  PlanExecutor exec(*plan, a, MakeExecOptions(options));
   FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
   return exec.CheckSentence();
 }
@@ -34,12 +80,19 @@ Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
     return Status::InvalidArgument("EvaluateGroundTerm expects a ground term");
   }
   if (options.engine == Engine::kNaive) {
+    ScopedSpan span(options.trace, "naive_eval");
     NaiveEvaluator eval(a);
-    return eval.Evaluate(t);
+    Result<CountInt> v = eval.Evaluate(t);
+    FlushNaiveMetrics(eval, options.metrics);
+    return v;
   }
-  Result<EvalPlan> plan = CompileTerm(t, a.signature());
+  Result<EvalPlan> plan = [&] {
+    ScopedSpan span(options.trace, "compile");
+    return CompileTerm(t, a.signature());
+  }();
   if (!plan.ok()) return plan.status();
-  PlanExecutor exec(*plan, a, ExecOptions{options.term_engine, options.num_threads});
+  RecordPlanMetrics(*plan, options.metrics);
+  PlanExecutor exec(*plan, a, MakeExecOptions(options));
   FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
   return exec.TermValue();
 }
@@ -53,8 +106,11 @@ Result<CountInt> CountSolutions(const Formula& phi, const Structure& a,
     return *holds ? CountInt{1} : CountInt{0};
   }
   if (options.engine == Engine::kNaive) {
+    ScopedSpan span(options.trace, "naive_eval");
     NaiveEvaluator eval(a);
-    return eval.CountSolutions(phi, options.num_threads);
+    Result<CountInt> v = eval.CountSolutions(phi, options.num_threads);
+    FlushNaiveMetrics(eval, options.metrics);
+    return v;
   }
   return EvaluateGroundTerm(Count(free, phi), a, options);
 }
@@ -66,10 +122,14 @@ Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
                                             const EvalOptions& options) {
   // One free variable: evaluate the condition and every head term for all
   // elements in bulk.
-  ExecOptions exec_options{options.term_engine, options.num_threads};
+  ExecOptions exec_options = MakeExecOptions(options);
 
-  Result<EvalPlan> cond_plan = CompileFormula(q.condition, a.signature());
+  Result<EvalPlan> cond_plan = [&] {
+    ScopedSpan span(options.trace, "compile");
+    return CompileFormula(q.condition, a.signature());
+  }();
   if (!cond_plan.ok()) return cond_plan.status();
+  RecordPlanMetrics(*cond_plan, options.metrics);
   PlanExecutor cond_exec(*cond_plan, a, exec_options);
   FOCQ_RETURN_IF_ERROR(cond_exec.MaterializeLayers());
   Result<std::vector<bool>> sat = cond_exec.CheckAll();
@@ -79,8 +139,12 @@ Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
   std::vector<EvalPlan> term_plans;  // must outlive their executors
   term_plans.reserve(q.head_terms.size());
   for (const Term& t : q.head_terms) {
-    Result<EvalPlan> plan = CompileTerm(t, a.signature());
+    Result<EvalPlan> plan = [&] {
+      ScopedSpan span(options.trace, "compile");
+      return CompileTerm(t, a.signature());
+    }();
     if (!plan.ok()) return plan.status();
+    RecordPlanMetrics(*plan, options.metrics);
     term_plans.push_back(std::move(*plan));
     PlanExecutor exec(term_plans.back(), a, exec_options);
     FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
@@ -176,6 +240,10 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
   // a private vector; concatenating those in chunk order reproduces the
   // serial row order exactly.
   std::vector<Tuple> ordered(candidates.begin(), candidates.end());
+  if (options.metrics != nullptr) {
+    options.metrics->AddCounter("query.candidates_verified",
+                                static_cast<std::int64_t>(ordered.size()));
+  }
   const int workers = EffectiveThreads(options.num_threads);
   const std::size_t num_chunks =
       MakeChunkGrid(ordered.size(), workers).num_chunks;
@@ -220,28 +288,37 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
 Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
                                   const EvalOptions& options) {
   FOCQ_RETURN_IF_ERROR(q.Validate());
-  if (options.engine == Engine::kNaive) {
-    return EvaluateQueryNaive(q, a);
-  }
-  if (q.head_vars.size() >= 2) {
-    return EvaluateMultiQueryLocal(q, a, options);
-  }
-  if (q.head_vars.empty()) {
-    Result<bool> holds = ModelCheck(q.condition, a, options);
-    if (!holds.ok()) return holds.status();
-    QueryResult result;
-    if (*holds) {
-      QueryRow row;
-      for (const Term& t : q.head_terms) {
-        Result<CountInt> v = EvaluateGroundTerm(t, a, options);
-        if (!v.ok()) return v.status();
-        row.counts.push_back(*v);
-      }
-      result.rows.push_back(std::move(row));
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    ScopedSpan span(options.trace, "query_eval");
+    if (options.engine == Engine::kNaive) {
+      return EvaluateQueryNaive(q, a);
     }
-    return result;
+    if (q.head_vars.size() >= 2) {
+      return EvaluateMultiQueryLocal(q, a, options);
+    }
+    if (q.head_vars.empty()) {
+      Result<bool> holds = ModelCheck(q.condition, a, options);
+      if (!holds.ok()) return holds.status();
+      QueryResult result;
+      if (*holds) {
+        QueryRow row;
+        for (const Term& t : q.head_terms) {
+          Result<CountInt> v = EvaluateGroundTerm(t, a, options);
+          if (!v.ok()) return v.status();
+          row.counts.push_back(*v);
+        }
+        result.rows.push_back(std::move(row));
+      }
+      return result;
+    }
+    return EvaluateUnaryQueryLocal(q, a, options);
+  }();
+  // Hand the caller a snapshot of everything the pipeline recorded; rows are
+  // computed before the snapshot, so installing a sink cannot change them.
+  if (result.ok() && options.metrics != nullptr) {
+    result.value().metrics = options.metrics->Snapshot();
   }
-  return EvaluateUnaryQueryLocal(q, a, options);
+  return result;
 }
 
 }  // namespace focq

@@ -27,6 +27,12 @@ struct EvalOptions {
   // parallel loops write disjoint slots and reduce partial counts in a
   // fixed chunk order (see DESIGN.md, "Concurrency model").
   int num_threads = 1;
+  // Optional observability sinks (not owned; may be null). Counters for
+  // input-determined quantities (plan layers, clusters, anchors, tuples) are
+  // identical for every num_threads; spans record wall time only. Installing
+  // sinks never changes results (see DESIGN.md, "Observability").
+  MetricsSink* metrics = nullptr;
+  TraceSink* trace = nullptr;
 };
 
 /// Decides A |= phi for a sentence phi of FOC(P). With Engine::kLocal, phi

@@ -18,16 +18,21 @@ PlanExecutor::PlanExecutor(const EvalPlan& plan, const Structure& input,
 NeighborhoodCover& PlanExecutor::CoverFor(std::uint32_t radius) {
   auto it = covers_.find(radius);
   if (it != covers_.end()) return it->second;
+  ScopedSpan span(options_.trace, "cover_build");
   NeighborhoodCover cover =
       options_.term_engine == TermEngine::kExactCover
-          ? ExactBallCover(gaifman_, radius, options_.num_threads)
-          : SparseCover(gaifman_, radius, options_.num_threads);
+          ? ExactBallCover(gaifman_, radius, options_.num_threads,
+                           options_.metrics)
+          : SparseCover(gaifman_, radius, options_.num_threads,
+                        options_.metrics);
   return covers_.emplace(radius, std::move(cover)).first->second;
 }
 
 Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
   if (options_.term_engine == TermEngine::kBall) {
-    ClTermBallEvaluator eval(structure_, gaifman_, options_.num_threads);
+    ScopedSpan span(options_.trace, "cl_term_eval");
+    ClTermBallEvaluator eval(structure_, gaifman_, options_.num_threads,
+                             options_.metrics);
     return eval.EvaluateAll(term);
   }
   // Cover engines: one cover per required radius; evaluate factor-wise and
@@ -38,8 +43,9 @@ Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
   factor_values.reserve(term.basics().size());
   for (const BasicClTerm& b : term.basics()) {
     NeighborhoodCover& cover = CoverFor(RequiredCoverRadius(b));
+    ScopedSpan span(options_.trace, "cl_term_eval");
     ClTermCoverEvaluator eval(structure_, gaifman_, cover,
-                              options_.num_threads);
+                              options_.num_threads, options_.metrics);
     if (b.unary) {
       Result<std::vector<CountInt>> v = eval.EvaluateBasicAll(b);
       if (!v.ok()) return v.status();
@@ -55,8 +61,25 @@ Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
 
 Status PlanExecutor::MaterializeLayers() {
   FOCQ_CHECK(!materialized_);
+  ScopedSpan materialize_span(options_.trace, "materialize_layers");
+  std::size_t layer_index = 0;
   for (const auto& layer : plan_.layers) {
+    ScopedSpan layer_span(options_.trace,
+                          "layer_" + std::to_string(layer_index++));
     for (const LayerRelationDef& def : layer) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->AddCounter("materialize.marker_relations", 1);
+        if (def.fallback) {
+          options_.metrics->AddCounter("materialize.fallback_relations", 1);
+          // Every element is checked exactly once (arity 0: one sentence
+          // check), so the tally is thread-count independent.
+          options_.metrics->AddCounter(
+              "materialize.fallback_checks",
+              def.arity == 0
+                  ? 1
+                  : static_cast<std::int64_t>(structure_.universe_size()));
+        }
+      }
       if (def.fallback) {
         // Direct evaluation of the original P(t-bar) subformula over the
         // current expansion (whose earlier markers it may mention).
@@ -132,6 +155,10 @@ Status PlanExecutor::MaterializeLayers() {
 Result<bool> PlanExecutor::CheckSentence() {
   FOCQ_CHECK(materialized_ && !plan_.is_term);
   FOCQ_CHECK(FreeVars(plan_.final_formula).empty());
+  ScopedSpan span(options_.trace, "residual_eval");
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("residual.elements_checked", 1);
+  }
   return final_eval_->Satisfies(plan_.final_formula);
 }
 
@@ -139,6 +166,10 @@ Result<bool> PlanExecutor::CheckAt(ElemId a) {
   FOCQ_CHECK(materialized_ && !plan_.is_term);
   std::vector<Var> free = FreeVars(plan_.final_formula);
   FOCQ_CHECK_LE(free.size(), 1u);
+  ScopedSpan span(options_.trace, "residual_eval");
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("residual.elements_checked", 1);
+  }
   Env env;
   if (!free.empty()) env.Bind(free[0], a);
   return final_eval_->Satisfies(plan_.final_formula, &env);
@@ -146,7 +177,12 @@ Result<bool> PlanExecutor::CheckAt(ElemId a) {
 
 Result<std::vector<bool>> PlanExecutor::CheckAll() {
   FOCQ_CHECK(materialized_ && !plan_.is_term);
+  ScopedSpan span(options_.trace, "residual_eval");
   const std::size_t n = structure_.universe_size();
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("residual.elements_checked",
+                                 static_cast<std::int64_t>(n));
+  }
   std::vector<Var> free = FreeVars(plan_.final_formula);
   FOCQ_CHECK_LE(free.size(), 1u);
   // std::vector<bool> packs bits, so concurrent writes to distinct indices
@@ -178,6 +214,10 @@ Result<CountInt> PlanExecutor::TermValue() {
     if (!v.ok()) return v.status();
     return (*v)[0];
   }
+  ScopedSpan span(options_.trace, "residual_eval");
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("residual.elements_checked", 1);
+  }
   return final_eval_->Evaluate(plan_.final_term_residual);
 }
 
@@ -192,7 +232,12 @@ Result<std::vector<CountInt>> PlanExecutor::TermValues() {
     }
     return v;
   }
+  ScopedSpan span(options_.trace, "residual_eval");
   const std::size_t n = structure_.universe_size();
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("residual.elements_checked",
+                                 static_cast<std::int64_t>(n));
+  }
   std::vector<CountInt> out(n, 0);
   const int workers = EffectiveThreads(options_.num_threads);
   const std::size_t num_chunks = MakeChunkGrid(n, workers).num_chunks;

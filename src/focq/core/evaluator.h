@@ -13,6 +13,8 @@
 #include "focq/cover/cover_term.h"
 #include "focq/cover/neighborhood_cover.h"
 #include "focq/locality/local_eval.h"
+#include "focq/obs/metrics.h"
+#include "focq/obs/trace.h"
 
 namespace focq {
 
@@ -30,6 +32,11 @@ struct ExecOptions {
   // Results are bit-identical for every value (see DESIGN.md, "Concurrency
   // model").
   int num_threads = 1;
+  // Optional observability sinks (not owned; may be null). Installing them
+  // never changes results: counters for deterministic quantities are
+  // identical for every num_threads; spans record wall time only.
+  MetricsSink* metrics = nullptr;
+  TraceSink* trace = nullptr;
 };
 
 /// Executes one plan against one structure.

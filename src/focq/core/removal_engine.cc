@@ -86,7 +86,13 @@ Result<std::vector<CountInt>> Engine::BasicAt(
     return DirectAt(s, gaifman, basic, positions);
   }
   const std::uint32_t cover_radius = RequiredCoverRadius(basic);
-  NeighborhoodCover cover = SparseCover(gaifman, cover_radius);
+  NeighborhoodCover cover =
+      SparseCover(gaifman, cover_radius, /*num_threads=*/1, options.metrics);
+  if (options.metrics != nullptr) {
+    options.metrics->AddCounter("removal.cover_builds", 1);
+    options.metrics->MaxCounter("removal.max_depth",
+                                static_cast<std::int64_t>(depth) + 1);
+  }
   std::vector<std::vector<std::size_t>> wanted(cover.NumClusters());
   for (std::size_t i = 0; i < positions.size(); ++i) {
     wanted[cover.assignment[positions[i]]].push_back(i);
@@ -138,6 +144,10 @@ Result<std::vector<CountInt>> Engine::BasicAt(
         BuildRemovalSignature(view.structure.signature(), removal_radius);
     RemovalResult removed =
         RemoveElement(view.structure, sub_gaifman, d, removal_radius, rs);
+    if (options.metrics != nullptr) {
+      // One A *r d surgery (Section 7.3) per visited cluster.
+      options.metrics->AddCounter("removal.surgeries", 1);
+    }
     Graph removed_gaifman = BuildGaifmanGraph(removed.structure);
 
     Result<RemovalUnaryParts> parts = RemoveUnaryTerm(

@@ -29,6 +29,10 @@ struct RemovalEngineOptions {
   /// Hard recursion cap (the empirical lambda(2kr) stand-in); deeper arenas
   /// fall back to direct evaluation. Exactness is unaffected.
   std::uint32_t max_depth = 6;
+  /// Optional sink for removal.* counters (surgeries performed, cover
+  /// builds, recursion depth high-water mark); also forwarded into the
+  /// per-level SparseCover builds. Not owned; may be null.
+  MetricsSink* metrics = nullptr;
 };
 
 /// Values of the unary basic cl-term at every element of `a` via the

@@ -11,11 +11,13 @@ namespace focq {
 ClTermCoverEvaluator::ClTermCoverEvaluator(const Structure& structure,
                                            const Graph& gaifman,
                                            const NeighborhoodCover& cover,
-                                           int num_threads)
+                                           int num_threads,
+                                           MetricsSink* metrics)
     : structure_(structure),
       gaifman_(gaifman),
       cover_(cover),
       num_threads_(EffectiveThreads(num_threads)),
+      metrics_(metrics),
       incidence_(structure) {
   FOCQ_CHECK_EQ(gaifman.num_vertices(), structure.universe_size());
   FOCQ_CHECK_EQ(cover.assignment.size(), structure.universe_size());
@@ -34,6 +36,13 @@ Result<std::vector<CountInt>> ClTermCoverEvaluator::EvaluateBasicAll(
   const std::size_t num_chunks =
       MakeChunkGrid(num_clusters, num_threads_).num_chunks;
   std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  // Exploration work tallied per chunk and flushed after the join (the
+  // ShardedCounter protocol); all four quantities are input-determined.
+  ShardedCounter clusters_materialized(num_chunks);
+  ShardedCounter cluster_elements(num_chunks);
+  ShardedCounter anchors(num_chunks);
+  ShardedCounter balls(num_chunks);
+  ShardedCounter placements(num_chunks);
   // Per-cluster local evaluation (Theorem 5.5's embarrassingly parallel
   // core): every anchor belongs to exactly one cluster, so chunks write
   // disjoint slots of `out`; shared state (structure, gaifman, incidence,
@@ -48,6 +57,9 @@ Result<std::vector<CountInt>> ClTermCoverEvaluator::EvaluateBasicAll(
               InducedViewFast(incidence_, cover_.clusters[c]);
           Graph sub_gaifman = BuildGaifmanGraph(view.structure);
           ClTermBallEvaluator sub_eval(view.structure, sub_gaifman);
+          clusters_materialized.Add(chunk, 1);
+          cluster_elements.Add(
+              chunk, static_cast<std::int64_t>(cover_.clusters[c].size()));
           for (ElemId a : anchors_of_cluster_[c]) {
             Result<CountInt> v =
                 sub_eval.EvaluateBasicAt(basic, view.ToLocal(a));
@@ -57,10 +69,23 @@ Result<std::vector<CountInt>> ClTermCoverEvaluator::EvaluateBasicAll(
             }
             out[a] = *v;
           }
+          const ClTermBallEvaluator::ExploreStats& es =
+              sub_eval.explore_stats();
+          anchors.Add(chunk, es.anchors);
+          balls.Add(chunk, es.balls);
+          placements.Add(chunk, es.placements);
         }
       });
   for (const Status& s : chunk_status) {
     if (!s.ok()) return s;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->AddCounter("cover_eval.basics_evaluated", 1);
+    clusters_materialized.FlushTo(metrics_, "cover_eval.clusters_materialized");
+    cluster_elements.FlushTo(metrics_, "cover_eval.cluster_elements");
+    anchors.FlushTo(metrics_, "clterm.anchors_evaluated");
+    balls.FlushTo(metrics_, "clterm.balls_fetched");
+    placements.FlushTo(metrics_, "clterm.placements_checked");
   }
   return out;
 }

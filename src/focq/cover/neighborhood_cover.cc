@@ -7,6 +7,31 @@
 #include "focq/util/thread_pool.h"
 
 namespace focq {
+namespace {
+
+// Cover-shape counters: sums (builds, clusters, cluster sizes) accumulate
+// across builds, high-water marks merge by max. All are determined by the
+// input graph and radius alone, so they fall under the determinism contract.
+void RecordCoverMetrics(const NeighborhoodCover& cover, MetricsSink* metrics) {
+  if (metrics == nullptr) return;
+  metrics->AddCounter("cover.builds", 1);
+  metrics->AddCounter("cover.clusters",
+                      static_cast<std::int64_t>(cover.NumClusters()));
+  metrics->AddCounter("cover.total_cluster_size",
+                      static_cast<std::int64_t>(cover.TotalClusterSize()));
+  metrics->MaxCounter("cover.max_degree",
+                      static_cast<std::int64_t>(cover.MaxDegree()));
+  std::size_t max_cluster = 0;
+  for (const auto& c : cover.clusters) {
+    metrics->RecordValue("cover.cluster_size",
+                         static_cast<std::int64_t>(c.size()));
+    max_cluster = std::max(max_cluster, c.size());
+  }
+  metrics->MaxCounter("cover.max_cluster_size",
+                      static_cast<std::int64_t>(max_cluster));
+}
+
+}  // namespace
 
 std::size_t NeighborhoodCover::TotalClusterSize() const {
   std::size_t total = 0;
@@ -25,7 +50,7 @@ std::size_t NeighborhoodCover::MaxDegree() const {
 }
 
 NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
-                                 int num_threads) {
+                                 int num_threads, MetricsSink* metrics) {
   NeighborhoodCover cover;
   cover.r = r;
   cover.cluster_radius = r;
@@ -35,24 +60,30 @@ NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
   cover.centers.resize(n);
   // Cluster c is always the r-ball of vertex c, so every slot is independent
   // of every other: chunks write disjoint ranges and the result is the same
-  // for any thread count.
+  // for any thread count. BFS work is tallied per chunk and flushed after
+  // the join (the ShardedCounter protocol).
+  ShardedCounter bfs_vertices(MakeChunkGrid(n, num_threads).num_chunks);
   ParallelFor(num_threads, n,
-              [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 BallExplorer explorer(gaifman);
                 for (std::size_t v = begin; v < end; ++v) {
                   std::vector<ElemId> ball =
                       explorer.Explore(static_cast<VertexId>(v), r);
                   std::sort(ball.begin(), ball.end());
+                  bfs_vertices.Add(chunk,
+                                   static_cast<std::int64_t>(ball.size()));
                   cover.assignment[v] = static_cast<std::uint32_t>(v);
                   cover.clusters[v] = std::move(ball);
                   cover.centers[v] = static_cast<ElemId>(v);
                 }
               });
+  bfs_vertices.FlushTo(metrics, "cover.bfs_vertices");
+  RecordCoverMetrics(cover, metrics);
   return cover;
 }
 
 NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
-                              int num_threads) {
+                              int num_threads, MetricsSink* metrics) {
   NeighborhoodCover cover;
   cover.r = r;
   cover.cluster_radius = 2 * r;
@@ -63,12 +94,14 @@ NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
   // that claimed v first, or kUnclaimed.
   constexpr std::uint32_t kUnclaimed = static_cast<std::uint32_t>(-1);
   std::vector<std::uint32_t> covering_center(n, kUnclaimed);
+  std::int64_t greedy_bfs_vertices = 0;
   BallExplorer explorer(gaifman);
   for (VertexId v = 0; v < n; ++v) {
     if (covering_center[v] != kUnclaimed) continue;
     std::uint32_t center_index = static_cast<std::uint32_t>(cover.centers.size());
     cover.centers.push_back(v);
     const std::vector<VertexId>& ball = explorer.Explore(v, r);
+    greedy_bfs_vertices += static_cast<std::int64_t>(ball.size());
     for (VertexId b : ball) {
       if (covering_center[b] == kUnclaimed) covering_center[b] = center_index;
     }
@@ -79,13 +112,17 @@ NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
   // whole r-ball (dist(v, centre) <= r). Each cluster slot is independent,
   // so the (dominant) ball materialisation fans out across threads.
   cover.clusters.resize(cover.centers.size());
+  ShardedCounter bfs_vertices(
+      MakeChunkGrid(cover.centers.size(), num_threads).num_chunks);
   ParallelFor(num_threads, cover.centers.size(),
-              [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 BallExplorer chunk_explorer(gaifman);
                 for (std::size_t c = begin; c < end; ++c) {
                   std::vector<ElemId> ball =
                       chunk_explorer.Explore(cover.centers[c], 2 * r);
                   std::sort(ball.begin(), ball.end());
+                  bfs_vertices.Add(chunk,
+                                   static_cast<std::int64_t>(ball.size()));
                   cover.clusters[c] = std::move(ball);
                 }
               });
@@ -93,6 +130,11 @@ NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
     FOCQ_CHECK_NE(covering_center[v], kUnclaimed);
     cover.assignment[v] = covering_center[v];
   }
+  if (metrics != nullptr) {
+    metrics->AddCounter("cover.bfs_vertices",
+                        greedy_bfs_vertices + bfs_vertices.Total());
+  }
+  RecordCoverMetrics(cover, metrics);
   return cover;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "focq/graph/graph.h"
+#include "focq/obs/metrics.h"
 #include "focq/structure/structure.h"
 
 namespace focq {
@@ -43,16 +44,20 @@ struct NeighborhoodCover {
 
 /// X(a) = N_r(a) for every a. The per-centre ball BFS parallelises over
 /// `num_threads` workers (0 = all hardware threads); the result is identical
-/// to the serial construction for every thread count.
+/// to the serial construction for every thread count. With `metrics`
+/// installed the build records cover.* counters (clusters, degree, BFS
+/// vertices touched — see DESIGN.md, "Observability").
 NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
-                                 int num_threads = 1);
+                                 int num_threads = 1,
+                                 MetricsSink* metrics = nullptr);
 
 /// Greedy (r, 2r)-cover (see file comment). The greedy centre selection is
 /// order-dependent and stays serial; the per-centre 2r-ball materialisation
 /// (the dominant cost) parallelises over `num_threads` workers with a
-/// thread-count-independent result.
+/// thread-count-independent result. `metrics` as in ExactBallCover.
 NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
-                              int num_threads = 1);
+                              int num_threads = 1,
+                              MetricsSink* metrics = nullptr);
 
 /// Verifies the cover invariants: every cluster is connected, has radius at
 /// most cover.cluster_radius (witnessed by its centre), and N_r(a) is

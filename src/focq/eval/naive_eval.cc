@@ -1,6 +1,7 @@
 #include "focq/eval/naive_eval.h"
 
 #include "focq/logic/build.h"
+#include "focq/obs/metrics.h"
 #include "focq/util/checked_arith.h"
 #include "focq/util/thread_pool.h"
 
@@ -57,6 +58,7 @@ bool NaiveEvaluator::EvalFormula(const Expr& e, Env* env) {
       bool found = false;
       for (ElemId a = 0; a < structure_.universe_size() && !found; ++a) {
         env->Bind(y, a);
+        ++tuples_enumerated_;
         found = EvalFormula(*e.children[0], env);
       }
       if (was_bound) {
@@ -74,6 +76,7 @@ bool NaiveEvaluator::EvalFormula(const Expr& e, Env* env) {
       bool all = true;
       for (ElemId a = 0; a < structure_.universe_size() && all; ++a) {
         env->Bind(y, a);
+        ++tuples_enumerated_;
         all = EvalFormula(*e.children[0], env);
       }
       if (was_bound) {
@@ -161,10 +164,12 @@ std::optional<CountInt> NaiveEvaluator::EvalTerm(const Expr& e, Env* env) {
       std::vector<ElemId> tuple(k, 0);
       std::size_t n = structure_.universe_size();
       if (k == 0) {
+        ++tuples_enumerated_;
         count = EvalFormula(*e.children[0], env) ? 1 : 0;
       } else if (n > 0) {
         for (std::size_t i = 0; i < k; ++i) env->Bind(ys[i], 0);
         for (;;) {
+          ++tuples_enumerated_;
           if (EvalFormula(*e.children[0], env)) {
             std::optional<CountInt> next = CheckedAdd(count, 1);
             if (!next) {
@@ -263,6 +268,9 @@ Result<CountInt> NaiveEvaluator::CountSolutions(const Formula& f,
   const std::size_t num_chunks = MakeChunkGrid(n, workers).num_chunks;
   std::vector<CountInt> partial(num_chunks, 0);
   std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  // Per-worker enumeration tallies, folded back after the join so
+  // tuples_enumerated() matches the serial count (ShardedCounter protocol).
+  ShardedCounter enumerated(num_chunks);
   ParallelFor(workers, n,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 NaiveEvaluator worker(structure_);
@@ -282,7 +290,12 @@ Result<CountInt> NaiveEvaluator::CountSolutions(const Formula& f,
                   }
                   partial[chunk] = *sum;
                 }
+                enumerated.Add(chunk, worker.tuples_enumerated_);
               });
+  // The per-anchor rest-counters enumerate n * n^(k-1) bodies in total,
+  // exactly the serial odometer's n^k iterations: no extra term for the
+  // fan-out binding itself.
+  tuples_enumerated_ += enumerated.Total();
   CountInt total = 0;
   for (std::size_t c = 0; c < num_chunks; ++c) {
     if (!chunk_status[c].ok()) return chunk_status[c];

@@ -6,6 +6,7 @@
 #ifndef FOCQ_EVAL_NAIVE_EVAL_H_
 #define FOCQ_EVAL_NAIVE_EVAL_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -85,6 +86,12 @@ class NaiveEvaluator {
   /// threads, <= 1 or a sentence falls back to the serial path.
   Result<CountInt> CountSolutions(const Formula& f, int num_threads);
 
+  /// Candidate bindings tried by quantifier and counting loops since
+  /// construction (the naive engine's work measure; see DESIGN.md,
+  /// "Observability"). Parallel CountSolutions folds the per-worker tallies
+  /// back in, so the total is identical for every thread count.
+  std::int64_t tuples_enumerated() const { return tuples_enumerated_; }
+
  private:
   bool EvalFormula(const Expr& e, Env* env);
   std::optional<CountInt> EvalTerm(const Expr& e, Env* env);
@@ -97,6 +104,7 @@ class NaiveEvaluator {
   std::unique_ptr<Graph> gaifman_;           // built on first distance atom
   std::unique_ptr<BallExplorer> explorer_;
   bool overflow_ = false;
+  std::int64_t tuples_enumerated_ = 0;
   Tuple scratch_tuple_;
   std::vector<CountInt> scratch_args_;
 };

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "focq/logic/expr.h"
+#include "focq/obs/metrics.h"
 #include "focq/structure/structure.h"
 #include "focq/util/status.h"
 
@@ -40,6 +41,10 @@ struct QueryRow {
 /// Full query result, rows sorted lexicographically by `elements`.
 struct QueryResult {
   std::vector<QueryRow> rows;
+
+  /// Snapshot of the metrics sink taken when EvaluateQuery returns, when one
+  /// is installed on EvalOptions (empty otherwise). Rows never depend on it.
+  EvalMetrics metrics;
 };
 
 /// Evaluates `q` on `a` with the naive reference engine.

@@ -8,9 +8,31 @@
 namespace focq {
 
 HanfEvaluator::HanfEvaluator(const Structure& a, const Graph& gaifman,
-                             int num_threads)
-    : a_(a), gaifman_(gaifman), num_threads_(EffectiveThreads(num_threads)) {
+                             int num_threads, MetricsSink* metrics)
+    : a_(a),
+      gaifman_(gaifman),
+      num_threads_(EffectiveThreads(num_threads)),
+      metrics_(metrics) {
   FOCQ_CHECK_EQ(gaifman.num_vertices(), a.universe_size());
+}
+
+void HanfEvaluator::RecordTyping(const SphereTypeAssignment& types) {
+  if (metrics_ == nullptr) return;
+  const std::size_t num_types = types.registry.NumTypes();
+  metrics_->AddCounter("hanf.typings", 1);
+  metrics_->AddCounter("hanf.sphere_types",
+                       static_cast<std::int64_t>(num_types));
+  metrics_->AddCounter("hanf.typed_elements",
+                       static_cast<std::int64_t>(a_.universe_size()));
+  // One representative evaluation per type is the whole point of
+  // type-sharing; elements_per_type records how much each one is shared.
+  metrics_->AddCounter("hanf.type_evals",
+                       static_cast<std::int64_t>(num_types));
+  for (std::size_t id = 0; id < num_types; ++id) {
+    metrics_->RecordValue(
+        "hanf.elements_per_type",
+        static_cast<std::int64_t>(types.elements_of_type[id].size()));
+  }
 }
 
 Result<CountInt> HanfEvaluator::CountSatisfying(const Formula& phi, Var x,
@@ -30,6 +52,7 @@ Result<CountInt> HanfEvaluator::CountSatisfying(const Formula& phi, Var x,
   SphereTypeAssignment types = ComputeSphereTypes(a_, gaifman_, r,
                                                   num_threads_);
   last_num_types_ = types.registry.NumTypes();
+  RecordTyping(types);
   const std::size_t num_types = types.registry.NumTypes();
   // Types are mutually independent; evaluate each representative once, then
   // reduce the per-chunk partial counts in chunk order so overflow behaviour
@@ -78,6 +101,7 @@ Result<std::vector<CountInt>> HanfEvaluator::EvaluateBasicAll(
   SphereTypeAssignment types = ComputeSphereTypes(a_, gaifman_, sphere_radius,
                                                   num_threads_);
   last_num_types_ = types.registry.NumTypes();
+  RecordTyping(types);
 
   std::vector<CountInt> out(a_.universe_size(), 0);
   const std::size_t num_types = types.registry.NumTypes();

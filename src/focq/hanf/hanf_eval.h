@@ -25,7 +25,10 @@ class HanfEvaluator {
  public:
   /// `gaifman` must be BuildGaifmanGraph(a); both must outlive this object.
   /// `num_threads`: fan-out width (0 = all hardware threads, 1 = serial).
-  HanfEvaluator(const Structure& a, const Graph& gaifman, int num_threads = 1);
+  /// With `metrics` installed, every typing pass flushes hanf.* counters
+  /// (types interned, per-type population) — all input-determined.
+  HanfEvaluator(const Structure& a, const Graph& gaifman, int num_threads = 1,
+                MetricsSink* metrics = nullptr);
 
   /// Number of elements satisfying phi(x), where phi must be r-local around
   /// x (checked syntactically: its guarded locality radius must be <= r).
@@ -41,9 +44,13 @@ class HanfEvaluator {
   std::size_t last_num_types() const { return last_num_types_; }
 
  private:
+  /// Flushes per-typing hanf.* counters for `types` into metrics_.
+  void RecordTyping(const SphereTypeAssignment& types);
+
   const Structure& a_;
   const Graph& gaifman_;
   int num_threads_;
+  MetricsSink* metrics_;
   std::size_t last_num_types_ = 0;
 };
 

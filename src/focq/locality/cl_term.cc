@@ -124,11 +124,24 @@ ClTerm ClTerm::Mul(const ClTerm& a, const ClTerm& b) {
 }
 
 ClTermBallEvaluator::ClTermBallEvaluator(const Structure& structure,
-                                         const Graph& gaifman, int num_threads)
+                                         const Graph& gaifman, int num_threads,
+                                         MetricsSink* metrics)
     : structure_(structure),
       gaifman_(gaifman),
       num_threads_(EffectiveThreads(num_threads)),
+      metrics_(metrics),
       eval_(structure, gaifman) {}
+
+void ClTermBallEvaluator::FlushExploreDelta(const ExploreStats& before) {
+  if (metrics_ == nullptr) return;
+  metrics_->AddCounter("clterm.basics_evaluated", 1);
+  metrics_->AddCounter("clterm.anchors_evaluated",
+                       explore_stats_.anchors - before.anchors);
+  metrics_->AddCounter("clterm.balls_fetched",
+                       explore_stats_.balls - before.balls);
+  metrics_->AddCounter("clterm.placements_checked",
+                       explore_stats_.placements - before.placements);
+}
 
 ClosenessOracle& ClTermBallEvaluator::OracleFor(std::uint32_t d) {
   std::unique_ptr<ClosenessOracle>& slot = oracles_[d];
@@ -144,10 +157,12 @@ Result<CountInt> ClTermBallEvaluator::CountAnchored(const BasicClTerm& basic,
   FOCQ_CHECK_EQ(basic.pattern.num_vertices(), k);
   const std::uint32_t sep = basic.Separation();
   ClosenessOracle& oracle = OracleFor(sep);
+  ++explore_stats_.anchors;
 
   // Kernel check helper on a full placement.
   Env env;
   auto kernel_holds = [&](const std::vector<ElemId>& elems) {
+    ++explore_stats_.placements;
     for (int i = 0; i < k; ++i) env.Bind(basic.vars[i], elems[i]);
     return eval_.Satisfies(basic.kernel, &env);
   };
@@ -198,6 +213,7 @@ Result<CountInt> ClTermBallEvaluator::CountAnchored(const BasicClTerm& basic,
       return;
     }
     int pos = order[depth];
+    ++explore_stats_.balls;
     // Candidates: the separation-ball of the parent. Copy, since recursive
     // Close() calls may touch the oracle cache of other elements.
     const std::vector<ElemId> candidates = oracle.BallOf(elems[parent[pos]]);
@@ -225,6 +241,7 @@ Result<std::vector<CountInt>> ClTermBallEvaluator::EvaluateBasicAll(
     const BasicClTerm& basic) {
   FOCQ_CHECK(basic.unary);
   const std::size_t n = structure_.universe_size();
+  const ExploreStats before = explore_stats_;
   std::vector<CountInt> out(n, 0);
   if (num_threads_ <= 1) {
     for (ElemId a = 0; a < n; ++a) {
@@ -232,13 +249,18 @@ Result<std::vector<CountInt>> ClTermBallEvaluator::EvaluateBasicAll(
       if (!c.ok()) return c.status();
       out[a] = *c;
     }
+    FlushExploreDelta(before);
     return out;
   }
   // Each chunk gets a serial worker evaluator (the oracle/index caches are
   // not thread-safe) and writes disjoint anchor slots; errors are surfaced
-  // in chunk order so failure reporting is deterministic too.
-  std::vector<Status> chunk_status(MakeChunkGrid(n, num_threads_).num_chunks,
-                                   Status::Ok());
+  // in chunk order so failure reporting is deterministic too. Worker
+  // exploration tallies land in per-chunk shards and reduce after the join,
+  // so the flushed totals match the serial run.
+  const std::size_t num_chunks = MakeChunkGrid(n, num_threads_).num_chunks;
+  std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ShardedCounter anchors(num_chunks), balls(num_chunks),
+      placements(num_chunks);
   ParallelFor(num_threads_, n,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 ClTermBallEvaluator worker(structure_, gaifman_);
@@ -251,10 +273,17 @@ Result<std::vector<CountInt>> ClTermBallEvaluator::EvaluateBasicAll(
                   }
                   out[a] = *c;
                 }
+                anchors.Add(chunk, worker.explore_stats_.anchors);
+                balls.Add(chunk, worker.explore_stats_.balls);
+                placements.Add(chunk, worker.explore_stats_.placements);
               });
   for (const Status& s : chunk_status) {
     if (!s.ok()) return s;
   }
+  explore_stats_.anchors += anchors.Total();
+  explore_stats_.balls += balls.Total();
+  explore_stats_.placements += placements.Total();
+  FlushExploreDelta(before);
   return out;
 }
 
@@ -262,6 +291,7 @@ Result<CountInt> ClTermBallEvaluator::EvaluateBasicGround(
     const BasicClTerm& basic) {
   FOCQ_CHECK(!basic.unary);
   const std::size_t n = structure_.universe_size();
+  const ExploreStats before = explore_stats_;
   if (num_threads_ <= 1) {
     CountInt total = 0;
     for (ElemId a = 0; a < n; ++a) {
@@ -271,6 +301,7 @@ Result<CountInt> ClTermBallEvaluator::EvaluateBasicGround(
       if (!sum) return Status::OutOfRange("cl-term count overflows int64");
       total = *sum;
     }
+    FlushExploreDelta(before);
     return total;
   }
   // Per-chunk partial counts, reduced in chunk order. Anchored counts are
@@ -279,6 +310,8 @@ Result<CountInt> ClTermBallEvaluator::EvaluateBasicGround(
   const std::size_t num_chunks = MakeChunkGrid(n, num_threads_).num_chunks;
   std::vector<CountInt> partial(num_chunks, 0);
   std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ShardedCounter anchors(num_chunks), balls(num_chunks),
+      placements(num_chunks);
   ParallelFor(num_threads_, n,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 ClTermBallEvaluator worker(structure_, gaifman_);
@@ -299,7 +332,14 @@ Result<CountInt> ClTermBallEvaluator::EvaluateBasicGround(
                   acc = *sum;
                 }
                 partial[chunk] = acc;
+                anchors.Add(chunk, worker.explore_stats_.anchors);
+                balls.Add(chunk, worker.explore_stats_.balls);
+                placements.Add(chunk, worker.explore_stats_.placements);
               });
+  explore_stats_.anchors += anchors.Total();
+  explore_stats_.balls += balls.Total();
+  explore_stats_.placements += placements.Total();
+  FlushExploreDelta(before);
   CountInt total = 0;
   for (std::size_t c = 0; c < num_chunks; ++c) {
     if (!chunk_status[c].ok()) return chunk_status[c];

@@ -24,6 +24,7 @@
 #include "focq/graph/pattern_graph.h"
 #include "focq/locality/local_eval.h"
 #include "focq/logic/expr.h"
+#include "focq/obs/metrics.h"
 #include "focq/structure/structure.h"
 #include "focq/util/status.h"
 
@@ -108,10 +109,27 @@ std::uint32_t RequiredCoverRadius(const BasicClTerm& basic);
 /// bit-identical to the serial evaluation.
 class ClTermBallEvaluator {
  public:
+  /// Exploration-work tally (see DESIGN.md, "Observability"): anchors is the
+  /// number of anchored counts, balls the separation-ball fetches feeding
+  /// the placement search, placements the full pattern placements whose
+  /// kernel was checked. All three are input-determined, hence identical
+  /// for every thread count.
+  struct ExploreStats {
+    std::int64_t anchors = 0;
+    std::int64_t balls = 0;
+    std::int64_t placements = 0;
+  };
+
   /// `gaifman` must be the Gaifman graph of `structure`. `num_threads`
   /// controls the per-anchor fan-out (0 = all hardware threads, 1 = serial).
+  /// With `metrics` installed, EvaluateBasicAll/EvaluateBasicGround flush
+  /// the clterm.* counters accumulated during the call.
   ClTermBallEvaluator(const Structure& structure, const Graph& gaifman,
-                      int num_threads = 1);
+                      int num_threads = 1, MetricsSink* metrics = nullptr);
+
+  /// Cumulative exploration work since construction (includes per-call
+  /// EvaluateBasicAt work, which has no flush boundary of its own).
+  const ExploreStats& explore_stats() const { return explore_stats_; }
 
   /// Values of a unary basic cl-term at every element of the universe.
   Result<std::vector<CountInt>> EvaluateBasicAll(const BasicClTerm& basic);
@@ -137,10 +155,16 @@ class ClTermBallEvaluator {
   /// satisfying the kernel. Appends nothing; returns the count.
   Result<CountInt> CountAnchored(const BasicClTerm& basic, ElemId anchor);
 
+  /// Flushes the ExploreStats delta accumulated since `before` (plus one
+  /// basic evaluated) into metrics_, if installed.
+  void FlushExploreDelta(const ExploreStats& before);
+
   const Structure& structure_;
   const Graph& gaifman_;
   int num_threads_;
+  MetricsSink* metrics_;
   LocalEvaluator eval_;
+  ExploreStats explore_stats_;
   std::unordered_map<std::uint32_t, std::unique_ptr<ClosenessOracle>> oracles_;
 
   ClosenessOracle& OracleFor(std::uint32_t d);

@@ -1,0 +1,100 @@
+#include "focq/obs/metrics.h"
+
+#include <cstdio>
+
+namespace focq {
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string EvalMetrics::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += "}, \"values\": {";
+  first = true;
+  for (const auto& [name, stats] : values) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": {\"count\": " + std::to_string(stats.count) +
+           ", \"sum\": " + std::to_string(stats.sum) +
+           ", \"min\": " + std::to_string(stats.min) +
+           ", \"max\": " + std::to_string(stats.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsSink::AddCounter(std::string_view name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.counters[std::string(name)] += delta;
+}
+
+void MetricsSink::MaxCounter(std::string_view name, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t& slot = data_.counters[std::string(name)];
+  if (value > slot) slot = value;
+}
+
+void MetricsSink::RecordValue(std::string_view name, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.values[std::string(name)].Record(value);
+}
+
+std::int64_t MetricsSink::Counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = data_.counters.find(std::string(name));
+  return it == data_.counters.end() ? 0 : it->second;
+}
+
+EvalMetrics MetricsSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void MetricsSink::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_ = EvalMetrics{};
+}
+
+void ShardedCounter::FlushTo(MetricsSink* sink, std::string_view name) const {
+  if (sink == nullptr) return;
+  sink->AddCounter(name, Total());
+}
+
+}  // namespace focq

@@ -1,0 +1,111 @@
+#include "focq/obs/trace.h"
+
+#include <chrono>
+
+#include "focq/obs/metrics.h"
+#include "focq/util/check.h"
+
+namespace focq {
+
+TraceSink::TraceSink() {
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+std::int64_t TraceSink::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         epoch_ns_;
+}
+
+void TraceSink::Begin(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.name = std::move(name);
+  span.start_ns = NowNs();
+  open_.push_back(std::move(span));
+}
+
+void TraceSink::End() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FOCQ_CHECK(!open_.empty());
+  TraceSpan span = std::move(open_.back());
+  open_.pop_back();
+  span.duration_ns = NowNs() - span.start_ns;
+  if (open_.empty()) {
+    roots_.push_back(std::move(span));
+  } else {
+    open_.back().children.push_back(std::move(span));
+  }
+}
+
+std::vector<TraceSpan> TraceSink::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return roots_;
+}
+
+namespace {
+
+void Aggregate(const TraceSpan& span,
+               std::map<std::string, std::int64_t>* totals) {
+  (*totals)[span.name] += span.duration_ns;
+  for (const TraceSpan& c : span.children) Aggregate(c, totals);
+}
+
+void AppendSpanJson(const TraceSpan& span, std::string* out) {
+  *out += "{\"name\": ";
+  AppendJsonString(out, span.name);
+  *out += ", \"start_ns\": " + std::to_string(span.start_ns) +
+          ", \"duration_ns\": " + std::to_string(span.duration_ns) +
+          ", \"children\": [";
+  for (std::size_t i = 0; i < span.children.size(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendSpanJson(span.children[i], out);
+  }
+  *out += "]}";
+}
+
+void AppendChromeEvents(const TraceSpan& span, bool* first, std::string* out) {
+  if (!*first) *out += ",\n  ";
+  *first = false;
+  *out += "{\"name\": ";
+  AppendJsonString(out, span.name);
+  // Complete ("X") events with microsecond timestamps, one logical track.
+  *out += ", \"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"ts\": " +
+          std::to_string(span.start_ns / 1000) +
+          ", \"dur\": " + std::to_string(span.duration_ns / 1000) + "}";
+  for (const TraceSpan& c : span.children) AppendChromeEvents(c, first, out);
+}
+
+}  // namespace
+
+std::map<std::string, std::int64_t> TraceSink::AggregateNanos() const {
+  std::vector<TraceSpan> roots = Spans();
+  std::map<std::string, std::int64_t> totals;
+  for (const TraceSpan& span : roots) Aggregate(span, &totals);
+  return totals;
+}
+
+std::string TraceSink::ToJson() const {
+  std::vector<TraceSpan> roots = Spans();
+  std::string out = "{\"spans\": [";
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendSpanJson(roots[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceSink::ToChromeTracing() const {
+  std::vector<TraceSpan> roots = Spans();
+  std::string out = "{\"traceEvents\": [\n  ";
+  bool first = true;
+  for (const TraceSpan& span : roots) AppendChromeEvents(span, &first, &out);
+  out += "\n]}";
+  return out;
+}
+
+}  // namespace focq

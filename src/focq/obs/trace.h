@@ -1,0 +1,93 @@
+// Hierarchical wall-clock phase tracing for the Theorem 6.10 pipeline:
+// compile -> per-layer materialisation -> cover construction -> per-cluster /
+// per-anchor cl-term evaluation -> Hanf typing -> removal surgery -> residual
+// formula. Spans nest; the finished tree exports as nested JSON and as
+// chrome://tracing events (load the file in chrome://tracing or Perfetto).
+//
+// Spans are opened and closed on the coordinating thread only — parallel
+// bodies are covered by the span enclosing their ParallelFor — so one sink
+// observes one strictly nested span stack. The sink itself is mutex-guarded
+// anyway: tracing is phase-grained, never per-item, so the lock is off every
+// hot path. Timings use the steady clock and are *not* part of the
+// determinism contract (unlike metrics counters).
+#ifndef FOCQ_OBS_TRACE_H_
+#define FOCQ_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focq {
+
+/// One completed span: [start_ns, start_ns + duration_ns) relative to the
+/// sink's epoch, with nested children in start order.
+struct TraceSpan {
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+  std::vector<TraceSpan> children;
+};
+
+/// Collects a forest of nested spans.
+class TraceSink {
+ public:
+  TraceSink();
+
+  /// Opens a span as a child of the innermost open span.
+  void Begin(std::string name);
+
+  /// Closes the innermost open span. Begin/End must balance.
+  void End();
+
+  /// The completed roots (open spans are excluded until their End).
+  std::vector<TraceSpan> Spans() const;
+
+  /// Total wall time per span name, summed over the whole forest — the
+  /// "per-phase wall time" table of the metrics export.
+  std::map<std::string, std::int64_t> AggregateNanos() const;
+
+  /// Nested export:
+  ///   {"spans": [{"name":..,"start_ns":..,"duration_ns":..,
+  ///               "children":[...]}, ...]}
+  std::string ToJson() const;
+
+  /// chrome://tracing / Perfetto export:
+  ///   {"traceEvents": [{"name":..,"ph":"X","pid":0,"tid":0,
+  ///                     "ts":<us>,"dur":<us>}, ...]}
+  std::string ToChromeTracing() const;
+
+ private:
+  std::int64_t NowNs() const;
+
+  mutable std::mutex mutex_;
+  std::int64_t epoch_ns_ = 0;
+  std::vector<TraceSpan> roots_;
+  // Open spans, outermost first. Parked in a side stack (not in roots_) so
+  // Spans()/exports never see half-open spans.
+  std::vector<TraceSpan> open_;
+};
+
+/// RAII span; null-safe, so call sites need no sink guard:
+///   ScopedSpan span(options_.trace, "cover_build");
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSink* sink, std::string_view name) : sink_(sink) {
+    if (sink_ != nullptr) sink_->Begin(std::string(name));
+  }
+  ~ScopedSpan() {
+    if (sink_ != nullptr) sink_->End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSink* sink_;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "focq/util/check.h"
 
@@ -38,8 +39,10 @@ ChunkGrid MakeChunkGrid(std::size_t n, int workers) {
 ThreadPool::ThreadPool(int num_workers) {
   num_workers = std::max(1, num_workers);
   queues_.reserve(num_workers);
+  worker_stats_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
+    worker_stats_.push_back(std::make_unique<WorkerStats>());
   }
   workers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
@@ -65,6 +68,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     queues_[target]->tasks.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     // Taking the sleep mutex orders this submission against any worker that
     // just found nothing and is about to wait, closing the lost-wakeup gap.
@@ -92,10 +96,25 @@ bool ThreadPool::FindTask(int self, std::function<void()>* task) {
     if (!q.tasks.empty()) {
       *task = std::move(q.tasks.back());
       q.tasks.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
   return false;
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.worker_busy_ns.reserve(worker_stats_.size());
+  for (const auto& w : worker_stats_) {
+    std::int64_t ns = w->busy_ns.load(std::memory_order_relaxed);
+    stats.worker_busy_ns.push_back(ns);
+    stats.busy_ns += ns;
+  }
+  return stats;
 }
 
 void ThreadPool::WorkerLoop(int self) {
@@ -103,7 +122,14 @@ void ThreadPool::WorkerLoop(int self) {
     std::function<void()> task;
     if (FindTask(self, &task)) {
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      auto start = std::chrono::steady_clock::now();
       task();
+      auto elapsed = std::chrono::steady_clock::now() - start;
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      worker_stats_[self]->busy_ns.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count(),
+          std::memory_order_relaxed);
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);

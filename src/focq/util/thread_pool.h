@@ -20,6 +20,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -72,6 +73,21 @@ class ThreadPool {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  /// Cumulative scheduling statistics since construction. `steals` counts
+  /// tasks a worker took from another worker's deque; `busy_ns` is wall
+  /// clock spent inside task bodies, summed over workers (per-worker values
+  /// in `worker_busy_ns`). All of these depend on scheduling and are
+  /// explicitly *outside* the determinism contract — results stay
+  /// bit-identical while tasks/steals/busy time vary run to run.
+  struct Stats {
+    std::int64_t tasks_submitted = 0;
+    std::int64_t tasks_executed = 0;
+    std::int64_t steals = 0;
+    std::int64_t busy_ns = 0;
+    std::vector<std::int64_t> worker_busy_ns;
+  };
+  Stats GetStats() const;
+
   /// Enqueues a task. Tasks run on an arbitrary worker, in no particular
   /// order (workers steal).
   void Submit(std::function<void()> task);
@@ -88,8 +104,16 @@ class ThreadPool {
   void WorkerLoop(int self);
   bool FindTask(int self, std::function<void()>* task);
 
+  struct alignas(64) WorkerStats {
+    std::atomic<std::int64_t> busy_ns{0};
+  };
+
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+  std::atomic<std::int64_t> tasks_submitted_{0};
+  std::atomic<std::int64_t> tasks_executed_{0};
+  std::atomic<std::int64_t> steals_{0};
   std::mutex sleep_mutex_;
   std::condition_variable wake_;
   std::atomic<std::size_t> next_queue_{0};

@@ -60,6 +60,39 @@ TEST(Plan, UnguardedCountFallsBack) {
   EXPECT_TRUE(plan->layers[0][0].fallback);
 }
 
+TEST(Plan, ComputeStatsCountsFallbackRelations) {
+  // The unguarded plan above, through the Stats lens: one relation, all of
+  // it fallback, and no basic cl-terms (fallback defs carry no args).
+  Var x = VarNamed("fsx"), y = VarNamed("fsy"), z = VarNamed("fsz");
+  Formula f =
+      Ge1(Count({y}, And(Atom("E", {x, y}), Exists(z, Atom("E", {y, z})))));
+  Result<EvalPlan> plan = CompileFormula(f, Signature({{"E", 2}}));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EvalPlan::Stats stats = plan->ComputeStats();
+  EXPECT_EQ(stats.num_layers, 1u);
+  EXPECT_EQ(stats.num_relations, 1u);
+  EXPECT_EQ(stats.num_fallback_relations, 1u);
+  EXPECT_EQ(stats.num_basic_cl_terms, 0u);
+  EXPECT_EQ(stats.max_width, 0);
+  EXPECT_EQ(stats.max_radius, 0u);
+}
+
+TEST(Plan, ComputeStatsOnTermShapedPlan) {
+  // A ground width-2 count compiles to a term-shaped plan (no layers); its
+  // decomposed final cl-term must still show up in the statistics.
+  Var x = VarNamed("tsx"), y = VarNamed("tsy");
+  Term t = Count({x, y}, And(Atom("E", {x, y}), Atom("E", {y, x})));
+  Result<EvalPlan> plan = CompileTerm(t, Signature({{"E", 2}}));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->is_term);
+  ASSERT_TRUE(plan->final_term_decomposed);
+  EvalPlan::Stats stats = plan->ComputeStats();
+  EXPECT_EQ(stats.num_layers, 0u);
+  EXPECT_EQ(stats.num_relations, 0u);
+  EXPECT_GE(stats.num_basic_cl_terms, 1u);
+  EXPECT_EQ(stats.max_width, 2);
+}
+
 // The grand differential test: local engine vs naive engine on random FOC1
 // sentences over random sparse structures.
 TEST(CoreApi, ModelCheckAgreesWithNaive) {

@@ -1,0 +1,241 @@
+// Observability tests: the sharded-counter aggregation protocol, trace span
+// nesting, JSON export sanity, and — the key property — that installing a
+// metrics/trace sink never changes results, and that all deterministic
+// counters are identical for every num_threads (DESIGN.md, "Observability").
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "focq/core/api.h"
+#include "focq/eval/query.h"
+#include "focq/graph/generators.h"
+#include "focq/logic/build.h"
+#include "focq/obs/metrics.h"
+#include "focq/obs/trace.h"
+#include "focq/structure/encode.h"
+#include "focq/util/thread_pool.h"
+#include "test_util.h"
+
+namespace focq {
+namespace {
+
+TEST(ShardedCounter, TotalIsChunkingIndependent) {
+  // Sum of i over [0, n), accumulated per-chunk under every grid the
+  // evaluation engines might use: the total must match the serial sum.
+  const std::size_t n = 1000;
+  std::int64_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) expected += static_cast<std::int64_t>(i);
+  for (int workers : {0, 1, 2, 4, 8}) {
+    ChunkGrid grid = MakeChunkGrid(n, EffectiveThreads(workers));
+    ShardedCounter counter(grid.num_chunks);
+    ParallelFor(workers, n,
+                [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i) {
+                    counter.Add(chunk, static_cast<std::int64_t>(i));
+                  }
+                });
+    EXPECT_EQ(counter.Total(), expected) << "workers=" << workers;
+  }
+}
+
+TEST(ShardedCounter, FlushToIsNullSafeAndAdditive) {
+  ShardedCounter counter(4);
+  counter.Add(0, 2);
+  counter.Add(3, 5);
+  counter.FlushTo(nullptr, "x");  // must not crash
+  MetricsSink sink;
+  counter.FlushTo(&sink, "x");
+  counter.FlushTo(&sink, "x");  // flushes accumulate like AddCounter
+  EXPECT_EQ(sink.Counter("x"), 14);
+}
+
+TEST(MetricsSink, CounterMaxAndValueSemantics) {
+  MetricsSink sink;
+  sink.AddCounter("a", 3);
+  sink.AddCounter("a", 4);
+  sink.MaxCounter("hi", 5);
+  sink.MaxCounter("hi", 2);  // below the high-water mark: no effect
+  sink.RecordValue("v", 10);
+  sink.RecordValue("v", -2);
+  EXPECT_EQ(sink.Counter("a"), 7);
+  EXPECT_EQ(sink.Counter("hi"), 5);
+  EXPECT_EQ(sink.Counter("missing"), 0);
+  EvalMetrics snap = sink.Snapshot();
+  ASSERT_EQ(snap.values.count("v"), 1u);
+  EXPECT_EQ(snap.values["v"].count, 2);
+  EXPECT_EQ(snap.values["v"].sum, 8);
+  EXPECT_EQ(snap.values["v"].min, -2);
+  EXPECT_EQ(snap.values["v"].max, 10);
+  sink.Reset();
+  EXPECT_EQ(sink.Counter("a"), 0);
+  EXPECT_TRUE(sink.Snapshot().counters.empty());
+}
+
+TEST(MetricsSink, ToJsonEscapesNames) {
+  MetricsSink sink;
+  sink.AddCounter("quote\"back\\slash\nnewline", 1);
+  sink.RecordValue("plain", 3);
+  std::string json = sink.Snapshot().ToJson();
+  EXPECT_NE(json.find("\\\"back\\\\slash\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"values\""), std::string::npos);
+  EXPECT_NE(
+      json.find(
+          "\"plain\": {\"count\": 1, \"sum\": 3, \"min\": 3, \"max\": 3}"),
+      std::string::npos);
+}
+
+TEST(TraceSink, SpansNestAndAggregate) {
+  TraceSink sink;
+  {
+    ScopedSpan outer(&sink, "outer");
+    { ScopedSpan inner(&sink, "inner"); }
+    { ScopedSpan inner(&sink, "inner"); }
+  }
+  { ScopedSpan null_safe(nullptr, "never"); }  // must not crash
+  std::vector<TraceSpan> spans = sink.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "outer");
+  ASSERT_EQ(spans[0].children.size(), 2u);
+  EXPECT_EQ(spans[0].children[0].name, "inner");
+  // Children live inside the parent interval, in start order.
+  EXPECT_GE(spans[0].children[0].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[0].children[1].start_ns + spans[0].children[1].duration_ns,
+            spans[0].start_ns + spans[0].duration_ns);
+  std::map<std::string, std::int64_t> agg = sink.AggregateNanos();
+  ASSERT_EQ(agg.count("inner"), 1u);
+  EXPECT_GE(agg["outer"],
+            spans[0].children[0].duration_ns + spans[0].children[1].duration_ns);
+  EXPECT_NE(sink.ToJson().find("\"spans\""), std::string::npos);
+  EXPECT_NE(sink.ToChromeTracing().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(sink.ToChromeTracing().find("\"ph\": \"X\""), std::string::npos);
+}
+
+// phi(x): width-2, nesting-depth-2 condition exercising compile, cover /
+// ball cl-term evaluation, and the residual formula.
+Formula ObservedCondition() {
+  Var x = VarNamed("obx"), y = VarNamed("oby"), z = VarNamed("obz");
+  Formula deg2 = TermEq(Count({z}, Atom("E", {y, z})), Int(2));
+  return Ge1(Sub(Count({y}, And(Atom("E", {x, y}), deg2)), Int(1)));
+}
+
+TEST(Observability, SinksDoNotChangeResults) {
+  Rng rng(4100);
+  Structure a = test::RandomGraphStructure(60, 1.5, &rng);
+  Formula phi = ObservedCondition();
+  for (TermEngine te : {TermEngine::kBall, TermEngine::kSparseCover}) {
+    EvalOptions plain{Engine::kLocal, te};
+    Result<CountInt> bare = CountSolutions(phi, a, plain);
+    ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+    MetricsSink metrics;
+    TraceSink trace;
+    EvalOptions observed{Engine::kLocal, te};
+    observed.metrics = &metrics;
+    observed.trace = &trace;
+    Result<CountInt> traced = CountSolutions(phi, a, observed);
+    ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+    EXPECT_EQ(*bare, *traced);
+    EXPECT_GT(metrics.Counter("plan.compilations"), 0);
+    EXPECT_FALSE(trace.Spans().empty());
+  }
+}
+
+TEST(Observability, CountersIdenticalAcrossThreadCounts) {
+  // The determinism contract, extended to counters: every recorded counter
+  // and value distribution is a pure function of (structure, query), so the
+  // snapshots must be identical for num_threads in {0, 1, 4}. Pool stats are
+  // scheduling-dependent and deliberately NOT recorded in the sink.
+  Rng rng(4200);
+  Structure a = test::RandomColoredStructure(80, 1.6, 0.4, &rng);
+  Formula phi = ObservedCondition();
+  for (TermEngine te : {TermEngine::kBall, TermEngine::kSparseCover}) {
+    EvalMetrics reference;
+    CountInt reference_count = 0;
+    bool first = true;
+    for (int threads : {0, 1, 4}) {
+      MetricsSink metrics;
+      EvalOptions options{Engine::kLocal, te, threads};
+      options.metrics = &metrics;
+      Result<CountInt> count = CountSolutions(phi, a, options);
+      ASSERT_TRUE(count.ok()) << count.status().ToString();
+      EvalMetrics snap = metrics.Snapshot();
+      if (first) {
+        reference = snap;
+        reference_count = *count;
+        first = false;
+        EXPECT_FALSE(snap.counters.empty());
+        continue;
+      }
+      EXPECT_EQ(*count, reference_count) << "threads=" << threads;
+      EXPECT_EQ(snap.counters, reference.counters) << "threads=" << threads;
+      EXPECT_EQ(snap.values, reference.values) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Observability, NaiveTupleCountMatchesAcrossThreadCounts) {
+  Rng rng(4300);
+  Structure a = test::RandomGraphStructure(40, 1.4, &rng);
+  Formula phi = ObservedCondition();
+  std::int64_t reference = -1;
+  for (int threads : {0, 1, 4}) {
+    MetricsSink metrics;
+    EvalOptions options{Engine::kNaive, TermEngine::kBall, threads};
+    options.metrics = &metrics;
+    Result<CountInt> count = CountSolutions(phi, a, options);
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    std::int64_t tuples = metrics.Counter("naive.tuples_enumerated");
+    EXPECT_GT(tuples, 0);
+    if (reference < 0) {
+      reference = tuples;
+    } else {
+      EXPECT_EQ(tuples, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Observability, QueryResultCarriesSnapshot) {
+  Rng rng(4400);
+  Structure a = test::RandomColoredStructure(30, 1.4, 0.4, &rng);
+  Var x = VarNamed("oqx"), y = VarNamed("oqy");
+  Foc1Query q;
+  q.head_vars = {x};
+  q.head_terms = {Count({y}, Atom("E", {x, y}))};
+  q.condition = Atom("R", {x});
+  MetricsSink metrics;
+  EvalOptions options{Engine::kLocal, TermEngine::kBall};
+  options.metrics = &metrics;
+  Result<QueryResult> with_sink = EvaluateQuery(q, a, options);
+  ASSERT_TRUE(with_sink.ok()) << with_sink.status().ToString();
+  EXPECT_EQ(with_sink->metrics.counters, metrics.Snapshot().counters);
+  EXPECT_GT(with_sink->metrics.counters.count("plan.compilations"), 0u);
+  // No sink installed: the snapshot stays empty, the rows stay the same.
+  Result<QueryResult> without =
+      EvaluateQuery(q, a, EvalOptions{Engine::kLocal, TermEngine::kBall});
+  ASSERT_TRUE(without.ok());
+  EXPECT_TRUE(without->metrics.counters.empty());
+  EXPECT_EQ(without->rows, with_sink->rows);
+}
+
+TEST(Observability, PoolStatsAreMonotonic) {
+  // Scheduling-dependent pool totals live outside the sink; they are read
+  // directly off the shared pool and only ever grow.
+  ThreadPool::Stats before = ThreadPool::Shared().GetStats();
+  Rng rng(4500);
+  Structure a = test::RandomGraphStructure(60, 1.5, &rng);
+  EvalOptions options{Engine::kLocal, TermEngine::kBall, 4};
+  Result<CountInt> count = CountSolutions(ObservedCondition(), a, options);
+  ASSERT_TRUE(count.ok());
+  ThreadPool::Stats after = ThreadPool::Shared().GetStats();
+  EXPECT_GE(after.tasks_submitted, before.tasks_submitted);
+  EXPECT_GE(after.tasks_executed, before.tasks_executed);
+  // ParallelFor joins on chunk completion, not task completion: the caller
+  // can drain every chunk before a helper task ever runs, so executed only
+  // bounds submitted from below.
+  EXPECT_LE(after.tasks_executed, after.tasks_submitted);
+}
+
+}  // namespace
+}  // namespace focq

@@ -5,7 +5,7 @@
 //   focq_cli <structure-file> [--edges] [--engine naive|local|cover]
 //            [--threads N]
 //            (--check '<sentence>' | --count '<formula>' | --term '<term>')
-//            [--stats]
+//            [--stats] [--metrics-json PATH] [--trace-json PATH]
 //
 //   <structure-file>   focq structure format (see focq/structure/io.h), or a
 //                      plain "u v" edge list with --edges
@@ -18,11 +18,18 @@
 //   --threads          worker threads (0 = all hardware threads, default 1);
 //                      results are identical for every value
 //   --stats            print plan statistics (layers, cl-terms, fallbacks)
+//                      and pipeline/pool counters after evaluation
+//   --metrics-json     write pipeline counters, value distributions,
+//                      per-phase wall time and pool statistics as JSON
+//                      ({"counters","values","phase_ns","pool"})
+//   --trace-json       write the phase-span forest as JSON: nested "spans"
+//                      plus chrome://tracing / Perfetto "traceEvents"
 //
 // Examples:
 //   focq_cli graph.fs --check 'exists x. @eq(#(y). (E(x, y)), 4)'
 //   focq_cli web.edges --edges --count '@ge1(#(y). (E(x, y)) - 10)'
 //   focq_cli web.edges --edges --threads=8 --engine cover --count '...'
+//       --metrics-json metrics.json --trace-json run.trace.json
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -32,6 +39,7 @@
 #include "focq/core/api.h"
 #include "focq/logic/parser.h"
 #include "focq/structure/io.h"
+#include "focq/util/thread_pool.h"
 
 namespace {
 
@@ -44,8 +52,51 @@ int Usage() {
   std::fprintf(stderr,
                "usage: focq_cli <structure-file> [--edges] "
                "[--engine naive|local|cover] [--threads N] [--stats]\n"
+               "                [--metrics-json PATH] [--trace-json PATH]\n"
                "                (--check S | --count F | --term T)\n");
   return 2;
+}
+
+// The --metrics-json document: the sink snapshot ({"counters","values"})
+// extended with per-phase wall time from the trace and the shared pool's
+// scheduling statistics.
+std::string ComposeMetricsJson(const focq::EvalMetrics& metrics,
+                               const focq::TraceSink& trace) {
+  std::string out = metrics.ToJson();
+  out.pop_back();  // re-open the snapshot object: ...,"phase_ns":{...},...}
+  out += ",\"phase_ns\":{";
+  bool first = true;
+  for (const auto& [name, ns] : trace.AggregateNanos()) {
+    if (!first) out += ",";
+    first = false;
+    focq::AppendJsonString(&out, name);
+    out += ':';
+    out += std::to_string(ns);
+  }
+  focq::ThreadPool::Stats pool = focq::ThreadPool::Shared().GetStats();
+  out += "},\"pool\":{\"workers\":" +
+         std::to_string(focq::ThreadPool::Shared().num_workers()) +
+         ",\"tasks_submitted\":" + std::to_string(pool.tasks_submitted) +
+         ",\"tasks_executed\":" + std::to_string(pool.tasks_executed) +
+         ",\"steals\":" + std::to_string(pool.steals) +
+         ",\"busy_ns\":" + std::to_string(pool.busy_ns) + "}}";
+  return out;
+}
+
+// The --trace-json document: nested spans and flat chrome://tracing events
+// for the same forest, in one object.
+std::string ComposeTraceJson(const focq::TraceSink& trace) {
+  std::string nested = trace.ToJson();          // {"spans":[...]}
+  std::string chrome = trace.ToChromeTracing(); // {"traceEvents":[...]}
+  nested.pop_back();
+  return nested + "," + chrome.substr(1);
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content << "\n";
+  return out.good();
 }
 
 }  // namespace
@@ -60,6 +111,7 @@ int main(int argc, char** argv) {
   std::string engine_name = "local";
   std::string threads_text = "1";
   std::string mode, query_text;
+  std::string metrics_path, trace_path;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -79,6 +131,18 @@ int main(int argc, char** argv) {
       threads_text = v;
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads_text = arg.substr(std::string("--threads=").size());
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      metrics_path = v;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::string("--metrics-json=").size());
+    } else if (arg == "--trace-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_path = v;
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace-json=").size());
     } else if (arg == "--check" || arg == "--count" || arg == "--term") {
       const char* v = next();
       if (v == nullptr || !mode.empty()) return Usage();
@@ -111,6 +175,13 @@ int main(int argc, char** argv) {
     return Fail("unknown engine '" + engine_name + "'");
   }
 
+  MetricsSink metrics_sink;
+  TraceSink trace_sink;
+  if (!metrics_path.empty() || stats) options.metrics = &metrics_sink;
+  // The metrics document embeds per-phase wall time, so tracing is on for
+  // either export.
+  if (!trace_path.empty() || !metrics_path.empty()) options.trace = &trace_sink;
+
   Result<Structure> structure = [&]() -> Result<Structure> {
     if (!edges) return ReadStructureFile(path);
     std::ifstream in(path);
@@ -133,27 +204,69 @@ int main(int argc, char** argv) {
         s.num_basic_cl_terms, s.max_width, s.max_radius);
   };
 
+  // Shared epilogue: pool statistics under --stats, JSON exports when asked.
+  auto finish = [&](int rc) {
+    if (stats) {
+      for (const auto& [name, value] : metrics_sink.Snapshot().counters) {
+        std::printf("metric %s = %lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      }
+      ThreadPool::Stats pool = ThreadPool::Shared().GetStats();
+      std::printf("pool: %d workers, %lld tasks submitted, "
+                  "%lld executed, %lld steals, busy %.3f ms\n",
+                  ThreadPool::Shared().num_workers(),
+                  static_cast<long long>(pool.tasks_submitted),
+                  static_cast<long long>(pool.tasks_executed),
+                  static_cast<long long>(pool.steals),
+                  static_cast<double>(pool.busy_ns) / 1e6);
+    }
+    if (!metrics_path.empty()) {
+      std::string json = ComposeMetricsJson(metrics_sink.Snapshot(),
+                                            trace_sink);
+      if (!WriteFile(metrics_path, json)) {
+        return Fail("cannot write '" + metrics_path + "'");
+      }
+    }
+    if (!trace_path.empty()) {
+      if (!WriteFile(trace_path, ComposeTraceJson(trace_sink))) {
+        return Fail("cannot write '" + trace_path + "'");
+      }
+    }
+    return rc;
+  };
+
   if (mode == "--term") {
     Result<Term> term = ParseTerm(query_text);
     if (!term.ok()) return Fail(term.status().ToString());
     print_stats(CompileTerm(*term, structure->signature()));
-    Result<CountInt> value = EvaluateGroundTerm(*term, *structure, options);
+    // A root span per run so phase_ns carries an end-to-end total; closed
+    // before finish() reads the sink (open spans are excluded from exports).
+    Result<CountInt> value = [&] {
+      focq::ScopedSpan root(options.trace, "query_eval");
+      return EvaluateGroundTerm(*term, *structure, options);
+    }();
     if (!value.ok()) return Fail(value.status().ToString());
     std::printf("value: %lld\n", static_cast<long long>(*value));
-    return 0;
+    return finish(0);
   }
 
   Result<Formula> formula = ParseFormula(query_text);
   if (!formula.ok()) return Fail(formula.status().ToString());
   print_stats(CompileFormula(*formula, structure->signature()));
   if (mode == "--check") {
-    Result<bool> holds = ModelCheck(*formula, *structure, options);
+    Result<bool> holds = [&] {
+      focq::ScopedSpan root(options.trace, "query_eval");
+      return ModelCheck(*formula, *structure, options);
+    }();
     if (!holds.ok()) return Fail(holds.status().ToString());
     std::printf("result: %s\n", *holds ? "true" : "false");
-    return *holds ? 0 : 3;  // shell-friendly: 3 = "false", 0 = "true"
+    return finish(*holds ? 0 : 3);  // shell-friendly: 3 = "false", 0 = "true"
   }
-  Result<CountInt> count = CountSolutions(*formula, *structure, options);
+  Result<CountInt> count = [&] {
+    focq::ScopedSpan root(options.trace, "query_eval");
+    return CountSolutions(*formula, *structure, options);
+  }();
   if (!count.ok()) return Fail(count.status().ToString());
   std::printf("solutions: %lld\n", static_cast<long long>(*count));
-  return 0;
+  return finish(0);
 }
