@@ -81,4 +81,25 @@ Status CheckFOC1(const Expr& e) {
   return Status::Ok();
 }
 
+Status CheckSymbols(const Expr& e, const Signature& sig) {
+  if (e.kind == ExprKind::kAtom) {
+    std::optional<SymbolId> id = sig.Find(e.symbol_name);
+    if (!id.has_value()) {
+      return Status::InvalidArgument("unknown relation symbol '" +
+                                     e.symbol_name + "' in atom " +
+                                     ToString(e));
+    }
+    if (sig.Arity(*id) != static_cast<int>(e.vars.size())) {
+      return Status::InvalidArgument(
+          "atom " + ToString(e) + " has " + std::to_string(e.vars.size()) +
+          " arguments but '" + e.symbol_name + "' has arity " +
+          std::to_string(sig.Arity(*id)));
+    }
+  }
+  for (const ExprRef& c : e.children) {
+    FOCQ_RETURN_IF_ERROR(CheckSymbols(*c, sig));
+  }
+  return Status::Ok();
+}
+
 }  // namespace focq

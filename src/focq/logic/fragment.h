@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "focq/logic/expr.h"
+#include "focq/structure/signature.h"
 #include "focq/util/status.h"
 
 namespace focq {
@@ -34,6 +35,19 @@ Status CheckFOC1(const Expr& e);
 inline bool IsFOC1(const Expr& e) { return CheckFOC1(e).ok(); }
 inline bool IsFOC1(const Formula& f) { return IsFOC1(f.node()); }
 inline bool IsFOC1(const Term& t) { return IsFOC1(t.node()); }
+
+/// Checks that every relational atom of `e` names a symbol of `sig` with the
+/// matching arity. Returns OK or an InvalidArgument status naming the first
+/// offending atom. The evaluators assume this holds (they abort otherwise),
+/// so entry points that accept untrusted queries — the CLI, the fuzz replay
+/// path — must run this check first.
+Status CheckSymbols(const Expr& e, const Signature& sig);
+inline Status CheckSymbols(const Formula& f, const Signature& sig) {
+  return CheckSymbols(f.node(), sig);
+}
+inline Status CheckSymbols(const Term& t, const Signature& sig) {
+  return CheckSymbols(t.node(), sig);
+}
 
 }  // namespace focq
 

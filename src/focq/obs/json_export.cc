@@ -1,0 +1,37 @@
+#include "focq/obs/json_export.h"
+
+#include "focq/util/thread_pool.h"
+
+namespace focq {
+
+std::string ComposeMetricsJson(const EvalMetrics& metrics,
+                               const TraceSink& trace) {
+  std::string out = metrics.ToJson();
+  out.pop_back();  // re-open the snapshot object: ...,"phase_ns":{...},...}
+  out += ",\"phase_ns\":{";
+  bool first = true;
+  for (const auto& [name, ns] : trace.AggregateNanos()) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ':';
+    out += std::to_string(ns);
+  }
+  ThreadPool::Stats pool = ThreadPool::Shared().GetStats();
+  out += "},\"pool\":{\"workers\":" +
+         std::to_string(ThreadPool::Shared().num_workers()) +
+         ",\"tasks_submitted\":" + std::to_string(pool.tasks_submitted) +
+         ",\"tasks_executed\":" + std::to_string(pool.tasks_executed) +
+         ",\"steals\":" + std::to_string(pool.steals) +
+         ",\"busy_ns\":" + std::to_string(pool.busy_ns) + "}}";
+  return out;
+}
+
+std::string ComposeTraceJson(const TraceSink& trace) {
+  std::string nested = trace.ToJson();           // {"spans":[...]}
+  std::string chrome = trace.ToChromeTracing();  // {"traceEvents":[...]}
+  nested.pop_back();
+  return nested + "," + chrome.substr(1);
+}
+
+}  // namespace focq

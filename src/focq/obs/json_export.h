@@ -1,0 +1,31 @@
+// The composed observability JSON documents written by `focq_cli
+// --metrics-json` / `--trace-json`. Factored out of the CLI so the
+// golden-schema regression test and any embedding service compose exactly
+// the documents the CLI ships — the key set below is a compatibility
+// contract (validated by tests/json_schema_test.cc and the CI smoke test).
+#ifndef FOCQ_OBS_JSON_EXPORT_H_
+#define FOCQ_OBS_JSON_EXPORT_H_
+
+#include <string>
+
+#include "focq/obs/metrics.h"
+#include "focq/obs/trace.h"
+
+namespace focq {
+
+/// The metrics document: the sink snapshot ({"counters","values"}) extended
+/// with per-phase wall time from the trace and the shared pool's scheduling
+/// statistics:
+///   {"counters": {...}, "values": {...}, "phase_ns": {...},
+///    "pool": {"workers","tasks_submitted","tasks_executed","steals",
+///             "busy_ns"}}
+std::string ComposeMetricsJson(const EvalMetrics& metrics,
+                               const TraceSink& trace);
+
+/// The trace document: nested spans and flat chrome://tracing events for the
+/// same forest, in one object: {"spans": [...], "traceEvents": [...]}.
+std::string ComposeTraceJson(const TraceSink& trace);
+
+}  // namespace focq
+
+#endif  // FOCQ_OBS_JSON_EXPORT_H_

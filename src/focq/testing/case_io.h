@@ -1,0 +1,45 @@
+// Serialisation of differential test cases: the replayable `.case` format
+// used by tools/focq_fuzz --replay and the tests/corpus/ regression suite,
+// plus a self-contained C++ repro snippet for bug reports.
+//
+// Format (line oriented, '#' starts a comment):
+//
+//   mode count                     -- check | count | term | query
+//   formula <one line of syntax>   -- or: term <one line>  (mode term)
+//   headterm <one line>            -- 0+ lines, query mode only
+//   structure
+//   universe 5
+//   relation E 2
+//   0 1
+//   ...
+//
+// Everything after the `structure` line is the focq/structure/io.h text
+// format. Formulas/terms round-trip through the printer and parser.
+#ifndef FOCQ_TESTING_CASE_IO_H_
+#define FOCQ_TESTING_CASE_IO_H_
+
+#include <string>
+
+#include "focq/testing/differential.h"
+#include "focq/util/status.h"
+
+namespace focq::fuzz {
+
+/// Serialises a case in the replayable text format.
+std::string WriteCase(const DiffCase& c);
+
+/// Parses a case; inverse of WriteCase.
+Result<DiffCase> ReadCase(const std::string& text);
+
+/// File variants.
+Status WriteCaseFile(const std::string& path, const DiffCase& c);
+Result<DiffCase> ReadCaseFile(const std::string& path);
+
+/// A self-contained C++ snippet (structure construction via the public API
+/// plus a parsed query) that reproduces the case against the differential
+/// driver — pasted into a bug report or a new regression test.
+std::string CaseToCppSnippet(const DiffCase& c);
+
+}  // namespace focq::fuzz
+
+#endif  // FOCQ_TESTING_CASE_IO_H_

@@ -1,0 +1,283 @@
+#include "focq/testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "focq/logic/printer.h"
+#include "focq/obs/metrics.h"
+#include "focq/util/check.h"
+
+namespace focq::fuzz {
+
+std::string CaseModeName(CaseMode mode) {
+  switch (mode) {
+    case CaseMode::kCheck: return "check";
+    case CaseMode::kCount: return "count";
+    case CaseMode::kTerm: return "term";
+    case CaseMode::kQuery: return "query";
+  }
+  FOCQ_CHECK(false);
+  return "";
+}
+
+std::optional<CaseMode> ParseCaseMode(const std::string& name) {
+  for (CaseMode mode : {CaseMode::kCheck, CaseMode::kCount, CaseMode::kTerm,
+                        CaseMode::kQuery}) {
+    if (CaseModeName(mode) == name) return mode;
+  }
+  return std::nullopt;
+}
+
+const Expr& DiffCase::expr() const {
+  return mode == CaseMode::kTerm ? term.node() : formula.node();
+}
+
+Foc1Query DiffCase::ToQuery() const {
+  // Head variables are recomputed from the current condition/terms so that
+  // shrinking, which may prune variables, always yields a valid query.
+  std::vector<Var> head = FreeVars(formula);
+  for (const Term& t : head_terms) {
+    for (Var v : FreeVars(t)) head.push_back(v);
+  }
+  std::sort(head.begin(), head.end());
+  head.erase(std::unique(head.begin(), head.end()), head.end());
+  Foc1Query q;
+  q.head_vars = std::move(head);
+  q.head_terms = head_terms;
+  q.condition = formula;
+  return q;
+}
+
+Outcome RunSubject(const DiffCase& c, const EvalOptions& options) {
+  Outcome out;
+  switch (c.mode) {
+    case CaseMode::kCheck: {
+      Result<bool> holds = ModelCheck(c.formula, c.structure, options);
+      if (!holds.ok()) {
+        out.status = holds.status();
+      } else if (*holds) {
+        out.rows.push_back(QueryRow{{}, {1}});
+      }
+      return out;
+    }
+    case CaseMode::kCount: {
+      Result<CountInt> n = CountSolutions(c.formula, c.structure, options);
+      if (!n.ok()) {
+        out.status = n.status();
+      } else {
+        out.rows.push_back(QueryRow{{}, {*n}});
+      }
+      return out;
+    }
+    case CaseMode::kTerm: {
+      Result<CountInt> v = EvaluateGroundTerm(c.term, c.structure, options);
+      if (!v.ok()) {
+        out.status = v.status();
+      } else {
+        out.rows.push_back(QueryRow{{}, {*v}});
+      }
+      return out;
+    }
+    case CaseMode::kQuery: {
+      Result<QueryResult> r = EvaluateQuery(c.ToQuery(), c.structure, options);
+      if (!r.ok()) {
+        out.status = r.status();
+      } else {
+        out.rows = r->rows;
+      }
+      return out;
+    }
+  }
+  FOCQ_CHECK(false);
+  return out;
+}
+
+std::string RowsToString(const std::vector<QueryRow>& rows) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < rows.size() && i < 24; ++i) {
+    if (i > 0) out += " ";
+    out += "(";
+    for (std::size_t j = 0; j < rows[i].elements.size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(rows[i].elements[j]);
+    }
+    out += "|";
+    for (std::size_t j = 0; j < rows[i].counts.size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(rows[i].counts[j]);
+    }
+    out += ")";
+  }
+  if (rows.size() > 24) out += " ... " + std::to_string(rows.size()) + " rows";
+  return out + "}";
+}
+
+namespace {
+
+std::string TermEngineName(TermEngine engine) {
+  switch (engine) {
+    case TermEngine::kBall: return "ball";
+    case TermEngine::kSparseCover: return "sparse-cover";
+    case TermEngine::kExactCover: return "exact-cover";
+  }
+  return "?";
+}
+
+std::string OutcomeToString(const Outcome& out) {
+  if (!out.status.ok()) return out.status.ToString();
+  return RowsToString(out.rows);
+}
+
+std::string CaseHeadline(const DiffCase& c) {
+  std::string text = "mode=" + CaseModeName(c.mode) +
+                     " |A|=" + std::to_string(c.structure.Order()) + " ";
+  text += c.mode == CaseMode::kTerm ? ToString(c.term) : ToString(c.formula);
+  return text;
+}
+
+// Outcomes agree when both fail with the same status code or both succeed
+// with identical row relations (order included: every engine emits rows
+// sorted lexicographically by element tuple).
+bool Agrees(const Outcome& oracle, const Outcome& subject) {
+  if (!oracle.status.ok() || !subject.status.ok()) {
+    return oracle.status.code() == subject.status.code();
+  }
+  return oracle.rows == subject.rows;
+}
+
+bool SnapshotsEqual(const EvalMetrics& a, const EvalMetrics& b) {
+  return a.counters == b.counters && a.values == b.values;
+}
+
+}  // namespace
+
+std::optional<DiffFailure> RunCase(const DiffCase& c,
+                                   const DiffConfig& config) {
+  auto subject = config.subject
+                     ? config.subject
+                     : [](const DiffCase& cs, const EvalOptions& options) {
+                         return RunSubject(cs, options);
+                       };
+
+  EvalOptions oracle_options;
+  oracle_options.engine = Engine::kNaive;
+  oracle_options.num_threads = 1;
+  Outcome oracle = RunSubject(c, oracle_options);
+
+  for (TermEngine term_engine : config.term_engines) {
+    std::optional<EvalMetrics> reference_metrics;
+    int reference_threads = 0;
+    for (int threads : config.thread_counts) {
+      EvalOptions options;
+      options.engine = Engine::kLocal;
+      options.term_engine = term_engine;
+      options.num_threads = threads;
+      MetricsSink sink;
+      if (config.compare_metrics) options.metrics = &sink;
+      Outcome got = subject(c, options);
+      if (!Agrees(oracle, got)) {
+        DiffFailure failure;
+        failure.description =
+            CaseHeadline(c) + "\n  variant: engine=local term_engine=" +
+            TermEngineName(term_engine) +
+            " threads=" + std::to_string(threads) +
+            "\n  oracle (naive): " + OutcomeToString(oracle) +
+            "\n  subject:        " + OutcomeToString(got);
+        failure.c = c;
+        return failure;
+      }
+      if (config.compare_metrics) {
+        EvalMetrics snapshot = sink.Snapshot();
+        if (!reference_metrics.has_value()) {
+          reference_metrics = snapshot;
+          reference_threads = threads;
+        } else if (!SnapshotsEqual(*reference_metrics, snapshot)) {
+          DiffFailure failure;
+          failure.description =
+              CaseHeadline(c) +
+              "\n  nondeterministic metrics: term_engine=" +
+              TermEngineName(term_engine) + " threads=" +
+              std::to_string(reference_threads) + " vs threads=" +
+              std::to_string(threads);
+          failure.c = c;
+          return failure;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Estimated naive-oracle cost: ||e|| * n^(quantifier rank + free arity).
+// Cases above the budget get their universe shrunk (induced prefix), which
+// keeps a 500-case run in seconds without skewing the formula distribution.
+constexpr double kMaxEstimatedCost = 400000.0;
+
+void BoundUniverse(DiffCase* c) {
+  const Expr& e = c->expr();
+  int exponent = QuantifierRank(e) + static_cast<int>(FreeVars(e).size());
+  for (const Term& t : c->head_terms) {
+    exponent = std::max(exponent, QuantifierRank(t.node()));
+  }
+  double size = static_cast<double>(ExprSize(e));
+  std::size_t n = c->structure.Order();
+  if (exponent <= 0 || n <= 2) return;
+  double budget = kMaxEstimatedCost / std::max(1.0, size);
+  std::size_t cap = static_cast<std::size_t>(
+      std::pow(budget, 1.0 / static_cast<double>(exponent)));
+  if (cap < 2) cap = 2;
+  if (n <= cap) return;
+  std::vector<ElemId> keep;
+  for (ElemId v = 0; v < cap; ++v) keep.push_back(v);
+  c->structure = c->structure.Induced(keep);
+}
+
+}  // namespace
+
+Outcome MiscountingSubject(const DiffCase& c, const EvalOptions& options) {
+  Outcome out = RunSubject(c, options);
+  bool trigger = c.structure.signature().NumSymbols() > 0 &&
+                 c.structure.relation(0).NumTuples() > 0;
+  if (trigger && out.status.ok() && !out.rows.empty() &&
+      !out.rows[0].counts.empty()) {
+    out.rows[0].counts[0] += 1;
+  }
+  return out;
+}
+
+DiffCase GenerateCase(const StructureGenOptions& structure_options,
+                      const FormulaGenOptions& formula_options, Rng* rng) {
+  DiffCase c;
+  c.structure = GenerateStructure(structure_options, rng);
+  FormulaGenerator gen(c.structure.signature(), formula_options, rng);
+  switch (rng->NextBelow(4)) {
+    case 0:
+      c.mode = CaseMode::kCheck;
+      c.formula = gen.GenerateFormula({});
+      break;
+    case 1:
+      c.mode = CaseMode::kCount;
+      c.formula = gen.GenerateFormula();
+      break;
+    case 2:
+      c.mode = CaseMode::kTerm;
+      c.term = gen.GenerateGroundTerm();
+      break;
+    default: {
+      c.mode = CaseMode::kQuery;
+      c.formula = gen.GenerateFormula();
+      std::vector<Var> head = FreeVars(c.formula);
+      std::size_t num_terms = rng->NextBelow(3);
+      for (std::size_t i = 0; i < num_terms; ++i) {
+        c.head_terms.push_back(gen.GenerateTerm(head));
+      }
+      break;
+    }
+  }
+  BoundUniverse(&c);
+  return c;
+}
+
+}  // namespace focq::fuzz

@@ -1,0 +1,110 @@
+// The differential-execution driver of the fuzzing harness: one (expression,
+// structure) case is run through the naive FOC(P) oracle (Definition 3.1
+// semantics) and through the Theorem 6.10 pipeline under every cover backend
+// and several thread counts; any disagreement in results — or in the
+// deterministic observability counters across thread counts — is a failure.
+//
+// The implementation under test is injectable (DiffConfig::subject), so the
+// harness itself is testable: tests inject a deliberately miscounting
+// subject and assert the driver catches and shrinks it.
+#ifndef FOCQ_TESTING_DIFFERENTIAL_H_
+#define FOCQ_TESTING_DIFFERENTIAL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "focq/core/api.h"
+#include "focq/eval/query.h"
+#include "focq/logic/expr.h"
+#include "focq/structure/structure.h"
+#include "focq/testing/formula_gen.h"
+#include "focq/testing/structure_gen.h"
+#include "focq/util/rng.h"
+
+namespace focq::fuzz {
+
+/// What a case asks of the engines.
+enum class CaseMode {
+  kCheck,  // sentence model checking (A |= phi)
+  kCount,  // the counting problem |phi(A)|
+  kTerm,   // ground counting-term evaluation
+  kQuery,  // full Definition 5.2 query evaluation (result relations)
+};
+
+std::string CaseModeName(CaseMode mode);
+std::optional<CaseMode> ParseCaseMode(const std::string& name);
+
+/// One self-contained differential test case.
+struct DiffCase {
+  CaseMode mode = CaseMode::kCount;
+  Formula formula;              // kCheck / kCount / kQuery condition
+  Term term;                    // kTerm
+  std::vector<Term> head_terms; // kQuery only (free vars within head vars)
+  Structure structure{Signature{}, 1};
+
+  /// The query evaluated in kQuery mode: head variables are the sorted free
+  /// variables of the condition and the head terms (recomputed on the fly so
+  /// shrinking can prune variables without invalidating the case).
+  Foc1Query ToQuery() const;
+
+  /// The expression under test (formula or term node).
+  const Expr& expr() const;
+};
+
+/// Canonicalised engine output: every mode is rendered as a row relation
+/// (kCheck: zero or one empty row; kCount/kTerm: one row with one count), so
+/// a single comparison covers all modes.
+struct Outcome {
+  Status status = Status::Ok();
+  std::vector<QueryRow> rows;
+};
+
+/// Evaluates `c` with the given options using the real engines.
+Outcome RunSubject(const DiffCase& c, const EvalOptions& options);
+
+/// One engine disagreement (or counter nondeterminism) found by RunCase.
+struct DiffFailure {
+  std::string description;  // which variant disagreed and how
+  DiffCase c;               // the case (callers may shrink it further)
+};
+
+struct DiffConfig {
+  std::vector<int> thread_counts = {0, 1, 4};
+  std::vector<TermEngine> term_engines = {
+      TermEngine::kBall, TermEngine::kSparseCover, TermEngine::kExactCover};
+  // Also require the deterministic metrics counters to be identical across
+  // thread_counts for every variant (DESIGN.md, "Observability").
+  bool compare_metrics = true;
+  // The implementation under test; defaults to RunSubject (the real
+  // pipeline). Tests substitute a faulty subject to exercise the harness.
+  std::function<Outcome(const DiffCase&, const EvalOptions&)> subject;
+};
+
+/// Runs one case: naive oracle once, then every (term engine, thread count)
+/// variant of the subject. Returns nullopt on full agreement. Cases where
+/// the *oracle* itself fails (e.g. arithmetic overflow on an adversarial
+/// term) still require the subject to fail with the same status code.
+std::optional<DiffFailure> RunCase(const DiffCase& c, const DiffConfig& config);
+
+/// Draws a random case: structure from `structure_options`, expression from
+/// a FormulaGenerator over the structure's signature, mode uniform over the
+/// four modes (kQuery gets 0-2 head terms).
+DiffCase GenerateCase(const StructureGenOptions& structure_options,
+                      const FormulaGenOptions& formula_options, Rng* rng);
+
+/// Renders rows compactly for failure reports: "(a,b|n1,n2) ...".
+std::string RowsToString(const std::vector<QueryRow>& rows);
+
+/// A deliberately faulty subject for harness self-tests: behaves like
+/// RunSubject but over-counts the first result column by one whenever the
+/// structure's first relation is non-empty. The trigger survives vertex and
+/// tuple deletion down to a two-element structure, so the shrinker must
+/// reduce any caught miscount to a tiny repro (asserted by the tests and
+/// `focq_fuzz --self-test`).
+Outcome MiscountingSubject(const DiffCase& c, const EvalOptions& options);
+
+}  // namespace focq::fuzz
+
+#endif  // FOCQ_TESTING_DIFFERENTIAL_H_

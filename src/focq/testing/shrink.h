@@ -1,0 +1,45 @@
+// Greedy shrinking of failing differential cases: minimise the structure
+// (vertex deletion, tuple deletion) and the expression (subtree replacement
+// by constants, child promotion, quantifier stripping) while the failure
+// predicate keeps holding. Every reduction preserves well-formedness and
+// FOC1(P) membership and can only remove free variables, so a shrunk case is
+// always replayable through the same driver.
+#ifndef FOCQ_TESTING_SHRINK_H_
+#define FOCQ_TESTING_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "focq/testing/differential.h"
+
+namespace focq::fuzz {
+
+struct ShrinkLimits {
+  // Upper bound on predicate evaluations; greedy descent stops when spent.
+  std::size_t max_evaluations = 4000;
+};
+
+struct ShrinkStats {
+  std::size_t evaluations = 0;   // predicate calls spent
+  std::size_t reductions = 0;    // accepted shrink steps
+};
+
+/// Returns a minimised case on which `still_fails` still returns true.
+/// `still_fails(c)` must be true on entry (checked). Deterministic: the
+/// reduction order is fixed, so the same failing case always shrinks to the
+/// same minimum.
+DiffCase Shrink(const DiffCase& c,
+                const std::function<bool(const DiffCase&)>& still_fails,
+                const ShrinkLimits& limits = {}, ShrinkStats* stats = nullptr);
+
+/// The structure with one tuple of relation `rel` removed (rebuilds all
+/// relations; expansion symbols survive). Exposed for tests.
+Structure DropTuple(const Structure& a, SymbolId rel, std::size_t tuple_index);
+
+/// The induced substructure on all elements except `v` (universe size must
+/// be >= 2). Exposed for tests.
+Structure DropVertex(const Structure& a, ElemId v);
+
+}  // namespace focq::fuzz
+
+#endif  // FOCQ_TESTING_SHRINK_H_

@@ -1,0 +1,158 @@
+#include "focq/testing/structure_gen.h"
+
+#include "focq/graph/generators.h"
+#include "focq/structure/encode.h"
+#include "focq/util/check.h"
+
+namespace focq::fuzz {
+
+std::vector<StructureClass> AllStructureClasses() {
+  return {StructureClass::kSparse,    StructureClass::kBoundedDegree,
+          StructureClass::kTree,      StructureClass::kForest,
+          StructureClass::kGrid,      StructureClass::kPathCycle,
+          StructureClass::kErdosRenyi, StructureClass::kEmpty};
+}
+
+std::string StructureClassName(StructureClass cls) {
+  switch (cls) {
+    case StructureClass::kSparse: return "sparse";
+    case StructureClass::kBoundedDegree: return "bounded-degree";
+    case StructureClass::kTree: return "tree";
+    case StructureClass::kForest: return "forest";
+    case StructureClass::kGrid: return "grid";
+    case StructureClass::kPathCycle: return "path-cycle";
+    case StructureClass::kErdosRenyi: return "erdos-renyi";
+    case StructureClass::kEmpty: return "empty";
+  }
+  FOCQ_CHECK(false);
+  return "";
+}
+
+std::optional<StructureClass> ParseStructureClass(const std::string& name) {
+  for (StructureClass cls : AllStructureClasses()) {
+    if (StructureClassName(cls) == name) return cls;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+Graph GenerateGraph(StructureClass cls, std::size_t n, Rng* rng) {
+  switch (cls) {
+    case StructureClass::kSparse:
+      return MakeRandomSparse(n, 1 + rng->NextBelow(2), rng);
+    case StructureClass::kBoundedDegree:
+      return MakeRandomBoundedDegree(n, 2 + rng->NextBelow(3), rng);
+    case StructureClass::kTree:
+      return MakeRandomTree(n, rng);
+    case StructureClass::kForest: {
+      // Two components; exercises disconnected Gaifman graphs.
+      std::size_t left = 1 + rng->NextBelow(n);
+      if (left == n) left = n > 1 ? n - 1 : n;
+      Graph a = MakeRandomTree(left, rng);
+      Graph merged(n);
+      for (auto [u, v] : a.Edges()) merged.AddEdge(u, v);
+      if (n > left) {
+        Graph b = MakeRandomTree(n - left, rng);
+        for (auto [u, v] : b.Edges()) {
+          merged.AddEdge(static_cast<VertexId>(left + u),
+                         static_cast<VertexId>(left + v));
+        }
+      }
+      merged.Finalize();
+      return merged;
+    }
+    case StructureClass::kGrid: {
+      // rows * cols as close to n as a small factorisation allows.
+      std::size_t rows = 1 + rng->NextBelow(4);
+      std::size_t cols = (n + rows - 1) / rows;
+      if (cols == 0) cols = 1;
+      return MakeGrid(rows, cols);
+    }
+    case StructureClass::kPathCycle:
+      if (n >= 3 && rng->NextBool(0.5)) return MakeCycle(n);
+      return MakePath(n);
+    case StructureClass::kErdosRenyi:
+      return MakeErdosRenyi(n, 0.15 + 0.3 * rng->NextDouble(), rng);
+    case StructureClass::kEmpty:
+      return Graph(n);
+  }
+  FOCQ_CHECK(false);
+  return Graph(0);
+}
+
+}  // namespace
+
+Structure GenerateStructure(const StructureGenOptions& options, Rng* rng,
+                            StructureClass* out_cls) {
+  FOCQ_CHECK(options.min_universe >= 1 &&
+             options.min_universe <= options.max_universe);
+  std::size_t n = options.min_universe +
+                  rng->NextBelow(options.max_universe - options.min_universe + 1);
+  StructureClass cls =
+      options.cls.has_value()
+          ? *options.cls
+          : AllStructureClasses()[rng->NextBelow(AllStructureClasses().size())];
+  if (out_cls != nullptr) *out_cls = cls;
+
+  Graph g = GenerateGraph(cls, n, rng);
+  if (!g.finalized()) g.Finalize();
+  n = g.num_vertices();  // grids may round the universe up to rows*cols
+
+  // Binary symbols must be in the signature up front (expansions only add
+  // unary/nullary relations), so decide on the directed F relation now.
+  bool with_f = rng->NextBool(options.second_binary_fraction);
+  Signature sig({{kEdgeSymbolName, 2}});
+  SymbolId f_id = 0;
+  if (with_f) f_id = sig.AddSymbol("F", 2);
+  Structure a(sig, n);
+  for (auto [u, v] : g.Edges()) {
+    a.AddTuple(0, {u, v});
+    a.AddTuple(0, {v, u});
+  }
+  if (with_f && n >= 1) {
+    std::size_t arcs = rng->NextBelow(2 * n + 1);
+    for (std::size_t i = 0; i < arcs; ++i) {
+      a.AddTuple(f_id, {static_cast<ElemId>(rng->NextBelow(n)),
+                        static_cast<ElemId>(rng->NextBelow(n))});
+    }
+  }
+
+  // Colored-relation expansions: grids can model node labels, the sparse
+  // classes model typed entities. Some structures get zero colors on purpose
+  // (empty unary relations must stay on the fuzzed path).
+  int colors = static_cast<int>(rng->NextBelow(options.max_colors + 1));
+  for (int c = 0; c < colors; ++c) {
+    std::vector<ElemId> members;
+    for (ElemId e = 0; e < n; ++e) {
+      if (rng->NextBool(options.color_fraction)) members.push_back(e);
+    }
+    a.AddUnarySymbol("C" + std::to_string(c), members);
+  }
+  return a;
+}
+
+Structure RandomGraphStructure(std::size_t n, double edge_per_node, Rng* rng) {
+  Graph g(n);
+  std::size_t edges = static_cast<std::size_t>(edge_per_node * n);
+  for (std::size_t i = 0; i < edges && n >= 2; ++i) {
+    VertexId u = static_cast<VertexId>(rng->NextBelow(n));
+    VertexId v = static_cast<VertexId>(rng->NextBelow(n));
+    if (u != v) g.AddEdge(u, v);
+  }
+  g.Finalize();
+  return EncodeGraph(g);
+}
+
+Structure RandomColoredStructure(std::size_t n, double edge_per_node,
+                                 double red_fraction, Rng* rng) {
+  Structure base = RandomGraphStructure(n, edge_per_node, rng);
+  std::vector<ElemId> reds;
+  for (ElemId e = 0; e < n; ++e) {
+    if (rng->NextBool(red_fraction)) reds.push_back(e);
+  }
+  base.AddUnarySymbol("R", reds);
+  return base;
+}
+
+}  // namespace focq::fuzz

@@ -1,0 +1,75 @@
+// Seeded random structure generation for the differential fuzzing harness
+// and the property-based test suites. One generator serves both: the fuzz
+// driver (tools/focq_fuzz) draws whole databases from the classes the paper
+// targets, and the unit tests reuse the same builders through
+// tests/test_util.h so every suite shares one seeded distribution.
+#ifndef FOCQ_TESTING_STRUCTURE_GEN_H_
+#define FOCQ_TESTING_STRUCTURE_GEN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "focq/structure/structure.h"
+#include "focq/util/rng.h"
+
+namespace focq::fuzz {
+
+/// The database classes the generator draws from. All are encoded as
+/// {E/2}-structures (symmetric edge relation) before expansions are added.
+enum class StructureClass {
+  kSparse,         // MakeRandomSparse: bounded expansion, the paper's target
+  kBoundedDegree,  // hard maximum-degree cap
+  kTree,           // uniform random recursive tree
+  kForest,         // disjoint union of two random trees (disconnected)
+  kGrid,           // planar rows x cols grid
+  kPathCycle,      // path or cycle (diameter extremes)
+  kErdosRenyi,     // somewhere-dense control
+  kEmpty,          // no edges at all (empty relations everywhere)
+};
+
+/// All classes, for sweeps.
+std::vector<StructureClass> AllStructureClasses();
+
+/// Short stable name ("sparse", "tree", ...) used by `focq_fuzz --class`.
+std::string StructureClassName(StructureClass cls);
+
+/// Inverse of StructureClassName; nullopt for unknown names.
+std::optional<StructureClass> ParseStructureClass(const std::string& name);
+
+struct StructureGenOptions {
+  std::size_t min_universe = 1;
+  std::size_t max_universe = 24;
+  // Fixed class, or nullopt to pick uniformly per structure.
+  std::optional<StructureClass> cls;
+  // Expansions: up to `max_colors` random unary relations C0, C1, ... are
+  // added, each holding every element independently with `color_fraction`.
+  int max_colors = 2;
+  double color_fraction = 0.4;
+  // With probability `second_binary_fraction` a sparse *directed* binary
+  // relation F is added on top of E (colored-relation expansions beyond
+  // undirected graphs).
+  double second_binary_fraction = 0.3;
+};
+
+/// Draws one random structure. When `out_cls` is non-null the chosen class
+/// is reported (useful for failure diagnostics).
+Structure GenerateStructure(const StructureGenOptions& options, Rng* rng,
+                            StructureClass* out_cls = nullptr);
+
+// ---------------------------------------------------------------------------
+// The shared seeded builders previously duplicated in tests/test_util.h.
+// ---------------------------------------------------------------------------
+
+/// A random sparse graph structure ({E/2}, symmetric) with n elements and
+/// about `edge_per_node * n` sampled edges.
+Structure RandomGraphStructure(std::size_t n, double edge_per_node, Rng* rng);
+
+/// A random two-relation structure: binary E plus unary R ("red"), each
+/// element red independently with probability `red_fraction`.
+Structure RandomColoredStructure(std::size_t n, double edge_per_node,
+                                 double red_fraction, Rng* rng);
+
+}  // namespace focq::fuzz
+
+#endif  // FOCQ_TESTING_STRUCTURE_GEN_H_

@@ -1,0 +1,138 @@
+// End-to-end exit-code contract of focq_cli: scripted drivers (CI smoke
+// tests, fuzz replay wrappers) branch on exit codes, so bad input must exit
+// 1 with a one-line diagnostic — never abort. Exercises the focq_cli binary
+// itself via its path baked in from CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef FOCQ_CLI_PATH
+#error "FOCQ_CLI_PATH must name the focq_cli binary (set in CMakeLists.txt)"
+#endif
+
+namespace focq {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+// Runs the CLI, capturing combined output and the exit code. A command that
+// dies on a signal (e.g. an abort) reports exit_code >= 128.
+RunResult RunCli(const std::string& args) {
+  std::string command = std::string(FOCQ_CLI_PATH) + " " + args + " 2>&1";
+  RunResult r;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 512> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    r.output += buffer.data();
+  }
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    r.exit_code = 128 + WTERMSIG(status);
+  }
+  return r;
+}
+
+int CountLines(const std::string& text) {
+  int lines = 0;
+  for (char c : text) lines += c == '\n';
+  return lines;
+}
+
+class CliExitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("focq_cli_exit_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(dir_);
+    edges_path_ = (dir_ / "ok.edges").string();
+    std::ofstream(edges_path_) << "0 1\n1 2\n2 3\n";
+    structure_path_ = (dir_ / "ok.fs").string();
+    std::ofstream(structure_path_) << "universe 3\nrelation E 2\n0 1\n1 0\n";
+    bad_structure_path_ = (dir_ / "bad.fs").string();
+    std::ofstream(bad_structure_path_) << "universe 3\nrelation E 2\n0 9\n";
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  std::string edges_path_;
+  std::string structure_path_;
+  std::string bad_structure_path_;
+};
+
+TEST_F(CliExitTest, ValidQueryExitsZero) {
+  RunResult r = RunCli(structure_path_ + " --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("solutions: 2"), std::string::npos) << r.output;
+}
+
+TEST_F(CliExitTest, FalseSentenceExitsThree) {
+  RunResult r =
+      RunCli(edges_path_ + " --edges --check 'exists x. E(x, x)'");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+}
+
+TEST_F(CliExitTest, UnparsableQueryExitsOneWithOneLineDiagnostic) {
+  RunResult r = RunCli(structure_path_ + " --count '(((E(x, y)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // One structure banner line plus exactly one diagnostic line.
+  EXPECT_EQ(CountLines(r.output), 2) << r.output;
+  EXPECT_NE(r.output.find("focq_cli:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliExitTest, UnknownRelationSymbolExitsOne) {
+  RunResult r = RunCli(structure_path_ + " --check 'exists x. Q(x)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unknown relation symbol"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliExitTest, ArityMismatchExitsOne) {
+  RunResult r = RunCli(structure_path_ + " --check 'exists x. E(x)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("arity"), std::string::npos) << r.output;
+}
+
+TEST_F(CliExitTest, ArityMismatchInTermExitsOne) {
+  RunResult r = RunCli(structure_path_ + " --term '#(x). (E(x))'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("arity"), std::string::npos) << r.output;
+}
+
+TEST_F(CliExitTest, UnreadableStructureExitsOne) {
+  RunResult r = RunCli((dir_ / "missing.fs").string() + " --count 'true'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountLines(r.output), 1) << r.output;
+}
+
+TEST_F(CliExitTest, MalformedStructureExitsOne) {
+  RunResult r = RunCli(bad_structure_path_ + " --count 'true'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountLines(r.output), 1) << r.output;
+}
+
+TEST_F(CliExitTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(RunCli("").exit_code, 2);
+  EXPECT_EQ(RunCli(structure_path_).exit_code, 2);
+  EXPECT_EQ(RunCli(structure_path_ + " --bogus-flag --count 'true'")
+                .exit_code, 2);
+}
+
+}  // namespace
+}  // namespace focq

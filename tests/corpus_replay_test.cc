@@ -1,0 +1,62 @@
+// Replays every .case file in tests/corpus/ through the differential driver:
+// each is a regression the fast pipeline must keep agreeing on with the
+// naive oracle under every cover backend and thread count. New shrunk
+// failures from tools/focq_fuzz get dropped into the corpus directory and
+// are picked up here without any registration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "focq/testing/case_io.h"
+#include "focq/testing/differential.h"
+
+#ifndef FOCQ_CORPUS_DIR
+#error "FOCQ_CORPUS_DIR must point at tests/corpus (set in CMakeLists.txt)"
+#endif
+
+namespace focq {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(FOCQ_CORPUS_DIR, ec)) {
+    if (entry.path().extension() == ".case") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(CorpusReplay, EveryCaseAgrees) {
+  std::vector<std::string> paths = CorpusFiles();
+  ASSERT_FALSE(paths.empty()) << "no .case files under " << FOCQ_CORPUS_DIR;
+  fuzz::DiffConfig config;
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    Result<fuzz::DiffCase> c = fuzz::ReadCaseFile(path);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    std::optional<fuzz::DiffFailure> failure = fuzz::RunCase(*c, config);
+    EXPECT_FALSE(failure.has_value())
+        << (failure ? failure->description : "");
+  }
+}
+
+TEST(CorpusReplay, CasesRoundTripThroughTheWriter) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    Result<fuzz::DiffCase> c = fuzz::ReadCaseFile(path);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    Result<fuzz::DiffCase> again = fuzz::ReadCase(fuzz::WriteCase(*c));
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(fuzz::WriteCase(*again), fuzz::WriteCase(*c));
+  }
+}
+
+}  // namespace
+}  // namespace focq

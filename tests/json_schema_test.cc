@@ -1,0 +1,247 @@
+// Golden-schema regression test for the observability JSON documents shipped
+// by `focq_cli --metrics-json` / `--trace-json` (composed in
+// focq/obs/json_export.h). External dashboards consume these files, so the
+// key set and value types are a compatibility contract: loosening or
+// renaming a key must fail here first.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "focq/core/api.h"
+#include "focq/graph/generators.h"
+#include "focq/logic/build.h"
+#include "focq/obs/json_export.h"
+#include "focq/structure/encode.h"
+
+namespace focq {
+namespace {
+
+// A minimal JSON reader, just enough to validate document *shape*. Values
+// are objects, arrays, strings, numbers or booleans; no escapes beyond the
+// ones the exporters emit (\" \\ \n \t and \u00xx).
+struct Json {
+  enum Kind { kObject, kArray, kString, kNumber, kBool } kind;
+  std::map<std::string, Json> object;
+  std::vector<Json> array;
+  std::string string;
+  double number = 0;
+  bool boolean = false;
+
+  bool Has(const std::string& key) const { return object.count(key) > 0; }
+  const Json& At(const std::string& key) const { return object.at(key); }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json Parse() {
+    Json v = ParseValue();
+    Skip();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after JSON document";
+    return v;
+  }
+
+ private:
+  void Skip() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    Skip();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void Expect(char c) {
+    EXPECT_EQ(Peek(), c) << "at byte " << pos_;
+    ++pos_;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;  // keep escaped char verbatim
+      out += text_[pos_++];
+    }
+    Expect('"');
+    return out;
+  }
+
+  Json ParseValue() {
+    Json v;
+    switch (Peek()) {
+      case '{': {
+        v.kind = Json::kObject;
+        Expect('{');
+        if (Peek() != '}') {
+          while (true) {
+            std::string key = ParseString();
+            Expect(':');
+            v.object.emplace(key, ParseValue());
+            if (Peek() != ',') break;
+            Expect(',');
+          }
+        }
+        Expect('}');
+        return v;
+      }
+      case '[': {
+        v.kind = Json::kArray;
+        Expect('[');
+        if (Peek() != ']') {
+          while (true) {
+            v.array.push_back(ParseValue());
+            if (Peek() != ',') break;
+            Expect(',');
+          }
+        }
+        Expect(']');
+        return v;
+      }
+      case '"':
+        v.kind = Json::kString;
+        v.string = ParseString();
+        return v;
+      case 't':
+      case 'f':
+        v.kind = Json::kBool;
+        v.boolean = text_[pos_] == 't';
+        pos_ += v.boolean ? 4 : 5;
+        return v;
+      default: {
+        v.kind = Json::kNumber;
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+          ++pos_;
+        }
+        EXPECT_GT(pos_, start) << "not a JSON value at byte " << start;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Produces one real evaluation's sinks: metrics + trace of a pipeline run
+// that exercises counting terms (so counters and spans are non-empty).
+void RunInstrumented(MetricsSink* metrics, TraceSink* trace) {
+  Structure a = EncodeGraph(MakeGrid(4, 4));
+  Var x = VarNamed("jsx"), y = VarNamed("jsy");
+  Formula phi = Ge1(Sub(Count({y}, Atom("E", {x, y})), Int(2)));
+  EvalOptions options;
+  options.engine = Engine::kLocal;
+  options.metrics = metrics;
+  options.trace = trace;
+  ScopedSpan root(trace, "query_eval");
+  Result<CountInt> n = CountSolutions(phi, a, options);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+}
+
+void ExpectIntegerMap(const Json& v, const std::string& label) {
+  ASSERT_EQ(v.kind, Json::kObject) << label;
+  for (const auto& [key, value] : v.object) {
+    EXPECT_EQ(value.kind, Json::kNumber) << label << "." << key;
+  }
+}
+
+TEST(JsonSchema, MetricsDocument) {
+  MetricsSink metrics;
+  TraceSink trace;
+  RunInstrumented(&metrics, &trace);
+  std::string text = ComposeMetricsJson(metrics.Snapshot(), trace);
+  Json doc = Parser(text).Parse();
+
+  // The contract: exactly these four top-level keys.
+  ASSERT_EQ(doc.kind, Json::kObject);
+  EXPECT_EQ(doc.object.size(), 4u);
+  ASSERT_TRUE(doc.Has("counters"));
+  ASSERT_TRUE(doc.Has("values"));
+  ASSERT_TRUE(doc.Has("phase_ns"));
+  ASSERT_TRUE(doc.Has("pool"));
+
+  ExpectIntegerMap(doc.At("counters"), "counters");
+  EXPECT_FALSE(doc.At("counters").object.empty());
+
+  const Json& values = doc.At("values");
+  ASSERT_EQ(values.kind, Json::kObject);
+  for (const auto& [name, stats] : values.object) {
+    ASSERT_EQ(stats.kind, Json::kObject) << "values." << name;
+    EXPECT_EQ(stats.object.size(), 4u) << "values." << name;
+    for (const char* key : {"count", "sum", "min", "max"}) {
+      ASSERT_TRUE(stats.Has(key)) << "values." << name << "." << key;
+      EXPECT_EQ(stats.At(key).kind, Json::kNumber);
+    }
+  }
+
+  ExpectIntegerMap(doc.At("phase_ns"), "phase_ns");
+  EXPECT_TRUE(doc.At("phase_ns").Has("query_eval"));
+
+  const Json& pool = doc.At("pool");
+  ASSERT_EQ(pool.kind, Json::kObject);
+  EXPECT_EQ(pool.object.size(), 5u);
+  for (const char* key :
+       {"workers", "tasks_submitted", "tasks_executed", "steals", "busy_ns"}) {
+    ASSERT_TRUE(pool.Has(key)) << "pool." << key;
+    EXPECT_EQ(pool.At(key).kind, Json::kNumber) << "pool." << key;
+  }
+}
+
+void ExpectSpanShape(const Json& span) {
+  ASSERT_EQ(span.kind, Json::kObject);
+  for (const char* key : {"name", "start_ns", "duration_ns", "children"}) {
+    ASSERT_TRUE(span.Has(key)) << "span." << key;
+  }
+  EXPECT_EQ(span.At("name").kind, Json::kString);
+  EXPECT_EQ(span.At("start_ns").kind, Json::kNumber);
+  EXPECT_EQ(span.At("duration_ns").kind, Json::kNumber);
+  ASSERT_EQ(span.At("children").kind, Json::kArray);
+  for (const Json& child : span.At("children").array) ExpectSpanShape(child);
+}
+
+TEST(JsonSchema, TraceDocument) {
+  MetricsSink metrics;
+  TraceSink trace;
+  RunInstrumented(&metrics, &trace);
+  Json doc = Parser(ComposeTraceJson(trace)).Parse();
+
+  ASSERT_EQ(doc.kind, Json::kObject);
+  EXPECT_EQ(doc.object.size(), 2u);
+  ASSERT_TRUE(doc.Has("spans"));
+  ASSERT_TRUE(doc.Has("traceEvents"));
+
+  const Json& spans = doc.At("spans");
+  ASSERT_EQ(spans.kind, Json::kArray);
+  ASSERT_FALSE(spans.array.empty());
+  for (const Json& span : spans.array) ExpectSpanShape(span);
+  EXPECT_EQ(spans.array[0].At("name").string, "query_eval");
+
+  const Json& events = doc.At("traceEvents");
+  ASSERT_EQ(events.kind, Json::kArray);
+  ASSERT_FALSE(events.array.empty());
+  for (const Json& event : events.array) {
+    ASSERT_EQ(event.kind, Json::kObject);
+    for (const char* key : {"name", "ph", "pid", "tid", "ts", "dur"}) {
+      ASSERT_TRUE(event.Has(key)) << "traceEvent." << key;
+    }
+    EXPECT_EQ(event.At("ph").string, "X");
+  }
+}
+
+}  // namespace
+}  // namespace focq

@@ -135,6 +135,81 @@ TEST(PipelineEdge, RandomizedEngineAgreementOnDenseControls) {
   EXPECT_EQ(*CountSolutions(all9, clique, Local()), 10);
 }
 
+TEST(PipelineEdge, EmptyRelationsEverywhere) {
+  // Every relation empty: counting terms are 0 everywhere, atoms never hold,
+  // but equality and pure-logic subformulas still work.
+  Structure a(Signature({{"E", 2}, {"R", 1}}), 5);
+  Var x = VarNamed("pe8x"), y = VarNamed("pe8y");
+  for (const EvalOptions& o : {Naive(), Local()}) {
+    EXPECT_EQ(*CountSolutions(Atom("E", {x, y}), a, o), 0);
+    EXPECT_EQ(*CountSolutions(Atom("R", {x}), a, o), 0);
+    EXPECT_EQ(*EvaluateGroundTerm(Count({x, y}, Atom("E", {x, y})), a, o), 0);
+    // not E(x,y) holds for all 25 pairs on an empty edge relation.
+    EXPECT_EQ(*CountSolutions(Not(Atom("E", {x, y})), a, o), 25);
+    EXPECT_TRUE(*ModelCheck(Forall(x, Not(Atom("R", {x}))), a, o));
+  }
+}
+
+TEST(PipelineEdge, DistanceBoundBeyondDiameter) {
+  // dist(x,y) <= r with r far beyond the diameter: every connected pair
+  // qualifies, and balls saturate to whole components.
+  Structure a = Structure::DisjointUnion(EncodeGraph(MakePath(4)),
+                                         EncodeGraph(MakePath(3)));
+  Var x = VarNamed("pe9x"), y = VarNamed("pe9y");
+  Formula near = DistAtMost(x, y, 50);
+  for (const EvalOptions& o : {Naive(), Local()}) {
+    // 4^2 pairs inside the path, 3^2 inside the triangle-free path.
+    EXPECT_EQ(*CountSolutions(near, a, o), 16 + 9);
+    // Counting within a huge radius equals the component size.
+    Term reach = Count({y}, DistAtMost(x, y, 50));
+    Formula comp4 = TermEq(reach, Int(4));
+    EXPECT_EQ(*CountSolutions(comp4, a, o), 4);
+  }
+}
+
+TEST(PipelineEdge, CountingTermsValuedZeroEverywhere) {
+  // A counting term that is 0 for every assignment: predicates over it must
+  // still evaluate correctly (0 is even, not >= 1, divides nothing...).
+  Structure a = EncodeGraph(MakePath(5));
+  Var x = VarNamed("peAx"), y = VarNamed("peAy");
+  Term zero = Count({y}, And(Atom("E", {x, y}), Not(Eq(y, y))));
+  for (const EvalOptions& o : {Naive(), Local()}) {
+    EXPECT_EQ(*CountSolutions(Ge1(zero), a, o), 0);
+    EXPECT_EQ(*CountSolutions(Pred(PredEven(), {zero}), a, o), 5);
+    EXPECT_EQ(*CountSolutions(TermEq(zero, Int(0)), a, o), 5);
+    EXPECT_EQ(*EvaluateGroundTerm(Count({x}, Ge1(zero)), a, o), 0);
+  }
+}
+
+TEST(PipelineEdge, SingleVertexNoEdges) {
+  // The 1-element graph encoding: r-balls are trivial, covers degenerate.
+  Graph g(1);
+  g.Finalize();
+  Structure a = EncodeGraph(g);
+  Var x = VarNamed("peBx"), y = VarNamed("peBy");
+  for (const EvalOptions& o : {Naive(), Local()}) {
+    EXPECT_TRUE(*ModelCheck(Forall(x, Forall(y, Eq(x, y))), a, o));
+    EXPECT_EQ(*CountSolutions(Ge1(Count({y}, Atom("E", {x, y}))), a, o), 0);
+    EXPECT_EQ(*CountSolutions(DistAtMost(x, y, 3), a, o), 1);  // x = y only
+  }
+}
+
+TEST(PipelineEdge, FullyDisconnectedGaifmanGraph) {
+  // No binary tuples at all: the Gaifman graph has no edges, so every
+  // cluster is a singleton and cross-element counting runs on markers only.
+  Structure a(Signature({{"E", 2}, {"R", 1}}), 6);
+  for (ElemId e : {0, 2, 4}) a.AddTuple(1, {e});
+  Var x = VarNamed("peCx"), y = VarNamed("peCy");
+  Term reds = Count({y}, Atom("R", {y}));
+  for (const EvalOptions& o : {Naive(), Local()}) {
+    // |R| = 3 independently of x (Eq(x,x) keeps x free, so all 6 qualify).
+    EXPECT_EQ(*CountSolutions(And(Eq(x, x), TermEq(reds, Int(3))), a, o), 6);
+    EXPECT_EQ(*CountSolutions(And(Atom("R", {x}), Ge1(reds)), a, o), 3);
+    EXPECT_EQ(*EvaluateGroundTerm(Count({x, y}, DistAtMost(x, y, 2)), a, o),
+              6);  // only the diagonal
+  }
+}
+
 TEST(PipelineEdge, StringStructuresThroughThePipeline) {
   // Strings have clique Gaifman graphs; the pipeline must stay correct
   // (Section 4 is precisely about them being hard, not wrong).

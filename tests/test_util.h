@@ -1,16 +1,16 @@
-// Shared helpers for the focq test suite: deterministic random structures,
-// random guarded kernels, and random FOC1 expressions for differential
-// testing of the evaluation engines against the naive reference semantics.
+// Shared helpers for the focq test suite. The seeded random builders live in
+// the focq_testing library (src/focq/testing/) so the unit tests and the
+// fuzzing harness (tools/focq_fuzz) draw from one distribution; this header
+// re-exports them under the historical focq::test names.
 #ifndef FOCQ_TESTS_TEST_UTIL_H_
 #define FOCQ_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
 #include <vector>
 
-#include "focq/graph/generators.h"
-#include "focq/locality/local_eval.h"
-#include "focq/logic/build.h"
-#include "focq/structure/encode.h"
 #include "focq/structure/structure.h"
+#include "focq/testing/formula_gen.h"
+#include "focq/testing/structure_gen.h"
 #include "focq/util/rng.h"
 
 namespace focq::test {
@@ -18,27 +18,13 @@ namespace focq::test {
 /// A random sparse graph structure ({E/2}, symmetric) with n elements.
 inline Structure RandomGraphStructure(std::size_t n, double edge_per_node,
                                       Rng* rng) {
-  Graph g(n);
-  std::size_t edges = static_cast<std::size_t>(edge_per_node * n);
-  for (std::size_t i = 0; i < edges && n >= 2; ++i) {
-    VertexId u = static_cast<VertexId>(rng->NextBelow(n));
-    VertexId v = static_cast<VertexId>(rng->NextBelow(n));
-    if (u != v) g.AddEdge(u, v);
-  }
-  g.Finalize();
-  return EncodeGraph(g);
+  return fuzz::RandomGraphStructure(n, edge_per_node, rng);
 }
 
 /// A random two-relation structure: binary E plus unary R ("red").
 inline Structure RandomColoredStructure(std::size_t n, double edge_per_node,
                                         double red_fraction, Rng* rng) {
-  Structure base = RandomGraphStructure(n, edge_per_node, rng);
-  std::vector<ElemId> reds;
-  for (ElemId e = 0; e < n; ++e) {
-    if (rng->NextBool(red_fraction)) reds.push_back(e);
-  }
-  base.AddUnarySymbol("R", reds);
-  return base;
+  return fuzz::RandomColoredStructure(n, edge_per_node, red_fraction, rng);
 }
 
 /// A random quantifier-free formula over the given variables, using E, R
@@ -46,31 +32,7 @@ inline Structure RandomColoredStructure(std::size_t n, double edge_per_node,
 inline Formula RandomQuantifierFree(const std::vector<Var>& vars, int depth,
                                     bool with_color, std::uint32_t max_dist,
                                     Rng* rng) {
-  if (depth == 0 || rng->NextBool(0.35)) {
-    Var x = vars[rng->NextBelow(vars.size())];
-    Var y = vars[rng->NextBelow(vars.size())];
-    switch (rng->NextBelow(with_color ? 4 : 3)) {
-      case 0:
-        return Atom("E", {x, y});
-      case 1:
-        return Eq(x, y);
-      case 2:
-        return DistAtMost(x, y, static_cast<std::uint32_t>(
-                                    rng->NextBelow(max_dist + 1)));
-      default:
-        return Atom("R", {x});
-    }
-  }
-  switch (rng->NextBelow(3)) {
-    case 0:
-      return Not(RandomQuantifierFree(vars, depth - 1, with_color, max_dist, rng));
-    case 1:
-      return Or(RandomQuantifierFree(vars, depth - 1, with_color, max_dist, rng),
-                RandomQuantifierFree(vars, depth - 1, with_color, max_dist, rng));
-    default:
-      return And(RandomQuantifierFree(vars, depth - 1, with_color, max_dist, rng),
-                 RandomQuantifierFree(vars, depth - 1, with_color, max_dist, rng));
-  }
+  return fuzz::RandomQuantifierFree(vars, depth, with_color, max_dist, rng);
 }
 
 /// A random *guarded* kernel over `vars`: quantifier-free pieces plus
@@ -78,43 +40,8 @@ inline Formula RandomQuantifierFree(const std::vector<Var>& vars, int depth,
 inline Formula RandomGuardedKernel(const std::vector<Var>& vars, int depth,
                                    bool with_color, std::uint32_t max_guard,
                                    Rng* rng, int quantifier_budget = 2) {
-  if (depth == 0 || quantifier_budget == 0 || rng->NextBool(0.4)) {
-    return RandomQuantifierFree(vars, depth, with_color, max_guard, rng);
-  }
-  switch (rng->NextBelow(4)) {
-    case 0: {
-      Var anchor = vars[rng->NextBelow(vars.size())];
-      Var fresh = FreshVar("q");
-      std::vector<Var> inner = vars;
-      inner.push_back(fresh);
-      std::uint32_t d = static_cast<std::uint32_t>(rng->NextBelow(max_guard) + 1);
-      return GuardedExists(fresh, anchor, d,
-                           RandomGuardedKernel(inner, depth - 1, with_color,
-                                               max_guard, rng,
-                                               quantifier_budget - 1));
-    }
-    case 1: {
-      Var anchor = vars[rng->NextBelow(vars.size())];
-      Var fresh = FreshVar("q");
-      std::vector<Var> inner = vars;
-      inner.push_back(fresh);
-      std::uint32_t d = static_cast<std::uint32_t>(rng->NextBelow(max_guard) + 1);
-      return GuardedForall(fresh, anchor, d,
-                           RandomGuardedKernel(inner, depth - 1, with_color,
-                                               max_guard, rng,
-                                               quantifier_budget - 1));
-    }
-    case 2:
-      return Or(RandomGuardedKernel(vars, depth - 1, with_color, max_guard, rng,
-                                    quantifier_budget),
-                RandomGuardedKernel(vars, depth - 1, with_color, max_guard, rng,
-                                    quantifier_budget));
-    default:
-      return And(RandomGuardedKernel(vars, depth - 1, with_color, max_guard,
-                                     rng, quantifier_budget),
-                 Not(RandomGuardedKernel(vars, depth - 1, with_color, max_guard,
-                                         rng, quantifier_budget)));
-  }
+  return fuzz::RandomGuardedKernel(vars, depth, with_color, max_guard, rng,
+                                   quantifier_budget);
 }
 
 }  // namespace focq::test

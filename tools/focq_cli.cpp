@@ -37,12 +37,16 @@
 #include <string>
 
 #include "focq/core/api.h"
+#include "focq/logic/fragment.h"
 #include "focq/logic/parser.h"
+#include "focq/obs/json_export.h"
 #include "focq/structure/io.h"
 #include "focq/util/thread_pool.h"
 
 namespace {
 
+// Every user-input failure exits 1 with a one-line diagnostic on stderr, so
+// scripted drivers (CI, fuzz replay) can branch on the exit code.
 int Fail(const std::string& message) {
   std::fprintf(stderr, "focq_cli: %s\n", message.c_str());
   return 1;
@@ -55,41 +59,6 @@ int Usage() {
                "                [--metrics-json PATH] [--trace-json PATH]\n"
                "                (--check S | --count F | --term T)\n");
   return 2;
-}
-
-// The --metrics-json document: the sink snapshot ({"counters","values"})
-// extended with per-phase wall time from the trace and the shared pool's
-// scheduling statistics.
-std::string ComposeMetricsJson(const focq::EvalMetrics& metrics,
-                               const focq::TraceSink& trace) {
-  std::string out = metrics.ToJson();
-  out.pop_back();  // re-open the snapshot object: ...,"phase_ns":{...},...}
-  out += ",\"phase_ns\":{";
-  bool first = true;
-  for (const auto& [name, ns] : trace.AggregateNanos()) {
-    if (!first) out += ",";
-    first = false;
-    focq::AppendJsonString(&out, name);
-    out += ':';
-    out += std::to_string(ns);
-  }
-  focq::ThreadPool::Stats pool = focq::ThreadPool::Shared().GetStats();
-  out += "},\"pool\":{\"workers\":" +
-         std::to_string(focq::ThreadPool::Shared().num_workers()) +
-         ",\"tasks_submitted\":" + std::to_string(pool.tasks_submitted) +
-         ",\"tasks_executed\":" + std::to_string(pool.tasks_executed) +
-         ",\"steals\":" + std::to_string(pool.steals) +
-         ",\"busy_ns\":" + std::to_string(pool.busy_ns) + "}}";
-  return out;
-}
-
-// The --trace-json document: nested spans and flat chrome://tracing events
-// for the same forest, in one object.
-std::string ComposeTraceJson(const focq::TraceSink& trace) {
-  std::string nested = trace.ToJson();          // {"spans":[...]}
-  std::string chrome = trace.ToChromeTracing(); // {"traceEvents":[...]}
-  nested.pop_back();
-  return nested + "," + chrome.substr(1);
 }
 
 bool WriteFile(const std::string& path, const std::string& content) {
@@ -238,6 +207,10 @@ int main(int argc, char** argv) {
   if (mode == "--term") {
     Result<Term> term = ParseTerm(query_text);
     if (!term.ok()) return Fail(term.status().ToString());
+    // Unknown symbols / arity mismatches would abort inside the evaluators;
+    // reject them here with a clean diagnostic instead.
+    Status symbols = CheckSymbols(*term, structure->signature());
+    if (!symbols.ok()) return Fail(symbols.ToString());
     print_stats(CompileTerm(*term, structure->signature()));
     // A root span per run so phase_ns carries an end-to-end total; closed
     // before finish() reads the sink (open spans are excluded from exports).
@@ -252,6 +225,8 @@ int main(int argc, char** argv) {
 
   Result<Formula> formula = ParseFormula(query_text);
   if (!formula.ok()) return Fail(formula.status().ToString());
+  Status symbols = CheckSymbols(*formula, structure->signature());
+  if (!symbols.ok()) return Fail(symbols.ToString());
   print_stats(CompileFormula(*formula, structure->signature()));
   if (mode == "--check") {
     Result<bool> holds = [&] {

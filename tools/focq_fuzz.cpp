@@ -1,0 +1,302 @@
+// focq differential fuzzer: random FOC1(P) queries over random structures,
+// evaluated with the naive oracle and the Theorem 6.10 pipeline under every
+// cover backend and several thread counts. Any disagreement is shrunk to a
+// minimal repro, written as a replayable .case file and printed as a C++
+// snippet.
+//
+// Usage:
+//   focq_fuzz [--seed S] [--cases N] [--max-universe M] [--class NAME]
+//             [--time-budget SECONDS] [--out DIR] [--dump]
+//   focq_fuzz --replay FILE...      replay .case files (regression check)
+//   focq_fuzz --corpus DIR          replay every .case file in a directory
+//   focq_fuzz --self-test           inject a miscounting engine and verify
+//                                   the harness catches and shrinks it
+//
+// Exit codes: 0 = all cases agree, 1 = disagreement found (or self-test
+// failed), 2 = usage / input error.
+//
+// Examples:
+//   focq_fuzz --seed 42 --cases 500
+//   focq_fuzz --seed 7 --cases 200 --class tree --max-universe 12
+//   focq_fuzz --corpus ../tests/corpus
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "focq/testing/case_io.h"
+#include "focq/testing/differential.h"
+#include "focq/testing/shrink.h"
+#include "focq/util/rng.h"
+
+namespace {
+
+using namespace focq;
+using namespace focq::fuzz;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: focq_fuzz [--seed S] [--cases N] [--max-universe M]\n"
+               "                 [--class NAME] [--time-budget SECONDS]\n"
+               "                 [--out DIR] [--dump]\n"
+               "       focq_fuzz --replay FILE...\n"
+               "       focq_fuzz --corpus DIR\n"
+               "       focq_fuzz --self-test\n"
+               "classes:");
+  for (StructureClass cls : AllStructureClasses()) {
+    std::fprintf(stderr, " %s", StructureClassName(cls).c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "focq_fuzz: %s\n", message.c_str());
+  return 2;
+}
+
+// Reports a failure: shrinks it, writes the .case file and prints the repro.
+int ReportFailure(const DiffFailure& failure, const DiffConfig& config,
+                  const std::string& out_dir, std::uint64_t seed,
+                  std::size_t case_index) {
+  std::fprintf(stderr, "focq_fuzz: DISAGREEMENT on case %zu (seed %llu)\n%s\n",
+               case_index, static_cast<unsigned long long>(seed),
+               failure.description.c_str());
+
+  ShrinkStats stats;
+  DiffCase shrunk = Shrink(
+      failure.c, [&](const DiffCase& c) { return RunCase(c, config).has_value(); },
+      ShrinkLimits{}, &stats);
+  std::fprintf(stderr,
+               "focq_fuzz: shrunk to |A|=%zu after %zu evaluations "
+               "(%zu reductions)\n",
+               shrunk.structure.Order(), stats.evaluations, stats.reductions);
+  std::optional<DiffFailure> final_failure = RunCase(shrunk, config);
+  if (final_failure.has_value()) {
+    std::fprintf(stderr, "focq_fuzz: minimal repro:\n%s\n",
+                 final_failure->description.c_str());
+  }
+
+  std::string path = out_dir + "/fail-seed" + std::to_string(seed) + "-case" +
+                     std::to_string(case_index) + ".case";
+  Status written = WriteCaseFile(path, shrunk);
+  if (written.ok()) {
+    std::fprintf(stderr, "focq_fuzz: wrote %s (replay with --replay)\n",
+                 path.c_str());
+  } else {
+    std::fprintf(stderr, "focq_fuzz: could not write %s: %s\n", path.c_str(),
+                 written.ToString().c_str());
+  }
+  std::fprintf(stderr, "focq_fuzz: C++ repro snippet:\n%s",
+               CaseToCppSnippet(shrunk).c_str());
+  return 1;
+}
+
+int Replay(const std::vector<std::string>& paths, const DiffConfig& config) {
+  int failures = 0;
+  for (const std::string& path : paths) {
+    Result<DiffCase> c = ReadCaseFile(path);
+    if (!c.ok()) return Fail(path + ": " + c.status().ToString());
+    std::optional<DiffFailure> failure = RunCase(*c, config);
+    if (failure.has_value()) {
+      std::fprintf(stderr, "focq_fuzz: FAIL %s\n%s\n", path.c_str(),
+                   failure->description.c_str());
+      ++failures;
+    } else {
+      std::printf("replay ok: %s\n", path.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int SelfTest() {
+  // The harness must catch a deliberately miscounting subject and shrink the
+  // caught case to a tiny repro (<= 10 elements). Scans seeds until a case
+  // triggers the injected bug; well under 100 attempts in practice.
+  DiffConfig config;
+  config.subject = MiscountingSubject;
+  StructureGenOptions structure_options;
+  structure_options.min_universe = 4;
+  structure_options.max_universe = 16;
+  FormulaGenOptions formula_options;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    DiffCase c = GenerateCase(structure_options, formula_options, &rng);
+    std::optional<DiffFailure> failure = RunCase(c, config);
+    if (!failure.has_value()) continue;
+    std::printf("self-test: injected miscount caught (seed %llu, |A|=%zu)\n",
+                static_cast<unsigned long long>(seed), c.structure.Order());
+    ShrinkStats stats;
+    DiffCase shrunk = Shrink(
+        failure->c,
+        [&](const DiffCase& cs) { return RunCase(cs, config).has_value(); },
+        ShrinkLimits{}, &stats);
+    std::printf("self-test: shrunk |A|=%zu -> %zu (%zu evaluations)\n",
+                c.structure.Order(), shrunk.structure.Order(),
+                stats.evaluations);
+    if (shrunk.structure.Order() > 10) {
+      std::fprintf(stderr, "focq_fuzz: self-test FAILED: shrunk case still "
+                           "has %zu elements (want <= 10)\n",
+                   shrunk.structure.Order());
+      return 1;
+    }
+    // The shrunk case must still fail under the faulty subject and round-trip
+    // through the .case format.
+    if (!RunCase(shrunk, config).has_value()) {
+      std::fprintf(stderr,
+                   "focq_fuzz: self-test FAILED: shrunk case passes\n");
+      return 1;
+    }
+    Result<DiffCase> reread = ReadCase(WriteCase(shrunk));
+    if (!reread.ok() || !RunCase(*reread, config).has_value()) {
+      std::fprintf(stderr, "focq_fuzz: self-test FAILED: .case round-trip "
+                           "lost the failure\n");
+      return 1;
+    }
+    // Sanity check in the other direction: the real pipeline must pass the
+    // same case.
+    if (RunCase(shrunk, DiffConfig{}).has_value()) {
+      std::fprintf(stderr, "focq_fuzz: self-test FAILED: real engines "
+                           "disagree on the shrunk case\n");
+      return 1;
+    }
+    std::printf("self-test: ok\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "focq_fuzz: self-test FAILED: no seed triggered the bug\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::size_t cases = 200;
+  std::size_t max_universe = 24;
+  double time_budget_s = 0.0;  // 0 = unlimited
+  std::string out_dir = ".";
+  std::optional<StructureClass> cls;
+  std::vector<std::string> replay_paths;
+  std::string corpus_dir;
+  bool self_test = false;
+  bool dump = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto parse_u64 = [&](const char* v, std::uint64_t* out) {
+      if (v == nullptr) return false;
+      try {
+        std::size_t pos = 0;
+        *out = std::stoull(v, &pos);
+        return pos == std::string(v).size();
+      } catch (const std::exception&) {
+        return false;
+      }
+    };
+    if (arg == "--seed") {
+      if (!parse_u64(next(), &seed)) return Usage();
+    } else if (arg == "--cases") {
+      std::uint64_t v = 0;
+      if (!parse_u64(next(), &v)) return Usage();
+      cases = static_cast<std::size_t>(v);
+    } else if (arg == "--max-universe") {
+      std::uint64_t v = 0;
+      if (!parse_u64(next(), &v) || v < 1) return Usage();
+      max_universe = static_cast<std::size_t>(v);
+    } else if (arg == "--time-budget") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      try {
+        time_budget_s = std::stod(v);
+      } catch (const std::exception&) {
+        return Usage();
+      }
+      if (time_budget_s < 0) return Usage();
+    } else if (arg == "--class") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      cls = ParseStructureClass(v);
+      if (!cls.has_value()) {
+        return Fail("unknown structure class '" + std::string(v) + "'");
+      }
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      out_dir = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      replay_paths.push_back(v);
+    } else if (arg == "--corpus") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      corpus_dir = v;
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (self_test) return SelfTest();
+
+  DiffConfig config;
+  if (!corpus_dir.empty()) {
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(corpus_dir, ec)) {
+      if (entry.path().extension() == ".case") {
+        paths.push_back(entry.path().string());
+      }
+    }
+    if (ec) return Fail("cannot read directory '" + corpus_dir + "'");
+    if (paths.empty()) return Fail("no .case files in '" + corpus_dir + "'");
+    std::sort(paths.begin(), paths.end());
+    replay_paths.insert(replay_paths.end(), paths.begin(), paths.end());
+  }
+  if (!replay_paths.empty()) return Replay(replay_paths, config);
+
+  StructureGenOptions structure_options;
+  structure_options.max_universe = max_universe;
+  structure_options.cls = cls;
+  FormulaGenOptions formula_options;
+
+  auto start = std::chrono::steady_clock::now();
+  Rng rng(seed);
+  std::size_t executed = 0;
+  for (std::size_t i = 0; i < cases; ++i) {
+    if (time_budget_s > 0) {
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= time_budget_s) {
+        std::printf("time budget reached after %zu cases\n", executed);
+        break;
+      }
+    }
+    DiffCase c = GenerateCase(structure_options, formula_options, &rng);
+    if (dump) {
+      std::printf("--- case %zu ---\n%s", i, WriteCase(c).c_str());
+    }
+    std::optional<DiffFailure> failure = RunCase(c, config);
+    if (failure.has_value()) {
+      return ReportFailure(*failure, config, out_dir, seed, i);
+    }
+    ++executed;
+    if (executed % 100 == 0) {
+      std::printf("... %zu/%zu cases ok\n", executed, cases);
+    }
+  }
+  std::printf("all %zu cases agree (seed %llu)\n", executed,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
