@@ -7,7 +7,6 @@
 
 #include "focq/eval/naive_eval.h"
 #include "focq/logic/build.h"
-#include "focq/structure/gaifman.h"
 #include "focq/util/thread_pool.h"
 
 namespace focq {
@@ -18,6 +17,17 @@ ExecOptions MakeExecOptions(const EvalOptions& options) {
   exec.metrics = options.metrics;
   exec.trace = options.trace;
   return exec;
+}
+
+// The caller's shared context, if it actually caches artifacts of `a`;
+// nullptr otherwise (each executor then owns a private context). The pointer
+// comparison makes stale options objects degrade to the uncached path
+// instead of serving artifacts of the wrong structure.
+EvalContext* UsableContext(const EvalOptions& options, const Structure& a) {
+  if (options.context != nullptr && &options.context->structure() == &a) {
+    return options.context;
+  }
+  return nullptr;
 }
 
 // Plan-shape counters (sums and high-water marks over every compilation this
@@ -69,7 +79,8 @@ Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
   }();
   if (!plan.ok()) return plan.status();
   RecordPlanMetrics(*plan, options.metrics);
-  PlanExecutor exec(*plan, a, MakeExecOptions(options));
+  PlanExecutor exec(*plan, a, MakeExecOptions(options),
+                    UsableContext(options, a));
   FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
   return exec.CheckSentence();
 }
@@ -92,7 +103,8 @@ Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
   }();
   if (!plan.ok()) return plan.status();
   RecordPlanMetrics(*plan, options.metrics);
-  PlanExecutor exec(*plan, a, MakeExecOptions(options));
+  PlanExecutor exec(*plan, a, MakeExecOptions(options),
+                    UsableContext(options, a));
   FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
   return exec.TermValue();
 }
@@ -121,8 +133,10 @@ Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
                                             const Structure& a,
                                             const EvalOptions& options) {
   // One free variable: evaluate the condition and every head term for all
-  // elements in bulk.
+  // elements in bulk. Condition and head-term executors share one context,
+  // so the Gaifman graph and covers are built once for the whole query.
   ExecOptions exec_options = MakeExecOptions(options);
+  EvalContext* context = UsableContext(options, a);
 
   Result<EvalPlan> cond_plan = [&] {
     ScopedSpan span(options.trace, "compile");
@@ -130,7 +144,7 @@ Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
   }();
   if (!cond_plan.ok()) return cond_plan.status();
   RecordPlanMetrics(*cond_plan, options.metrics);
-  PlanExecutor cond_exec(*cond_plan, a, exec_options);
+  PlanExecutor cond_exec(*cond_plan, a, exec_options, context);
   FOCQ_RETURN_IF_ERROR(cond_exec.MaterializeLayers());
   Result<std::vector<bool>> sat = cond_exec.CheckAll();
   if (!sat.ok()) return sat.status();
@@ -146,7 +160,7 @@ Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
     if (!plan.ok()) return plan.status();
     RecordPlanMetrics(*plan, options.metrics);
     term_plans.push_back(std::move(*plan));
-    PlanExecutor exec(term_plans.back(), a, exec_options);
+    PlanExecutor exec(term_plans.back(), a, exec_options, context);
     FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
     Result<std::vector<CountInt>> values = exec.TermValues();
     if (!values.ok()) return values.status();
@@ -172,7 +186,13 @@ Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
 Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
                                             const Structure& a,
                                             const EvalOptions& options) {
-  Graph gaifman = BuildGaifmanGraph(a);
+  // The verification evaluators only need the (query-independent) Gaifman
+  // graph; pull it from the shared context so a batch builds it once.
+  std::optional<EvalContext> local_context;
+  EvalContext* context = UsableContext(options, a);
+  if (context == nullptr) context = &local_context.emplace(a);
+  const Graph& gaifman = context->Gaifman(
+      {options.num_threads, options.metrics, options.trace});
   const std::size_t k = q.head_vars.size();
 
   // Find a driver atom.
@@ -288,22 +308,31 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
 Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
                                   const EvalOptions& options) {
   FOCQ_RETURN_IF_ERROR(q.Validate());
+  // A query fans out into several plan executions (condition plus one per
+  // head term); they share the caller's context — or a query-local one — so
+  // one query triggers exactly one Gaifman build and one cover build per
+  // (radius, backend).
+  std::optional<EvalContext> local_context;
+  EvalOptions query_options = options;
+  if (UsableContext(options, a) == nullptr) {
+    query_options.context = &local_context.emplace(a);
+  }
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     ScopedSpan span(options.trace, "query_eval");
     if (options.engine == Engine::kNaive) {
       return EvaluateQueryNaive(q, a);
     }
     if (q.head_vars.size() >= 2) {
-      return EvaluateMultiQueryLocal(q, a, options);
+      return EvaluateMultiQueryLocal(q, a, query_options);
     }
     if (q.head_vars.empty()) {
-      Result<bool> holds = ModelCheck(q.condition, a, options);
+      Result<bool> holds = ModelCheck(q.condition, a, query_options);
       if (!holds.ok()) return holds.status();
       QueryResult result;
       if (*holds) {
         QueryRow row;
         for (const Term& t : q.head_terms) {
-          Result<CountInt> v = EvaluateGroundTerm(t, a, options);
+          Result<CountInt> v = EvaluateGroundTerm(t, a, query_options);
           if (!v.ok()) return v.status();
           row.counts.push_back(*v);
         }
@@ -311,7 +340,7 @@ Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
       }
       return result;
     }
-    return EvaluateUnaryQueryLocal(q, a, options);
+    return EvaluateUnaryQueryLocal(q, a, query_options);
   }();
   // Hand the caller a snapshot of everything the pipeline recorded; rows are
   // computed before the snapshot, so installing a sink cannot change them.
@@ -319,6 +348,23 @@ Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
     result.value().metrics = options.metrics->Snapshot();
   }
   return result;
+}
+
+std::vector<Result<QueryResult>> EvaluateQueries(
+    std::span<const Foc1Query> queries, const Structure& a,
+    const EvalOptions& options) {
+  // One context for the whole batch (unless the caller already shares one).
+  std::optional<EvalContext> local_context;
+  EvalOptions batch_options = options;
+  if (UsableContext(options, a) == nullptr) {
+    batch_options.context = &local_context.emplace(a);
+  }
+  std::vector<Result<QueryResult>> results;
+  results.reserve(queries.size());
+  for (const Foc1Query& q : queries) {
+    results.push_back(EvaluateQuery(q, a, batch_options));
+  }
+  return results;
 }
 
 }  // namespace focq

@@ -4,6 +4,10 @@
 #ifndef FOCQ_CORE_API_H_
 #define FOCQ_CORE_API_H_
 
+#include <span>
+#include <vector>
+
+#include "focq/core/context.h"
 #include "focq/core/evaluator.h"
 #include "focq/core/plan.h"
 #include "focq/eval/query.h"
@@ -33,6 +37,14 @@ struct EvalOptions {
   // sinks never changes results (see DESIGN.md, "Observability").
   MetricsSink* metrics = nullptr;
   TraceSink* trace = nullptr;
+  // Optional shared artifact cache (not owned; may be null). When set and
+  // caching artifacts of the evaluated structure, Gaifman graphs and covers
+  // are pulled from it instead of being rebuilt per call — results stay
+  // bit-identical to the uncached path for every engine, backend and thread
+  // count (artifacts are pure functions of the structure). A context caching
+  // a *different* structure is ignored, so options objects can be reused
+  // across structures safely. Session wires this up automatically.
+  EvalContext* context = nullptr;
 };
 
 /// Decides A |= phi for a sentence phi of FOC(P). With Engine::kLocal, phi
@@ -53,6 +65,57 @@ Result<CountInt> CountSolutions(const Formula& phi, const Structure& a,
 /// Full query evaluation (Definition 5.2).
 Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
                                   const EvalOptions& options = {});
+
+/// Batch query evaluation over one structure: every query is evaluated with
+/// EvaluateQuery semantics, but all of them share one EvalContext (the one in
+/// `options`, or a fresh batch-local one), so the Gaifman graph and each
+/// (radius, backend) cover are built at most once for the whole batch.
+/// Queries are independent: one query failing does not stop the rest.
+std::vector<Result<QueryResult>> EvaluateQueries(
+    std::span<const Foc1Query> queries, const Structure& a,
+    const EvalOptions& options = {});
+
+/// A long-lived evaluation session over one structure: the facade for
+/// serving workloads. Owns an EvalContext and threads it through every call,
+/// so N queries pay for each artifact once. The structure must outlive the
+/// session and stay unmodified. Thread-compatible; concurrent sessions may
+/// share a structure (each owns its own context) but a single Session should
+/// be driven from one thread at a time.
+class Session {
+ public:
+  /// `defaults` seeds the per-call options (engine, term engine, threads,
+  /// sinks); its `context` field is ignored — the session installs its own.
+  explicit Session(const Structure& a, const EvalOptions& defaults = {})
+      : a_(&a), options_(defaults), context_(a) {
+    options_.context = &context_;
+  }
+
+  const Structure& structure() const { return *a_; }
+  EvalContext& context() { return context_; }
+  const EvalOptions& options() const { return options_; }
+
+  Result<bool> ModelCheck(const Formula& sentence) {
+    return focq::ModelCheck(sentence, *a_, options_);
+  }
+  Result<CountInt> EvaluateGroundTerm(const Term& t) {
+    return focq::EvaluateGroundTerm(t, *a_, options_);
+  }
+  Result<CountInt> CountSolutions(const Formula& phi) {
+    return focq::CountSolutions(phi, *a_, options_);
+  }
+  Result<QueryResult> EvaluateQuery(const Foc1Query& q) {
+    return focq::EvaluateQuery(q, *a_, options_);
+  }
+  std::vector<Result<QueryResult>> EvaluateQueries(
+      std::span<const Foc1Query> queries) {
+    return focq::EvaluateQueries(queries, *a_, options_);
+  }
+
+ private:
+  const Structure* a_;
+  EvalOptions options_;
+  EvalContext context_;
+};
 
 }  // namespace focq
 

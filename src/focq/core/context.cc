@@ -1,0 +1,123 @@
+#include "focq/core/context.h"
+
+#include "focq/structure/gaifman.h"
+
+namespace focq {
+namespace {
+
+// Approximate resident footprints for ctx.cache.bytes: element ids plus a
+// flat per-vector overhead. Deterministic (pure functions of the artifact),
+// so the byte counter falls under the determinism contract like every other
+// input-determined quantity.
+constexpr std::int64_t kVectorOverhead = 24;
+
+std::int64_t ApproxBytes(const Graph& g) {
+  return static_cast<std::int64_t>(g.num_vertices()) * kVectorOverhead +
+         static_cast<std::int64_t>(2 * g.num_edges() * sizeof(VertexId));
+}
+
+std::int64_t ApproxBytes(const NeighborhoodCover& cover) {
+  return static_cast<std::int64_t>(
+             (cover.TotalClusterSize() + cover.assignment.size() +
+              cover.centers.size()) *
+             sizeof(ElemId)) +
+         static_cast<std::int64_t>(cover.NumClusters()) * kVectorOverhead;
+}
+
+std::int64_t ApproxBytes(const SphereTypeAssignment& types) {
+  std::int64_t bytes =
+      static_cast<std::int64_t>(types.type_of.size() * sizeof(SphereTypeId));
+  for (const auto& elems : types.elements_of_type) {
+    bytes += kVectorOverhead +
+             static_cast<std::int64_t>(elems.size() * sizeof(ElemId));
+  }
+  for (std::size_t id = 0; id < types.registry.NumTypes(); ++id) {
+    bytes += static_cast<std::int64_t>(
+        types.registry.Representative(static_cast<SphereTypeId>(id))
+            .SizeNorm() *
+        8);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+void EvalContext::RecordHit(const ArtifactOptions& opts) {
+  ++stats_.hits;
+  if (opts.metrics != nullptr) opts.metrics->AddCounter("ctx.cache.hits", 1);
+}
+
+void EvalContext::RecordMiss(const ArtifactOptions& opts, std::int64_t bytes) {
+  ++stats_.misses;
+  stats_.bytes += bytes;
+  if (opts.metrics != nullptr) {
+    opts.metrics->AddCounter("ctx.cache.misses", 1);
+    opts.metrics->MaxCounter("ctx.cache.bytes", stats_.bytes);
+  }
+}
+
+const Graph& EvalContext::EnsureGaifman(const ArtifactOptions& opts) {
+  if (!gaifman_.has_value()) {
+    ScopedSpan span(opts.trace, "gaifman_build");
+    gaifman_.emplace(BuildGaifmanGraph(*a_));
+    if (opts.metrics != nullptr) {
+      opts.metrics->AddCounter("gaifman.builds", 1);
+    }
+    RecordMiss(opts, ApproxBytes(*gaifman_));
+  }
+  return *gaifman_;
+}
+
+const Graph& EvalContext::Gaifman(const ArtifactOptions& opts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool hit = gaifman_.has_value();
+  const Graph& g = EnsureGaifman(opts);
+  if (hit) RecordHit(opts);
+  return g;
+}
+
+const NeighborhoodCover& EvalContext::Cover(std::uint32_t radius,
+                                            CoverBackend backend,
+                                            const ArtifactOptions& opts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto key = std::make_pair(radius, static_cast<int>(backend));
+  auto it = covers_.find(key);
+  if (it != covers_.end()) {
+    RecordHit(opts);
+    return it->second;
+  }
+  const Graph& gaifman = EnsureGaifman(opts);
+  ScopedSpan span(opts.trace, "cover_build");
+  NeighborhoodCover cover =
+      backend == CoverBackend::kExact
+          ? ExactBallCover(gaifman, radius, opts.num_threads, opts.metrics)
+          : SparseCover(gaifman, radius, opts.num_threads, opts.metrics);
+  it = covers_.emplace(key, std::move(cover)).first;
+  RecordMiss(opts, ApproxBytes(it->second));
+  return it->second;
+}
+
+const SphereTypeAssignment& EvalContext::SphereTypes(
+    std::uint32_t radius, const ArtifactOptions& opts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spheres_.find(radius);
+  if (it != spheres_.end()) {
+    RecordHit(opts);
+    return it->second;
+  }
+  const Graph& gaifman = EnsureGaifman(opts);
+  ScopedSpan span(opts.trace, "hanf_typing");
+  it = spheres_
+           .emplace(radius,
+                    ComputeSphereTypes(*a_, gaifman, radius, opts.num_threads))
+           .first;
+  RecordMiss(opts, ApproxBytes(it->second));
+  return it->second;
+}
+
+EvalContext::CacheStats EvalContext::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace focq

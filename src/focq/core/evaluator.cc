@@ -9,23 +9,25 @@
 namespace focq {
 
 PlanExecutor::PlanExecutor(const EvalPlan& plan, const Structure& input,
-                           const ExecOptions& options)
+                           const ExecOptions& options, EvalContext* context)
     : plan_(plan),
       options_(options),
       structure_(input),
-      gaifman_(BuildGaifmanGraph(input)) {}
+      owned_context_(context == nullptr
+                         ? std::make_unique<EvalContext>(structure_)
+                         : nullptr),
+      context_(context != nullptr ? context : owned_context_.get()),
+      gaifman_(context_->Gaifman(MakeArtifactOptions())) {}
 
-NeighborhoodCover& PlanExecutor::CoverFor(std::uint32_t radius) {
-  auto it = covers_.find(radius);
-  if (it != covers_.end()) return it->second;
-  ScopedSpan span(options_.trace, "cover_build");
-  NeighborhoodCover cover =
-      options_.term_engine == TermEngine::kExactCover
-          ? ExactBallCover(gaifman_, radius, options_.num_threads,
-                           options_.metrics)
-          : SparseCover(gaifman_, radius, options_.num_threads,
-                        options_.metrics);
-  return covers_.emplace(radius, std::move(cover)).first->second;
+ArtifactOptions PlanExecutor::MakeArtifactOptions() const {
+  return {options_.num_threads, options_.metrics, options_.trace};
+}
+
+const NeighborhoodCover& PlanExecutor::CoverFor(std::uint32_t radius) {
+  CoverBackend backend = options_.term_engine == TermEngine::kExactCover
+                             ? CoverBackend::kExact
+                             : CoverBackend::kSparse;
+  return context_->Cover(radius, backend, MakeArtifactOptions());
 }
 
 Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
@@ -42,7 +44,7 @@ Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
   std::vector<std::vector<CountInt>> factor_values;
   factor_values.reserve(term.basics().size());
   for (const BasicClTerm& b : term.basics()) {
-    NeighborhoodCover& cover = CoverFor(RequiredCoverRadius(b));
+    const NeighborhoodCover& cover = CoverFor(RequiredCoverRadius(b));
     ScopedSpan span(options_.trace, "cl_term_eval");
     ClTermCoverEvaluator eval(structure_, gaifman_, cover,
                               options_.num_threads, options_.metrics);

@@ -6,9 +6,9 @@
 #ifndef FOCQ_CORE_EVALUATOR_H_
 #define FOCQ_CORE_EVALUATOR_H_
 
-#include <map>
 #include <memory>
 
+#include "focq/core/context.h"
 #include "focq/core/plan.h"
 #include "focq/cover/cover_term.h"
 #include "focq/cover/neighborhood_cover.h"
@@ -43,8 +43,15 @@ struct ExecOptions {
 class PlanExecutor {
  public:
   /// Copies `input`; the expansion never mutates the caller's structure.
+  /// With `context` null the executor owns a private EvalContext over its
+  /// copy (the standalone one-shot path). A non-null `context` — which must
+  /// cache artifacts of `input` — is shared: the Gaifman graph and every
+  /// cover are pulled from it instead of being rebuilt, which is how a
+  /// Session amortises them across queries. Marker relations materialised by
+  /// the plan are unary/nullary, so the cached graph and covers stay valid
+  /// for the expansion as well.
   PlanExecutor(const EvalPlan& plan, const Structure& input,
-               const ExecOptions& options);
+               const ExecOptions& options, EvalContext* context = nullptr);
 
   /// Materialises all marker layers. Must be called (once) before the
   /// queries below.
@@ -65,14 +72,19 @@ class PlanExecutor {
 
  private:
   Result<std::vector<CountInt>> EvalClTermAll(const ClTerm& term);
-  NeighborhoodCover& CoverFor(std::uint32_t radius);
+  const NeighborhoodCover& CoverFor(std::uint32_t radius);
+  ArtifactOptions MakeArtifactOptions() const;
 
   const EvalPlan& plan_;
   ExecOptions options_;
   Structure structure_;
-  Graph gaifman_;
+  // Artifact source. owned_context_ is set only on the standalone path and
+  // borrows structure_ (covers derive from the cached Gaifman graph, which
+  // is built before any marker mutation and unaffected by it).
+  std::unique_ptr<EvalContext> owned_context_;
+  EvalContext* context_;
+  const Graph& gaifman_;
   bool materialized_ = false;
-  std::map<std::uint32_t, NeighborhoodCover> covers_;  // keyed by radius
   std::unique_ptr<LocalEvaluator> final_eval_;
 };
 

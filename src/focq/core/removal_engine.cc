@@ -1,6 +1,7 @@
 #include "focq/core/removal_engine.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "focq/cover/neighborhood_cover.h"
 #include "focq/graph/splitter.h"
@@ -86,16 +87,27 @@ Result<std::vector<CountInt>> Engine::BasicAt(
     return DirectAt(s, gaifman, basic, positions);
   }
   const std::uint32_t cover_radius = RequiredCoverRadius(basic);
-  NeighborhoodCover cover =
-      SparseCover(gaifman, cover_radius, /*num_threads=*/1, options.metrics);
+  // The top-level arena is the caller's structure, so its cover can come
+  // from a shared EvalContext; recursion levels run on induced/removed
+  // substructures and always build locally (with the same thread knob).
+  std::optional<NeighborhoodCover> local_cover;
+  const NeighborhoodCover* cover = nullptr;
+  if (options.context != nullptr && &s == &options.context->structure()) {
+    cover = &options.context->Cover(
+        cover_radius, CoverBackend::kSparse,
+        {options.num_threads, options.metrics, nullptr});
+  } else {
+    cover = &local_cover.emplace(SparseCover(
+        gaifman, cover_radius, options.num_threads, options.metrics));
+  }
   if (options.metrics != nullptr) {
     options.metrics->AddCounter("removal.cover_builds", 1);
     options.metrics->MaxCounter("removal.max_depth",
                                 static_cast<std::int64_t>(depth) + 1);
   }
-  std::vector<std::vector<std::size_t>> wanted(cover.NumClusters());
+  std::vector<std::vector<std::size_t>> wanted(cover->NumClusters());
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    wanted[cover.assignment[positions[i]]].push_back(i);
+    wanted[cover->assignment[positions[i]]].push_back(i);
   }
 
   Formula phi_full =
@@ -106,9 +118,9 @@ Result<std::vector<CountInt>> Engine::BasicAt(
 
   std::vector<CountInt> out(positions.size(), 0);
   auto splitter = MakeTreeSplitter();
-  for (std::size_t c = 0; c < cover.NumClusters(); ++c) {
+  for (std::size_t c = 0; c < cover->NumClusters(); ++c) {
     if (wanted[c].empty()) continue;
-    SubstructureView view = InducedView(s, cover.clusters[c]);
+    SubstructureView view = InducedView(s, cover->clusters[c]);
     Graph sub_gaifman = BuildGaifmanGraph(view.structure);
     std::vector<ElemId> local_positions;
     for (std::size_t i : wanted[c]) {
@@ -138,7 +150,7 @@ Result<std::vector<CountInt>> Engine::BasicAt(
 
     // Splitter answers the cluster centre's move; remove that element.
     SplitterPosition pos = InitialPosition(sub_gaifman);
-    VertexId center_local = view.ToLocal(cover.centers[c]);
+    VertexId center_local = view.ToLocal(cover->centers[c]);
     VertexId d = splitter->ChooseRemoval(pos, center_local, cover_radius);
     RemovalSignature rs =
         BuildRemovalSignature(view.structure.signature(), removal_radius);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "focq/core/context.h"
 #include "focq/locality/cl_term.h"
 #include "focq/util/status.h"
 
@@ -29,10 +30,19 @@ struct RemovalEngineOptions {
   /// Hard recursion cap (the empirical lambda(2kr) stand-in); deeper arenas
   /// fall back to direct evaluation. Exactness is unaffected.
   std::uint32_t max_depth = 6;
+  /// Worker threads for the per-level SparseCover builds (0 = all hardware
+  /// threads, 1 = serial). A pure speed knob: results and removal.*
+  /// counters are bit-identical for every value.
+  int num_threads = 1;
   /// Optional sink for removal.* counters (surgeries performed, cover
   /// builds, recursion depth high-water mark); also forwarded into the
   /// per-level SparseCover builds. Not owned; may be null.
   MetricsSink* metrics = nullptr;
+  /// Optional shared artifact cache (not owned; may be null). Used only for
+  /// the top-level arena — recursion levels run on derived substructures the
+  /// context does not cache — and only when it caches artifacts of the
+  /// evaluated structure.
+  EvalContext* context = nullptr;
 };
 
 /// Values of the unary basic cl-term at every element of `a` via the

@@ -12,6 +12,12 @@ namespace {
 // Cover-shape counters: sums (builds, clusters, cluster sizes) accumulate
 // across builds, high-water marks merge by max. All are determined by the
 // input graph and radius alone, so they fall under the determinism contract.
+//
+// The per-cluster size distribution is aggregated locally — one ValueStats
+// plus bounded log2 histogram buckets — and flushed in O(#non-empty buckets)
+// sink operations, so an ExactBallCover build (one cluster per vertex) costs
+// a constant number of lock/map touches instead of n. MergeValue reproduces
+// the exact stats a per-cluster RecordValue loop would have produced.
 void RecordCoverMetrics(const NeighborhoodCover& cover, MetricsSink* metrics) {
   if (metrics == nullptr) return;
   metrics->AddCounter("cover.builds", 1);
@@ -21,14 +27,24 @@ void RecordCoverMetrics(const NeighborhoodCover& cover, MetricsSink* metrics) {
                       static_cast<std::int64_t>(cover.TotalClusterSize()));
   metrics->MaxCounter("cover.max_degree",
                       static_cast<std::int64_t>(cover.MaxDegree()));
-  std::size_t max_cluster = 0;
+  ValueStats sizes;
+  constexpr std::size_t kNumBuckets = 64;  // log2 buckets cover all of int64
+  std::int64_t buckets[kNumBuckets] = {};
   for (const auto& c : cover.clusters) {
-    metrics->RecordValue("cover.cluster_size",
-                         static_cast<std::int64_t>(c.size()));
-    max_cluster = std::max(max_cluster, c.size());
+    std::int64_t size = static_cast<std::int64_t>(c.size());
+    sizes.Record(size);
+    std::size_t b = 0;
+    while ((std::int64_t{1} << b) < size && b + 1 < kNumBuckets) ++b;
+    ++buckets[b];  // bucket b counts clusters of size in (2^(b-1), 2^b]
+  }
+  metrics->MergeValue("cover.cluster_size", sizes);
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    metrics->AddCounter("cover.cluster_size_log2_" + std::to_string(b),
+                        buckets[b]);
   }
   metrics->MaxCounter("cover.max_cluster_size",
-                      static_cast<std::int64_t>(max_cluster));
+                      sizes.count == 0 ? 0 : sizes.max);
 }
 
 }  // namespace

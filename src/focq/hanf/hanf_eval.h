@@ -8,12 +8,21 @@
 #ifndef FOCQ_HANF_HANF_EVAL_H_
 #define FOCQ_HANF_HANF_EVAL_H_
 
+#include <functional>
+#include <optional>
+
 #include "focq/hanf/sphere.h"
 #include "focq/locality/cl_term.h"
 #include "focq/logic/expr.h"
 #include "focq/util/status.h"
 
 namespace focq {
+
+/// Source of radius-r sphere-type partitions. The returned reference must
+/// stay valid for the provider's lifetime (EvalContext::SphereTypes does:
+/// cached assignments are immutable and never evicted).
+using SphereTypeProvider =
+    std::function<const SphereTypeAssignment&(std::uint32_t r)>;
 
 /// Type-sharing evaluator over one structure.
 ///
@@ -29,6 +38,15 @@ class HanfEvaluator {
   /// (types interned, per-type population) — all input-determined.
   HanfEvaluator(const Structure& a, const Graph& gaifman, int num_threads = 1,
                 MetricsSink* metrics = nullptr);
+
+  /// Installs a typing cache: when set, every evaluation pulls its sphere
+  /// partition from `provider` instead of recomputing it (the EvalContext
+  /// re-route — cached typings are bit-identical to recomputed ones, so
+  /// results don't change). Per-use hanf.* counters are still recorded on
+  /// every evaluation, so they stay cache-state independent.
+  void set_sphere_type_provider(SphereTypeProvider provider) {
+    provider_ = std::move(provider);
+  }
 
   /// Number of elements satisfying phi(x), where phi must be r-local around
   /// x (checked syntactically: its guarded locality radius must be <= r).
@@ -47,10 +65,16 @@ class HanfEvaluator {
   /// Flushes per-typing hanf.* counters for `types` into metrics_.
   void RecordTyping(const SphereTypeAssignment& types);
 
+  /// The radius-r partition: from provider_ when installed, otherwise
+  /// computed into `local` (which must outlive the use of the reference).
+  const SphereTypeAssignment& TypesFor(std::uint32_t r,
+                                       std::optional<SphereTypeAssignment>* local);
+
   const Structure& a_;
   const Graph& gaifman_;
   int num_threads_;
   MetricsSink* metrics_;
+  SphereTypeProvider provider_;
   std::size_t last_num_types_ = 0;
 };
 

@@ -76,6 +76,12 @@ void MetricsSink::RecordValue(std::string_view name, std::int64_t value) {
   data_.values[std::string(name)].Record(value);
 }
 
+void MetricsSink::MergeValue(std::string_view name, const ValueStats& stats) {
+  if (stats.count == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.values[std::string(name)].Merge(stats);
+}
+
 std::int64_t MetricsSink::Counter(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = data_.counters.find(std::string(name));

@@ -47,6 +47,22 @@ struct ValueStats {
     sum += v;
   }
 
+  /// Folds another summary in. count/sum/min/max are all order-independent
+  /// reductions, so merging pre-aggregated batches yields exactly the stats
+  /// of recording every sample individually — which is what lets hot loops
+  /// aggregate locally and touch the sink once per batch.
+  void Merge(const ValueStats& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+      *this = other;
+      return;
+    }
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+    count += other.count;
+    sum += other.sum;
+  }
+
   friend bool operator==(const ValueStats& a, const ValueStats& b) {
     return a.count == b.count && a.sum == b.sum && a.min == b.min &&
            a.max == b.max;
@@ -78,6 +94,11 @@ class MetricsSink {
 
   /// Folds one sample into the distribution for `name`.
   void RecordValue(std::string_view name, std::int64_t value);
+
+  /// Folds a pre-aggregated batch of samples into the distribution for
+  /// `name`; bit-identical to RecordValue per sample (see ValueStats::Merge)
+  /// at one lock/lookup per batch instead of one per sample.
+  void MergeValue(std::string_view name, const ValueStats& stats);
 
   /// Reads one counter (0 when never touched). Mainly for tests/benches.
   std::int64_t Counter(std::string_view name) const;

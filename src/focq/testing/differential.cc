@@ -149,6 +149,25 @@ bool SnapshotsEqual(const EvalMetrics& a, const EvalMetrics& b) {
   return a.counters == b.counters && a.values == b.values;
 }
 
+// Metrics that describe artifact builds / cache state rather than the
+// evaluation itself: a warm context legitimately skips builds, so these
+// differ between cold and warm runs by design. Note "cover." does not match
+// the evaluation counters "cover_eval.*" — exactly the split we want.
+bool IsCacheStateMetric(const std::string& name) {
+  for (const char* prefix : {"gaifman.", "cover.", "ctx.cache."}) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+EvalMetrics StripCacheStateMetrics(EvalMetrics m) {
+  std::erase_if(m.counters,
+                [](const auto& kv) { return IsCacheStateMetric(kv.first); });
+  std::erase_if(m.values,
+                [](const auto& kv) { return IsCacheStateMetric(kv.first); });
+  return m;
+}
+
 }  // namespace
 
 std::optional<DiffFailure> RunCase(const DiffCase& c,
@@ -186,8 +205,9 @@ std::optional<DiffFailure> RunCase(const DiffCase& c,
         failure.c = c;
         return failure;
       }
+      EvalMetrics snapshot;
       if (config.compare_metrics) {
-        EvalMetrics snapshot = sink.Snapshot();
+        snapshot = sink.Snapshot();
         if (!reference_metrics.has_value()) {
           reference_metrics = snapshot;
           reference_threads = threads;
@@ -199,6 +219,68 @@ std::optional<DiffFailure> RunCase(const DiffCase& c,
               TermEngineName(term_engine) + " threads=" +
               std::to_string(reference_threads) + " vs threads=" +
               std::to_string(threads);
+          failure.c = c;
+          return failure;
+        }
+      }
+      if (config.warm_context) {
+        // Prime a shared context with one run, then re-run against the
+        // populated cache: warm answers must match the oracle, warm
+        // evaluation counters must match the uncached run bit-identically
+        // (modulo artifact-build metrics), and the cache must actually serve
+        // artifacts the second time around.
+        EvalContext ctx(c.structure);
+        EvalOptions warm_options = options;
+        warm_options.context = &ctx;
+        MetricsSink prime_sink;
+        warm_options.metrics = config.compare_metrics ? &prime_sink : nullptr;
+        Outcome primed = subject(c, warm_options);
+        MetricsSink warm_sink;
+        warm_options.metrics = config.compare_metrics ? &warm_sink : nullptr;
+        Outcome warm = subject(c, warm_options);
+        for (const auto& [label, run] :
+             {std::pair<const char*, const Outcome*>{"context-cold", &primed},
+              {"context-warm", &warm}}) {
+          if (Agrees(oracle, *run)) continue;
+          DiffFailure failure;
+          failure.description =
+              CaseHeadline(c) + "\n  variant: engine=local term_engine=" +
+              TermEngineName(term_engine) +
+              " threads=" + std::to_string(threads) + " " + label +
+              "\n  oracle (naive): " + OutcomeToString(oracle) +
+              "\n  subject:        " + OutcomeToString(*run);
+          failure.c = c;
+          return failure;
+        }
+        if (config.compare_metrics) {
+          EvalMetrics cold_eval = StripCacheStateMetrics(snapshot);
+          for (const auto& [label, run_sink] :
+               {std::pair<const char*, MetricsSink*>{"context-cold",
+                                                     &prime_sink},
+                {"context-warm", &warm_sink}}) {
+            if (SnapshotsEqual(cold_eval,
+                               StripCacheStateMetrics(run_sink->Snapshot()))) {
+              continue;
+            }
+            DiffFailure failure;
+            failure.description =
+                CaseHeadline(c) +
+                "\n  input-determined counters differ between the uncached "
+                "run and the " +
+                std::string(label) + " run: term_engine=" +
+                TermEngineName(term_engine) +
+                " threads=" + std::to_string(threads);
+            failure.c = c;
+            return failure;
+          }
+        }
+        if (warm.status.ok() && ctx.cache_stats().hits == 0) {
+          DiffFailure failure;
+          failure.description =
+              CaseHeadline(c) +
+              "\n  warm run never hit the artifact cache: term_engine=" +
+              TermEngineName(term_engine) +
+              " threads=" + std::to_string(threads);
           failure.c = c;
           return failure;
         }

@@ -77,6 +77,15 @@ struct DiffConfig {
   // Also require the deterministic metrics counters to be identical across
   // thread_counts for every variant (DESIGN.md, "Observability").
   bool compare_metrics = true;
+  // Additionally run every variant twice through one shared EvalContext (a
+  // priming run, then a warm run against the populated cache) and require:
+  // both runs agree with the oracle; the warm run's input-determined
+  // counters match the uncached run bit-identically (artifact-build /
+  // cache-state metrics — gaifman.*, cover.*, ctx.cache.* — are excluded,
+  // they legitimately depend on cache state; evaluation counters like
+  // cover_eval.* are not excluded); and a warm run that succeeds actually
+  // hit the cache.
+  bool warm_context = true;
   // The implementation under test; defaults to RunSubject (the real
   // pipeline). Tests substitute a faulty subject to exercise the harness.
   std::function<Outcome(const DiffCase&, const EvalOptions&)> subject;

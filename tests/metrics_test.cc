@@ -219,6 +219,30 @@ TEST(Observability, QueryResultCarriesSnapshot) {
   EXPECT_EQ(without->rows, with_sink->rows);
 }
 
+TEST(MetricsSink, MergeValueMatchesPerSampleRecording) {
+  // The batched path (local ValueStats + one MergeValue) must be
+  // bit-identical to recording every sample individually — that is what
+  // keeps the aggregated cover/hanf distributions inside the deterministic-
+  // counters contract.
+  std::vector<std::int64_t> samples = {5, -3, 12, 12, 0, 7, -3, 40};
+  MetricsSink per_sample;
+  MetricsSink batched;
+  ValueStats first_half, second_half;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    per_sample.RecordValue("dist", samples[i]);
+    (i < samples.size() / 2 ? first_half : second_half).Record(samples[i]);
+  }
+  batched.MergeValue("dist", first_half);
+  batched.MergeValue("dist", second_half);
+  EXPECT_TRUE(per_sample.Snapshot().values == batched.Snapshot().values);
+  // Merging an empty batch neither creates an entry nor perturbs one.
+  MetricsSink empty;
+  empty.MergeValue("dist", ValueStats{});
+  EXPECT_TRUE(empty.Snapshot().values.empty());
+  batched.MergeValue("dist", ValueStats{});
+  EXPECT_TRUE(per_sample.Snapshot().values == batched.Snapshot().values);
+}
+
 TEST(Observability, PoolStatsAreMonotonic) {
   // Scheduling-dependent pool totals live outside the sink; they are read
   // directly off the shared pool and only ever grow.

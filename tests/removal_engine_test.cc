@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "focq/core/removal_engine.h"
 #include "focq/graph/generators.h"
 #include "focq/logic/build.h"
@@ -92,6 +94,46 @@ TEST(RemovalEngine, RejectsQuantifiedKernels) {
       EvaluateBasicWithRemoval(a, gaifman, basic);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(RemovalEngine, ThreadKnobChangesNothingButSpeed) {
+  // Regression: the per-level SparseCover builds used to hardcode one
+  // thread, silently ignoring the caller's knob. Now the knob is threaded
+  // through — and must stay a pure speed knob: values and every removal.*/
+  // cover.* counter identical at threads 0, 1 and 4.
+  Rng rng(3300);
+  Structure a = EncodeGraph(MakeRandomTree(80, &rng));
+  Graph gaifman = BuildGaifmanGraph(a);
+  Var y1 = VarNamed("rty1"), y2 = VarNamed("rty2");
+  PatternGraph edge(2, 0);
+  edge.SetEdge(0, 1);
+  BasicClTerm basic{{y1, y2}, true, Atom("E", {y1, y2}), 0, edge};
+
+  std::optional<std::vector<CountInt>> reference_values;
+  std::optional<EvalMetrics> reference_metrics;
+  for (int threads : {0, 1, 4}) {
+    MetricsSink sink;
+    RemovalEngineOptions options;
+    options.base_size = 8;
+    options.max_depth = 8;
+    options.num_threads = threads;
+    options.metrics = &sink;
+    Result<std::vector<CountInt>> actual =
+        EvaluateBasicWithRemoval(a, gaifman, basic, options);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_GT(sink.Counter("removal.cover_builds"), 0);
+    EvalMetrics snapshot = sink.Snapshot();
+    if (!reference_values.has_value()) {
+      reference_values = *actual;
+      reference_metrics = snapshot;
+    } else {
+      EXPECT_EQ(*actual, *reference_values) << "threads=" << threads;
+      EXPECT_EQ(snapshot.counters, reference_metrics->counters)
+          << "threads=" << threads;
+      EXPECT_TRUE(snapshot.values == reference_metrics->values)
+          << "threads=" << threads;
+    }
+  }
 }
 
 TEST(RemovalEngine, DeepRecursionStillExact) {

@@ -4,7 +4,8 @@
 // Usage:
 //   focq_cli <structure-file> [--edges] [--engine naive|local|cover]
 //            [--threads N]
-//            (--check '<sentence>' | --count '<formula>' | --term '<term>')
+//            (--check '<sentence>' | --count '<formula>' | --term '<term>'
+//             | --batch FILE)
 //            [--stats] [--metrics-json PATH] [--trace-json PATH]
 //
 //   <structure-file>   focq structure format (see focq/structure/io.h), or a
@@ -12,6 +13,13 @@
 //   --check            decide A |= phi for a sentence
 //   --count            the counting problem |phi(A)|
 //   --term             evaluate a ground counting term
+//   --batch            evaluate many statements against the one structure
+//                      through a shared Session, so Gaifman graphs, covers
+//                      and sphere typings are built once and reused. Each
+//                      non-empty, non-'#' line of FILE is
+//                      "check <sentence>", "count <formula>" or
+//                      "term <term>"; results are printed per line and a
+//                      cache summary at the end
 //   --engine           naive = Definition 3.1 semantics;
 //                      local = Theorem 6.10 pipeline (default);
 //                      cover = local with sparse-cover cl-term evaluation
@@ -30,6 +38,7 @@
 //   focq_cli web.edges --edges --count '@ge1(#(y). (E(x, y)) - 10)'
 //   focq_cli web.edges --edges --threads=8 --engine cover --count '...'
 //       --metrics-json metrics.json --trace-json run.trace.json
+//   focq_cli graph.fs --engine cover --batch workload.txt --stats
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -57,7 +66,8 @@ int Usage() {
                "usage: focq_cli <structure-file> [--edges] "
                "[--engine naive|local|cover] [--threads N] [--stats]\n"
                "                [--metrics-json PATH] [--trace-json PATH]\n"
-               "                (--check S | --count F | --term T)\n");
+               "                (--check S | --count F | --term T "
+               "| --batch FILE)\n");
   return 2;
 }
 
@@ -80,6 +90,7 @@ int main(int argc, char** argv) {
   std::string engine_name = "local";
   std::string threads_text = "1";
   std::string mode, query_text;
+  std::string batch_path;
   std::string metrics_path, trace_path;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -112,6 +123,12 @@ int main(int argc, char** argv) {
       trace_path = v;
     } else if (arg.rfind("--trace-json=", 0) == 0) {
       trace_path = arg.substr(std::string("--trace-json=").size());
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      batch_path = v;
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      batch_path = arg.substr(std::string("--batch=").size());
     } else if (arg == "--check" || arg == "--count" || arg == "--term") {
       const char* v = next();
       if (v == nullptr || !mode.empty()) return Usage();
@@ -121,7 +138,8 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (mode.empty()) return Usage();
+  // Exactly one of a single-statement mode or a batch file.
+  if (mode.empty() == batch_path.empty()) return Usage();
 
   EvalOptions options;
   try {
@@ -203,6 +221,77 @@ int main(int argc, char** argv) {
     }
     return rc;
   };
+
+  if (!batch_path.empty()) {
+    std::ifstream batch_in(batch_path);
+    if (!batch_in) return Fail("cannot open '" + batch_path + "'");
+    // One Session for the whole file: every statement shares the context's
+    // Gaifman graph, covers and sphere typings (README, "Batch workloads").
+    Session session(*structure, options);
+    int evaluated = 0;
+    int failed = [&] {
+      // Root span closed before finish() reads the sink.
+      ScopedSpan root(options.trace, "batch_eval");
+      std::string line;
+      int lineno = 0;
+      int errors = 0;
+      while (std::getline(batch_in, line)) {
+        ++lineno;
+        std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#') continue;
+        std::size_t split = line.find_first_of(" \t", start);
+        std::string kind = line.substr(start, split - start);
+        std::string text =
+            split == std::string::npos ? "" : line.substr(split + 1);
+        auto report = [&](const Status& status) {
+          std::printf("line %d: %s: error: %s\n", lineno, kind.c_str(),
+                      status.ToString().c_str());
+          ++errors;
+        };
+        if (kind != "check" && kind != "count" && kind != "term") {
+          Fail("line " + std::to_string(lineno) +
+               ": expected 'check', 'count' or 'term', got '" + kind + "'");
+          return -1;
+        }
+        ++evaluated;
+        if (kind == "term") {
+          Result<Term> term = ParseTerm(text);
+          if (!term.ok()) { Fail(term.status().ToString()); return -1; }
+          Status symbols = CheckSymbols(*term, structure->signature());
+          if (!symbols.ok()) { Fail(symbols.ToString()); return -1; }
+          Result<CountInt> value = session.EvaluateGroundTerm(*term);
+          if (!value.ok()) { report(value.status()); continue; }
+          std::printf("line %d: term: %lld\n", lineno,
+                      static_cast<long long>(*value));
+          continue;
+        }
+        Result<Formula> formula = ParseFormula(text);
+        if (!formula.ok()) { Fail(formula.status().ToString()); return -1; }
+        Status symbols = CheckSymbols(*formula, structure->signature());
+        if (!symbols.ok()) { Fail(symbols.ToString()); return -1; }
+        if (kind == "check") {
+          Result<bool> holds = session.ModelCheck(*formula);
+          if (!holds.ok()) { report(holds.status()); continue; }
+          std::printf("line %d: check: %s\n", lineno,
+                      *holds ? "true" : "false");
+        } else {
+          Result<CountInt> count = session.CountSolutions(*formula);
+          if (!count.ok()) { report(count.status()); continue; }
+          std::printf("line %d: count: %lld\n", lineno,
+                      static_cast<long long>(*count));
+        }
+      }
+      return errors;
+    }();
+    if (failed < 0) return 1;  // malformed input: diagnostic already printed
+    EvalContext::CacheStats cache = session.context().cache_stats();
+    std::printf("batch: %d statements, %d failed; cache %lld hits, "
+                "%lld misses, ~%lld bytes\n",
+                evaluated, failed, static_cast<long long>(cache.hits),
+                static_cast<long long>(cache.misses),
+                static_cast<long long>(cache.bytes));
+    return finish(failed == 0 ? 0 : 1);
+  }
 
   if (mode == "--term") {
     Result<Term> term = ParseTerm(query_text);
