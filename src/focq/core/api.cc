@@ -7,6 +7,7 @@
 
 #include "focq/eval/naive_eval.h"
 #include "focq/logic/build.h"
+#include "focq/logic/printer.h"
 #include "focq/util/thread_pool.h"
 
 namespace focq {
@@ -16,7 +17,33 @@ ExecOptions MakeExecOptions(const EvalOptions& options) {
   ExecOptions exec{options.term_engine, options.num_threads};
   exec.metrics = options.metrics;
   exec.trace = options.trace;
+  exec.explain = options.explain;
+  exec.explain_parent = options.explain_parent;
   return exec;
+}
+
+// One explain node per public-API call: the attribution scope for whatever
+// the call compiles and executes (plans register beneath it). `node` stays -1
+// with no sink, so every downstream charge is a no-op.
+struct ExplainCall {
+  ExplainSink* sink = nullptr;
+  int node = -1;
+};
+
+ExplainCall BeginExplainCall(const EvalOptions& options, const char* kind,
+                             std::string label) {
+  if (options.explain == nullptr) return {};
+  return {options.explain,
+          options.explain->NewNode(options.explain_parent, kind,
+                                   std::move(label))};
+}
+
+// Reparents the downstream plan/sub-call nodes under the call's node.
+EvalOptions UnderExplainNode(const EvalOptions& options,
+                             const ExplainCall& call) {
+  EvalOptions out = options;
+  out.explain_parent = call.node;
+  return out;
 }
 
 // The caller's shared context, if it actually caches artifacts of `a`;
@@ -66,6 +93,10 @@ Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
   if (!FreeVars(sentence).empty()) {
     return Status::InvalidArgument("ModelCheck expects a sentence");
   }
+  ExplainCall call = BeginExplainCall(
+      options, options.engine == Engine::kNaive ? "naive-check" : "check",
+      ToString(sentence));
+  ScopedNodeTimer call_timer(call.sink, call.node, options.metrics);
   if (options.engine == Engine::kNaive) {
     ScopedSpan span(options.trace, "naive_eval");
     NaiveEvaluator eval(a);
@@ -74,12 +105,16 @@ Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
     return holds;
   }
   Result<EvalPlan> plan = [&] {
+    int cnode = call.sink != nullptr
+                    ? call.sink->NewNode(call.node, "compile", "formula")
+                    : -1;
+    ScopedNodeTimer compile_timer(call.sink, cnode, options.metrics);
     ScopedSpan span(options.trace, "compile");
     return CompileFormula(sentence, a.signature());
   }();
   if (!plan.ok()) return plan.status();
   RecordPlanMetrics(*plan, options.metrics);
-  PlanExecutor exec(*plan, a, MakeExecOptions(options),
+  PlanExecutor exec(*plan, a, MakeExecOptions(UnderExplainNode(options, call)),
                     UsableContext(options, a));
   FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
   return exec.CheckSentence();
@@ -90,6 +125,10 @@ Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
   if (!FreeVars(t).empty()) {
     return Status::InvalidArgument("EvaluateGroundTerm expects a ground term");
   }
+  ExplainCall call = BeginExplainCall(
+      options, options.engine == Engine::kNaive ? "naive-term" : "term",
+      ToString(t));
+  ScopedNodeTimer call_timer(call.sink, call.node, options.metrics);
   if (options.engine == Engine::kNaive) {
     ScopedSpan span(options.trace, "naive_eval");
     NaiveEvaluator eval(a);
@@ -98,12 +137,16 @@ Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
     return v;
   }
   Result<EvalPlan> plan = [&] {
+    int cnode = call.sink != nullptr
+                    ? call.sink->NewNode(call.node, "compile", "term")
+                    : -1;
+    ScopedNodeTimer compile_timer(call.sink, cnode, options.metrics);
     ScopedSpan span(options.trace, "compile");
     return CompileTerm(t, a.signature());
   }();
   if (!plan.ok()) return plan.status();
   RecordPlanMetrics(*plan, options.metrics);
-  PlanExecutor exec(*plan, a, MakeExecOptions(options),
+  PlanExecutor exec(*plan, a, MakeExecOptions(UnderExplainNode(options, call)),
                     UsableContext(options, a));
   FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
   return exec.TermValue();
@@ -118,6 +161,8 @@ Result<CountInt> CountSolutions(const Formula& phi, const Structure& a,
     return *holds ? CountInt{1} : CountInt{0};
   }
   if (options.engine == Engine::kNaive) {
+    ExplainCall call = BeginExplainCall(options, "naive-count", ToString(phi));
+    ScopedNodeTimer call_timer(call.sink, call.node, options.metrics);
     ScopedSpan span(options.trace, "naive_eval");
     NaiveEvaluator eval(a);
     Result<CountInt> v = eval.CountSolutions(phi, options.num_threads);
@@ -135,32 +180,55 @@ Result<QueryResult> EvaluateUnaryQueryLocal(const Foc1Query& q,
   // One free variable: evaluate the condition and every head term for all
   // elements in bulk. Condition and head-term executors share one context,
   // so the Gaifman graph and covers are built once for the whole query.
-  ExecOptions exec_options = MakeExecOptions(options);
   EvalContext* context = UsableContext(options, a);
 
-  Result<EvalPlan> cond_plan = [&] {
-    ScopedSpan span(options.trace, "compile");
-    return CompileFormula(q.condition, a.signature());
+  ExplainCall cond_call =
+      BeginExplainCall(options, "condition", ToString(q.condition));
+  Result<std::vector<bool>> sat = [&]() -> Result<std::vector<bool>> {
+    ScopedNodeTimer call_timer(cond_call.sink, cond_call.node,
+                               options.metrics);
+    Result<EvalPlan> cond_plan = [&] {
+      int cnode = cond_call.sink != nullptr
+                      ? cond_call.sink->NewNode(cond_call.node, "compile",
+                                                "formula")
+                      : -1;
+      ScopedNodeTimer compile_timer(cond_call.sink, cnode, options.metrics);
+      ScopedSpan span(options.trace, "compile");
+      return CompileFormula(q.condition, a.signature());
+    }();
+    if (!cond_plan.ok()) return cond_plan.status();
+    RecordPlanMetrics(*cond_plan, options.metrics);
+    PlanExecutor cond_exec(
+        *cond_plan, a, MakeExecOptions(UnderExplainNode(options, cond_call)),
+        context);
+    FOCQ_RETURN_IF_ERROR(cond_exec.MaterializeLayers());
+    return cond_exec.CheckAll();
   }();
-  if (!cond_plan.ok()) return cond_plan.status();
-  RecordPlanMetrics(*cond_plan, options.metrics);
-  PlanExecutor cond_exec(*cond_plan, a, exec_options, context);
-  FOCQ_RETURN_IF_ERROR(cond_exec.MaterializeLayers());
-  Result<std::vector<bool>> sat = cond_exec.CheckAll();
   if (!sat.ok()) return sat.status();
 
   std::vector<std::vector<CountInt>> term_values;
   std::vector<EvalPlan> term_plans;  // must outlive their executors
   term_plans.reserve(q.head_terms.size());
   for (const Term& t : q.head_terms) {
+    ExplainCall term_call =
+        BeginExplainCall(options, "head-term", ToString(t));
+    ScopedNodeTimer call_timer(term_call.sink, term_call.node,
+                               options.metrics);
     Result<EvalPlan> plan = [&] {
+      int cnode = term_call.sink != nullptr
+                      ? term_call.sink->NewNode(term_call.node, "compile",
+                                                "term")
+                      : -1;
+      ScopedNodeTimer compile_timer(term_call.sink, cnode, options.metrics);
       ScopedSpan span(options.trace, "compile");
       return CompileTerm(t, a.signature());
     }();
     if (!plan.ok()) return plan.status();
     RecordPlanMetrics(*plan, options.metrics);
     term_plans.push_back(std::move(*plan));
-    PlanExecutor exec(term_plans.back(), a, exec_options, context);
+    PlanExecutor exec(term_plans.back(), a,
+                      MakeExecOptions(UnderExplainNode(options, term_call)),
+                      context);
     FOCQ_RETURN_IF_ERROR(exec.MaterializeLayers());
     Result<std::vector<CountInt>> values = exec.TermValues();
     if (!values.ok()) return values.status();
@@ -192,8 +260,12 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
   EvalContext* context = UsableContext(options, a);
   if (context == nullptr) context = &local_context.emplace(a);
   const Graph& gaifman = context->Gaifman(
-      {options.num_threads, options.metrics, options.trace});
+      {options.num_threads, options.metrics, options.trace, options.explain});
   const std::size_t k = q.head_vars.size();
+  ExplainCall verify_call = BeginExplainCall(
+      options, "candidate-verify", std::to_string(k) + " head vars");
+  ScopedNodeTimer verify_timer(verify_call.sink, verify_call.node,
+                               options.metrics);
 
   // Find a driver atom.
   const Expr* scope = &q.condition.node();
@@ -317,7 +389,19 @@ Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
   if (UsableContext(options, a) == nullptr) {
     query_options.context = &local_context.emplace(a);
   }
+  // One "query" root per call: warm Session batches attribute per query
+  // because every call adds its own subtree to the shared sink.
+  ExplainCall query_call = BeginExplainCall(
+      options, "query",
+      std::to_string(q.head_vars.size()) + " head vars, " +
+          std::to_string(q.head_terms.size()) + " head terms, condition " +
+          ToString(q.condition));
+  query_options.explain_parent = query_call.node >= 0
+                                     ? query_call.node
+                                     : options.explain_parent;
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    ScopedNodeTimer query_timer(query_call.sink, query_call.node,
+                                options.metrics);
     ScopedSpan span(options.trace, "query_eval");
     if (options.engine == Engine::kNaive) {
       return EvaluateQueryNaive(q, a);

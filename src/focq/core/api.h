@@ -37,6 +37,15 @@ struct EvalOptions {
   // sinks never changes results (see DESIGN.md, "Observability").
   MetricsSink* metrics = nullptr;
   TraceSink* trace = nullptr;
+  // EXPLAIN / EXPLAIN ANALYZE (not owned; may be null): materialises every
+  // compiled plan as a PlanNode tree under `explain_parent` (-1: forest
+  // roots) and attributes per-node wall time, memory high-water marks and —
+  // when `metrics` is also installed — the deterministic pipeline counters.
+  // Warm batches through a Session attribute per query: every EvaluateQuery
+  // call adds its own "query" root to the sink. Installing a sink never
+  // changes results (see DESIGN.md, "Observability").
+  ExplainSink* explain = nullptr;
+  int explain_parent = -1;
   // Optional shared artifact cache (not owned; may be null). When set and
   // caching artifacts of the evaluated structure, Gaifman graphs and covers
   // are pulled from it instead of being rebuilt per call — results stay

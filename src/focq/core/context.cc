@@ -1,43 +1,18 @@
 #include "focq/core/context.h"
 
+#include <string>
+
 #include "focq/structure/gaifman.h"
 
 namespace focq {
 namespace {
 
-// Approximate resident footprints for ctx.cache.bytes: element ids plus a
-// flat per-vector overhead. Deterministic (pure functions of the artifact),
-// so the byte counter falls under the determinism contract like every other
-// input-determined quantity.
-constexpr std::int64_t kVectorOverhead = 24;
-
-std::int64_t ApproxBytes(const Graph& g) {
-  return static_cast<std::int64_t>(g.num_vertices()) * kVectorOverhead +
-         static_cast<std::int64_t>(2 * g.num_edges() * sizeof(VertexId));
-}
-
-std::int64_t ApproxBytes(const NeighborhoodCover& cover) {
-  return static_cast<std::int64_t>(
-             (cover.TotalClusterSize() + cover.assignment.size() +
-              cover.centers.size()) *
-             sizeof(ElemId)) +
-         static_cast<std::int64_t>(cover.NumClusters()) * kVectorOverhead;
-}
-
-std::int64_t ApproxBytes(const SphereTypeAssignment& types) {
-  std::int64_t bytes =
-      static_cast<std::int64_t>(types.type_of.size() * sizeof(SphereTypeId));
-  for (const auto& elems : types.elements_of_type) {
-    bytes += kVectorOverhead +
-             static_cast<std::int64_t>(elems.size() * sizeof(ElemId));
-  }
-  for (std::size_t id = 0; id < types.registry.NumTypes(); ++id) {
-    bytes += static_cast<std::int64_t>(
-        types.registry.Representative(static_cast<SphereTypeId>(id))
-            .SizeNorm() *
-        8);
-  }
-  return bytes;
+// One root-level explain node per artifact build: the build is
+// query-independent (whichever query misses the cache pays for it), so it
+// hangs off the forest root rather than under the unlucky query's plan.
+int NewArtifactNode(const ArtifactOptions& opts, const std::string& label) {
+  if (opts.explain == nullptr) return -1;
+  return opts.explain->NewNode(-1, "artifact", label);
 }
 
 }  // namespace
@@ -58,12 +33,19 @@ void EvalContext::RecordMiss(const ArtifactOptions& opts, std::int64_t bytes) {
 
 const Graph& EvalContext::EnsureGaifman(const ArtifactOptions& opts) {
   if (!gaifman_.has_value()) {
+    int node = NewArtifactNode(opts, "gaifman graph");
+    ScopedNodeTimer timer(opts.explain, node, opts.metrics);
     ScopedSpan span(opts.trace, "gaifman_build");
     gaifman_.emplace(BuildGaifmanGraph(*a_));
     if (opts.metrics != nullptr) {
       opts.metrics->AddCounter("gaifman.builds", 1);
     }
-    RecordMiss(opts, ApproxBytes(*gaifman_));
+    std::int64_t bytes = gaifman_->ApproxBytes();
+    if (opts.metrics != nullptr) {
+      opts.metrics->MaxCounter("mem.gaifman.bytes", bytes);
+    }
+    if (opts.explain != nullptr) opts.explain->RecordBytes(node, bytes);
+    RecordMiss(opts, bytes);
   }
   return *gaifman_;
 }
@@ -87,13 +69,22 @@ const NeighborhoodCover& EvalContext::Cover(std::uint32_t radius,
     return it->second;
   }
   const Graph& gaifman = EnsureGaifman(opts);
+  int node = NewArtifactNode(
+      opts, std::string(backend == CoverBackend::kExact ? "exact" : "sparse") +
+                " cover r=" + std::to_string(radius));
+  ScopedNodeTimer timer(opts.explain, node, opts.metrics);
   ScopedSpan span(opts.trace, "cover_build");
   NeighborhoodCover cover =
       backend == CoverBackend::kExact
           ? ExactBallCover(gaifman, radius, opts.num_threads, opts.metrics)
           : SparseCover(gaifman, radius, opts.num_threads, opts.metrics);
   it = covers_.emplace(key, std::move(cover)).first;
-  RecordMiss(opts, ApproxBytes(it->second));
+  std::int64_t bytes = it->second.ApproxBytes();
+  if (opts.metrics != nullptr) {
+    opts.metrics->MaxCounter("mem.cover.bytes", bytes);
+  }
+  if (opts.explain != nullptr) opts.explain->RecordBytes(node, bytes);
+  RecordMiss(opts, bytes);
   return it->second;
 }
 
@@ -106,12 +97,19 @@ const SphereTypeAssignment& EvalContext::SphereTypes(
     return it->second;
   }
   const Graph& gaifman = EnsureGaifman(opts);
+  int node = NewArtifactNode(opts, "sphere types r=" + std::to_string(radius));
+  ScopedNodeTimer timer(opts.explain, node, opts.metrics);
   ScopedSpan span(opts.trace, "hanf_typing");
   it = spheres_
            .emplace(radius,
                     ComputeSphereTypes(*a_, gaifman, radius, opts.num_threads))
            .first;
-  RecordMiss(opts, ApproxBytes(it->second));
+  std::int64_t bytes = it->second.ApproxBytes();
+  if (opts.metrics != nullptr) {
+    opts.metrics->MaxCounter("mem.spheres.bytes", bytes);
+  }
+  if (opts.explain != nullptr) opts.explain->RecordBytes(node, bytes);
+  RecordMiss(opts, bytes);
   return it->second;
 }
 

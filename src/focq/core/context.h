@@ -31,6 +31,7 @@
 
 #include "focq/cover/neighborhood_cover.h"
 #include "focq/hanf/sphere.h"
+#include "focq/obs/explain.h"
 #include "focq/obs/metrics.h"
 #include "focq/obs/trace.h"
 
@@ -52,6 +53,10 @@ struct ArtifactOptions {
   int num_threads = 1;
   MetricsSink* metrics = nullptr;  // not owned; may be null
   TraceSink* trace = nullptr;      // not owned; may be null
+  // EXPLAIN ANALYZE plan attribution: a build triggered by this access adds
+  // a root-level "artifact" node (with build time, counters and footprint
+  // bytes) to the sink of whichever query got unlucky and paid for it.
+  ExplainSink* explain = nullptr;  // not owned; may be null
 };
 
 /// Reusable per-structure artifact cache. Thread-safe (getters may race from

@@ -12,15 +12,32 @@ PlanExecutor::PlanExecutor(const EvalPlan& plan, const Structure& input,
                            const ExecOptions& options, EvalContext* context)
     : plan_(plan),
       options_(options),
+      node_ids_(RegisterPlanNodes(options.explain, plan,
+                                  options.explain_parent)),
       structure_(input),
       owned_context_(context == nullptr
                          ? std::make_unique<EvalContext>(structure_)
                          : nullptr),
       context_(context != nullptr ? context : owned_context_.get()),
-      gaifman_(context_->Gaifman(MakeArtifactOptions())) {}
+      gaifman_(context_->Gaifman(MakeArtifactOptions())) {
+  RecordStructureBytes();
+}
 
 ArtifactOptions PlanExecutor::MakeArtifactOptions() const {
-  return {options_.num_threads, options_.metrics, options_.trace};
+  return {options_.num_threads, options_.metrics, options_.trace,
+          options_.explain};
+}
+
+void PlanExecutor::RecordStructureBytes() {
+  // High-water footprint of the working copy: grows as marker layers expand
+  // it, so it is recorded again after materialisation. Deterministic.
+  std::int64_t bytes = structure_.ApproxBytes();
+  if (options_.metrics != nullptr) {
+    options_.metrics->MaxCounter("mem.structure.bytes", bytes);
+  }
+  if (options_.explain != nullptr) {
+    options_.explain->RecordBytes(node_ids_.root, bytes);
+  }
 }
 
 const NeighborhoodCover& PlanExecutor::CoverFor(std::uint32_t radius) {
@@ -30,7 +47,9 @@ const NeighborhoodCover& PlanExecutor::CoverFor(std::uint32_t radius) {
   return context_->Cover(radius, backend, MakeArtifactOptions());
 }
 
-Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
+Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term,
+                                                          int explain_node) {
+  ScopedNodeTimer timer(options_.explain, explain_node, options_.metrics);
   if (options_.term_engine == TermEngine::kBall) {
     ScopedSpan span(options_.trace, "cl_term_eval");
     ClTermBallEvaluator eval(structure_, gaifman_, options_.num_threads,
@@ -44,7 +63,11 @@ Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
   std::vector<std::vector<CountInt>> factor_values;
   factor_values.reserve(term.basics().size());
   for (const BasicClTerm& b : term.basics()) {
-    const NeighborhoodCover& cover = CoverFor(RequiredCoverRadius(b));
+    std::uint32_t radius = RequiredCoverRadius(b);
+    if (options_.explain != nullptr) {
+      options_.explain->MaxCounter(explain_node, "cover.radius", radius);
+    }
+    const NeighborhoodCover& cover = CoverFor(radius);
     ScopedSpan span(options_.trace, "cl_term_eval");
     ClTermCoverEvaluator eval(structure_, gaifman_, cover,
                               options_.num_threads, options_.metrics);
@@ -63,12 +86,21 @@ Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term) {
 
 Status PlanExecutor::MaterializeLayers() {
   FOCQ_CHECK(!materialized_);
+  ScopedNodeTimer plan_timer(options_.explain, node_ids_.root,
+                             options_.metrics);
   ScopedSpan materialize_span(options_.trace, "materialize_layers");
   std::size_t layer_index = 0;
   for (const auto& layer : plan_.layers) {
-    ScopedSpan layer_span(options_.trace,
-                          "layer_" + std::to_string(layer_index++));
+    std::size_t l = layer_index++;
+    ScopedNodeTimer layer_timer(options_.explain, node_ids_.layers[l],
+                                options_.metrics);
+    ScopedSpan layer_span(options_.trace, "layer_" + std::to_string(l));
+    std::size_t relation_index = 0;
     for (const LayerRelationDef& def : layer) {
+      std::size_t r = relation_index++;
+      ScopedNodeTimer relation_timer(options_.explain,
+                                     node_ids_.relations[l][r],
+                                     options_.metrics);
       if (options_.metrics != nullptr) {
         options_.metrics->AddCounter("materialize.marker_relations", 1);
         if (def.fallback) {
@@ -122,8 +154,9 @@ Status PlanExecutor::MaterializeLayers() {
       // Fast path: evaluate the cl-term arguments, apply the P-oracle.
       std::vector<std::vector<CountInt>> arg_values;
       arg_values.reserve(def.args.size());
-      for (const ClTerm& arg : def.args) {
-        Result<std::vector<CountInt>> v = EvalClTermAll(arg);
+      for (std::size_t a = 0; a < def.args.size(); ++a) {
+        Result<std::vector<CountInt>> v =
+            EvalClTermAll(def.args[a], node_ids_.args[l][r][a]);
         if (!v.ok()) return v.status();
         arg_values.push_back(std::move(*v));
       }
@@ -150,6 +183,7 @@ Status PlanExecutor::MaterializeLayers() {
     // gaifman_ stays valid across layers.
   }
   materialized_ = true;
+  RecordStructureBytes();  // the expansion grew the working copy
   final_eval_ = std::make_unique<LocalEvaluator>(structure_, gaifman_);
   return Status::Ok();
 }
@@ -157,6 +191,10 @@ Status PlanExecutor::MaterializeLayers() {
 Result<bool> PlanExecutor::CheckSentence() {
   FOCQ_CHECK(materialized_ && !plan_.is_term);
   FOCQ_CHECK(FreeVars(plan_.final_formula).empty());
+  ScopedNodeTimer plan_timer(options_.explain, node_ids_.root,
+                             options_.metrics);
+  ScopedNodeTimer timer(options_.explain, node_ids_.residual,
+                        options_.metrics);
   ScopedSpan span(options_.trace, "residual_eval");
   if (options_.metrics != nullptr) {
     options_.metrics->AddCounter("residual.elements_checked", 1);
@@ -168,6 +206,10 @@ Result<bool> PlanExecutor::CheckAt(ElemId a) {
   FOCQ_CHECK(materialized_ && !plan_.is_term);
   std::vector<Var> free = FreeVars(plan_.final_formula);
   FOCQ_CHECK_LE(free.size(), 1u);
+  ScopedNodeTimer plan_timer(options_.explain, node_ids_.root,
+                             options_.metrics);
+  ScopedNodeTimer timer(options_.explain, node_ids_.residual,
+                        options_.metrics);
   ScopedSpan span(options_.trace, "residual_eval");
   if (options_.metrics != nullptr) {
     options_.metrics->AddCounter("residual.elements_checked", 1);
@@ -179,6 +221,10 @@ Result<bool> PlanExecutor::CheckAt(ElemId a) {
 
 Result<std::vector<bool>> PlanExecutor::CheckAll() {
   FOCQ_CHECK(materialized_ && !plan_.is_term);
+  ScopedNodeTimer plan_timer(options_.explain, node_ids_.root,
+                             options_.metrics);
+  ScopedNodeTimer timer(options_.explain, node_ids_.residual,
+                        options_.metrics);
   ScopedSpan span(options_.trace, "residual_eval");
   const std::size_t n = structure_.universe_size();
   if (options_.metrics != nullptr) {
@@ -210,12 +256,17 @@ Result<std::vector<bool>> PlanExecutor::CheckAll() {
 
 Result<CountInt> PlanExecutor::TermValue() {
   FOCQ_CHECK(materialized_ && plan_.is_term);
+  ScopedNodeTimer plan_timer(options_.explain, node_ids_.root,
+                             options_.metrics);
   if (plan_.final_term_decomposed) {
     FOCQ_CHECK(!plan_.final_cl_term_unary);
-    Result<std::vector<CountInt>> v = EvalClTermAll(plan_.final_cl_term);
+    Result<std::vector<CountInt>> v =
+        EvalClTermAll(plan_.final_cl_term, node_ids_.residual);
     if (!v.ok()) return v.status();
     return (*v)[0];
   }
+  ScopedNodeTimer timer(options_.explain, node_ids_.residual,
+                        options_.metrics);
   ScopedSpan span(options_.trace, "residual_eval");
   if (options_.metrics != nullptr) {
     options_.metrics->AddCounter("residual.elements_checked", 1);
@@ -225,8 +276,11 @@ Result<CountInt> PlanExecutor::TermValue() {
 
 Result<std::vector<CountInt>> PlanExecutor::TermValues() {
   FOCQ_CHECK(materialized_ && plan_.is_term);
+  ScopedNodeTimer plan_timer(options_.explain, node_ids_.root,
+                             options_.metrics);
   if (plan_.final_term_decomposed) {
-    Result<std::vector<CountInt>> v = EvalClTermAll(plan_.final_cl_term);
+    Result<std::vector<CountInt>> v =
+        EvalClTermAll(plan_.final_cl_term, node_ids_.residual);
     if (!v.ok()) return v;
     if (!plan_.final_cl_term_unary) {
       // Ground value broadcast to every element.
@@ -234,6 +288,8 @@ Result<std::vector<CountInt>> PlanExecutor::TermValues() {
     }
     return v;
   }
+  ScopedNodeTimer timer(options_.explain, node_ids_.residual,
+                        options_.metrics);
   ScopedSpan span(options_.trace, "residual_eval");
   const std::size_t n = structure_.universe_size();
   if (options_.metrics != nullptr) {

@@ -37,6 +37,13 @@ struct ExecOptions {
   // identical for every num_threads; spans record wall time only.
   MetricsSink* metrics = nullptr;
   TraceSink* trace = nullptr;
+  // EXPLAIN / EXPLAIN ANALYZE: with `explain` installed the executor
+  // registers the compiled plan as a PlanNode subtree under `explain_parent`
+  // (-1: a new root) and attributes per-node durations, counters and memory
+  // high-water marks. Per-node *counter* attribution additionally needs
+  // `metrics` installed (deltas of the flat sink are charged to nodes).
+  ExplainSink* explain = nullptr;
+  int explain_parent = -1;
 };
 
 /// Executes one plan against one structure.
@@ -70,13 +77,19 @@ class PlanExecutor {
   Result<CountInt> TermValue();                  // ground
   Result<std::vector<CountInt>> TermValues();    // unary: value per element
 
+  /// The explain node of this executor's plan (-1 when no sink installed).
+  int explain_root() const { return node_ids_.root; }
+
  private:
-  Result<std::vector<CountInt>> EvalClTermAll(const ClTerm& term);
+  Result<std::vector<CountInt>> EvalClTermAll(const ClTerm& term,
+                                              int explain_node);
   const NeighborhoodCover& CoverFor(std::uint32_t radius);
   ArtifactOptions MakeArtifactOptions() const;
+  void RecordStructureBytes();
 
   const EvalPlan& plan_;
   ExecOptions options_;
+  PlanNodeIds node_ids_;
   Structure structure_;
   // Artifact source. owned_context_ is set only on the standalone path and
   // borrows structure_ (covers derive from the cached Gaifman graph, which

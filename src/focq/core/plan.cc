@@ -200,6 +200,92 @@ EvalPlan::Stats EvalPlan::ComputeStats() const {
   return s;
 }
 
+namespace {
+
+// Compact one-line summary of a cl-term for explain labels.
+std::string ClTermLabel(const ClTerm& t) {
+  int max_width = 0;
+  std::uint32_t max_radius = 0;
+  for (const BasicClTerm& b : t.basics()) {
+    max_width = std::max(max_width, b.width());
+    max_radius = std::max(max_radius, b.radius);
+  }
+  return std::to_string(t.NumBasics()) + " basics, " +
+         std::to_string(t.NumMonomials()) + " monomials, width<=" +
+         std::to_string(max_width) + ", r<=" + std::to_string(max_radius);
+}
+
+std::string RelationLabel(const LayerRelationDef& def) {
+  std::string label = def.name;
+  if (def.arity == 1) label += "(" + VarName(def.free_var) + ")";
+  if (def.fallback) {
+    label += " := fallback " + ToString(def.fallback_formula);
+  } else {
+    label += " := " + (def.pred != nullptr ? def.pred->name() : "<pred>") +
+             "(" + std::to_string(def.args.size()) + " cl-terms)";
+  }
+  return label;
+}
+
+}  // namespace
+
+PlanNodeIds RegisterPlanNodes(ExplainSink* sink, const EvalPlan& plan,
+                              int parent) {
+  PlanNodeIds ids;
+  bool live = sink != nullptr;
+  EvalPlan::Stats stats = plan.ComputeStats();
+  if (live) {
+    ids.root = sink->NewNode(
+        parent, "plan",
+        std::to_string(stats.num_layers) + " layers, " +
+            std::to_string(stats.num_relations) + " relations, " +
+            std::to_string(stats.num_basic_cl_terms) + " basic cl-terms");
+  }
+  ids.layers.assign(plan.layers.size(), -1);
+  ids.relations.resize(plan.layers.size());
+  ids.args.resize(plan.layers.size());
+  for (std::size_t l = 0; l < plan.layers.size(); ++l) {
+    if (live) {
+      ids.layers[l] = sink->NewNode(
+          ids.root, "layer",
+          "L" + std::to_string(l) + " (" +
+              std::to_string(plan.layers[l].size()) + " relations)");
+    }
+    ids.relations[l].assign(plan.layers[l].size(), -1);
+    ids.args[l].resize(plan.layers[l].size());
+    for (std::size_t r = 0; r < plan.layers[l].size(); ++r) {
+      const LayerRelationDef& def = plan.layers[l][r];
+      if (live) {
+        ids.relations[l][r] = sink->NewNode(
+            ids.layers[l], def.fallback ? "fallback-relation" : "relation",
+            RelationLabel(def));
+      }
+      ids.args[l][r].assign(def.args.size(), -1);
+      if (live) {
+        for (std::size_t a = 0; a < def.args.size(); ++a) {
+          ids.args[l][r][a] = sink->NewNode(ids.relations[l][r], "cl-term",
+                                            ClTermLabel(def.args[a]));
+        }
+      }
+    }
+  }
+  if (live) {
+    if (!plan.is_term) {
+      ids.residual =
+          sink->NewNode(ids.root, "residual", ToString(plan.final_formula));
+    } else if (plan.final_term_decomposed) {
+      ids.residual = sink->NewNode(
+          ids.root, "cl-term",
+          std::string(plan.final_cl_term_unary ? "unary " : "ground ") +
+              ClTermLabel(plan.final_cl_term));
+    } else {
+      ids.residual = sink->NewNode(ids.root, "residual-term",
+                                   ToString(plan.final_term_residual));
+    }
+  }
+  return ids;
+}
+
 Result<EvalPlan> CompileFormula(const Formula& f, const Signature& sig) {
   EvalPlan plan;
   plan.is_term = false;

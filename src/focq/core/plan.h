@@ -22,6 +22,7 @@
 
 #include "focq/locality/cl_term.h"
 #include "focq/logic/expr.h"
+#include "focq/obs/explain.h"
 #include "focq/util/status.h"
 
 namespace focq {
@@ -67,6 +68,24 @@ struct EvalPlan {
   };
   Stats ComputeStats() const;
 };
+
+/// The explain-node ids of one registered plan, mirroring its shape. Every
+/// instrumentation site of the executor charges one of these ids (see
+/// obs/explain.h); id -1 (the value everywhere when no sink is installed)
+/// makes the charge a no-op, so the executor indexes unconditionally.
+struct PlanNodeIds {
+  int root = -1;                           // the "plan" node itself
+  std::vector<int> layers;                 // one per layer
+  std::vector<std::vector<int>> relations;  // [layer][relation]
+  std::vector<std::vector<std::vector<int>>> args;  // [layer][rel][cl-term]
+  int residual = -1;  // residual formula / final term node
+};
+
+/// Materialises `plan` as PlanNodes under `parent` (-1: a new root) and
+/// returns the id map. With a null sink the map is fully populated with -1
+/// ids, so callers index it the same way either path.
+PlanNodeIds RegisterPlanNodes(ExplainSink* sink, const EvalPlan& plan,
+                              int parent);
 
 /// Compiles a formula with at most one free variable. The signature is used
 /// to generate fresh marker names.

@@ -65,6 +65,14 @@ std::size_t NeighborhoodCover::MaxDegree() const {
   return best;
 }
 
+std::int64_t NeighborhoodCover::ApproxBytes() const {
+  // 24 bytes stands in for the per-cluster vector overhead.
+  return static_cast<std::int64_t>(
+             (TotalClusterSize() + assignment.size() + centers.size()) *
+             sizeof(ElemId)) +
+         static_cast<std::int64_t>(NumClusters()) * 24;
+}
+
 NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
                                  int num_threads, MetricsSink* metrics) {
   NeighborhoodCover cover;

@@ -40,6 +40,11 @@ struct NeighborhoodCover {
 
   /// Maximum number of clusters any single vertex belongs to.
   std::size_t MaxDegree() const;
+
+  /// Approximate resident footprint in bytes (cluster lists, assignment,
+  /// centres). A pure function of the cover, so it falls under the
+  /// determinism contract (memory accounting, DESIGN.md "Observability").
+  std::int64_t ApproxBytes() const;
 };
 
 /// X(a) = N_r(a) for every a. The per-centre ball BFS parallelises over

@@ -28,6 +28,15 @@ class Graph {
   /// |V| + |E|, the paper's ||G||.
   std::size_t Size() const { return num_vertices() + num_edges(); }
 
+  /// Approximate resident footprint in bytes: a flat per-vertex
+  /// adjacency-list overhead plus both directions of every edge. A pure
+  /// function of the graph, so it falls under the determinism contract
+  /// (memory accounting, DESIGN.md "Observability").
+  std::int64_t ApproxBytes() const {
+    return static_cast<std::int64_t>(num_vertices()) * 24 +
+           static_cast<std::int64_t>(2 * num_edges() * sizeof(VertexId));
+  }
+
   /// Records an undirected edge {u, v}. Self-loops are ignored.
   void AddEdge(VertexId u, VertexId v);
 

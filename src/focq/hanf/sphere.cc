@@ -272,4 +272,19 @@ SphereTypeAssignment ComputeSphereTypes(const Structure& a,
   return out;
 }
 
+std::int64_t SphereTypeAssignment::ApproxBytes() const {
+  std::int64_t bytes =
+      static_cast<std::int64_t>(type_of.size() * sizeof(SphereTypeId));
+  // 24 bytes stands in for the per-list vector overhead; interned
+  // representatives are charged 8 bytes per unit of ||sphere||.
+  for (const auto& elems : elements_of_type) {
+    bytes += 24 + static_cast<std::int64_t>(elems.size() * sizeof(ElemId));
+  }
+  for (std::size_t id = 0; id < registry.NumTypes(); ++id) {
+    bytes += static_cast<std::int64_t>(
+        registry.Representative(static_cast<SphereTypeId>(id)).SizeNorm() * 8);
+  }
+  return bytes;
+}
+
 }  // namespace focq

@@ -68,6 +68,12 @@ struct SphereTypeAssignment {
   std::vector<SphereTypeId> type_of;  // per element
   SphereTypeRegistry registry;
   std::vector<std::vector<ElemId>> elements_of_type;
+
+  /// Approximate resident footprint in bytes (type array, per-type element
+  /// lists, interned representatives). A pure function of the assignment, so
+  /// it falls under the determinism contract (memory accounting, DESIGN.md
+  /// "Observability").
+  std::int64_t ApproxBytes() const;
 };
 
 /// Computes the radius-r sphere type of every element. `gaifman` must be

@@ -1,0 +1,424 @@
+#include "focq/obs/benchdiff.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "focq/obs/metrics.h"
+
+namespace focq {
+namespace {
+
+// A minimal recursive-descent JSON reader, just enough for the Google
+// Benchmark output format. Numbers are doubles, \u escapes decode the ASCII
+// range only (benchmark names are ASCII).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    FOCQ_RETURN_IF_ERROR(ParseValue(&v));
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      FOCQ_RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      FOCQ_RETURN_IF_ERROR(ParseValue(&value));
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue value;
+      FOCQ_RETURN_IF_ERROR(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("bad escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    auto match = [&](const char* word) {
+      std::size_t len = std::string(word).size();
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Status::Ok();
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Status::Ok();
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::Ok();
+    }
+    return Error("unknown keyword");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    try {
+      out->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return Error("bad number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Numeric row fields that are benchmark bookkeeping, not focq counters.
+bool IsBookkeepingField(const std::string& name) {
+  return name == "iterations" || name == "real_time" || name == "cpu_time" ||
+         name == "repetitions" || name == "repetition_index" ||
+         name == "threads" || name == "family_index" ||
+         name == "per_family_instance_index";
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Relative change |current - base| / max(|base|, |current|); 0 when both 0.
+double RelativeChange(double base, double current) {
+  double denom = std::max(std::fabs(base), std::fabs(current));
+  if (denom == 0.0) return 0.0;
+  return std::fabs(current - base) / denom;
+}
+
+}  // namespace
+
+Result<BenchRun> ParseBenchJson(const std::string& json) {
+  JsonParser parser(json);
+  Result<JsonValue> doc = parser.Parse();
+  if (!doc.ok()) return doc.status();
+  if (doc->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("benchmark JSON: top level is not an object");
+  }
+  const JsonValue* benchmarks = doc->Find("benchmarks");
+  if (benchmarks == nullptr || benchmarks->kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(
+        "benchmark JSON: missing \"benchmarks\" array");
+  }
+  BenchRun run;
+  for (const JsonValue& row : benchmarks->array) {
+    if (row.kind != JsonValue::Kind::kObject) continue;
+    const JsonValue* run_type = row.Find("run_type");
+    if (run_type != nullptr && run_type->kind == JsonValue::Kind::kString &&
+        run_type->str != "iteration") {
+      continue;  // aggregates (_mean/_stddev/...) are not comparable rows
+    }
+    const JsonValue* name = row.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) continue;
+    BenchRow out;
+    out.name = name->str;
+    for (const auto& [key, value] : row.object) {
+      if (value.kind != JsonValue::Kind::kNumber) continue;
+      if (key == "real_time") {
+        out.real_time = value.number;
+      } else if (key == "cpu_time") {
+        out.cpu_time = value.number;
+      } else if (!IsBookkeepingField(key)) {
+        out.counters[key] = value.number;
+      }
+    }
+    const JsonValue* unit = row.Find("time_unit");
+    if (unit != nullptr && unit->kind == JsonValue::Kind::kString) {
+      out.time_unit = unit->str;
+    }
+    run.rows.push_back(std::move(out));
+  }
+  return run;
+}
+
+BenchDiffReport DiffBenchRuns(const BenchRun& base, const BenchRun& current,
+                              const BenchDiffOptions& options) {
+  BenchDiffReport report;
+  report.options = options;
+  std::map<std::string, const BenchRow*> base_by_name;
+  for (const BenchRow& row : base.rows) base_by_name.emplace(row.name, &row);
+  std::map<std::string, const BenchRow*> seen;
+  for (const BenchRow& row : current.rows) {
+    if (!seen.emplace(row.name, &row).second) continue;  // first rep wins
+    auto it = base_by_name.find(row.name);
+    if (it == base_by_name.end()) {
+      report.added.push_back(row.name);
+      continue;
+    }
+    const BenchRow& b = *it->second;
+    BenchDiffEntry entry;
+    entry.name = row.name;
+    entry.base_time = b.real_time;
+    entry.current_time = row.real_time;
+    entry.time_unit = row.time_unit.empty() ? b.time_unit : row.time_unit;
+    entry.time_ratio = b.real_time > 0.0 ? row.real_time / b.real_time : 0.0;
+    if (b.real_time > 0.0) {
+      double change = (row.real_time - b.real_time) / b.real_time;
+      entry.regression = change > options.time_threshold;
+      entry.improvement = change < -options.time_threshold;
+    }
+    for (const auto& [cname, cbase] : b.counters) {
+      auto cit = row.counters.find(cname);
+      if (cit == row.counters.end()) continue;
+      if (RelativeChange(cbase, cit->second) > options.counter_threshold) {
+        entry.counter_changes.emplace(cname,
+                                      std::make_pair(cbase, cit->second));
+      }
+    }
+    report.compared.push_back(std::move(entry));
+  }
+  for (const BenchRow& row : base.rows) {
+    if (seen.find(row.name) == seen.end()) report.removed.push_back(row.name);
+  }
+  return report;
+}
+
+std::size_t BenchDiffReport::NumRegressions() const {
+  std::size_t n = 0;
+  for (const BenchDiffEntry& e : compared) n += e.regression ? 1 : 0;
+  return n;
+}
+
+std::size_t BenchDiffReport::NumImprovements() const {
+  std::size_t n = 0;
+  for (const BenchDiffEntry& e : compared) n += e.improvement ? 1 : 0;
+  return n;
+}
+
+std::size_t BenchDiffReport::NumCounterChanges() const {
+  std::size_t n = 0;
+  for (const BenchDiffEntry& e : compared) n += e.counter_changes.size();
+  return n;
+}
+
+std::string BenchDiffReport::ToMarkdown() const {
+  std::string out = "# benchdiff\n\n";
+  out += std::to_string(compared.size()) + " compared, " +
+         std::to_string(NumRegressions()) + " regressions, " +
+         std::to_string(NumImprovements()) + " improvements, " +
+         std::to_string(NumCounterChanges()) + " counter changes, " +
+         std::to_string(added.size()) + " added, " +
+         std::to_string(removed.size()) + " removed (time threshold " +
+         FormatNumber(options.time_threshold * 100) + "%)\n\n";
+  out += "| benchmark | base | current | ratio | status |\n";
+  out += "|---|---:|---:|---:|---|\n";
+  for (const BenchDiffEntry& e : compared) {
+    out += "| " + e.name + " | " + FormatNumber(e.base_time) + " " +
+           e.time_unit + " | " + FormatNumber(e.current_time) + " " +
+           e.time_unit + " | " + FormatNumber(e.time_ratio) + " | " +
+           (e.regression ? "**regression**"
+                         : (e.improvement ? "improvement" : "ok")) +
+           " |\n";
+  }
+  bool any_counters = false;
+  for (const BenchDiffEntry& e : compared) {
+    for (const auto& [name, change] : e.counter_changes) {
+      if (!any_counters) {
+        out += "\nCounter changes:\n";
+        any_counters = true;
+      }
+      out += "- " + e.name + ": " + name + " " +
+             FormatNumber(change.first) + " -> " +
+             FormatNumber(change.second) + "\n";
+    }
+  }
+  if (!added.empty()) {
+    out += "\nAdded:\n";
+    for (const std::string& name : added) out += "- " + name + "\n";
+  }
+  if (!removed.empty()) {
+    out += "\nRemoved:\n";
+    for (const std::string& name : removed) out += "- " + name + "\n";
+  }
+  return out;
+}
+
+std::string BenchDiffReport::ToJson() const {
+  std::string out = "{\"benchdiff\":{";
+  out += "\"time_threshold\":" + FormatNumber(options.time_threshold);
+  out += ",\"counter_threshold\":" + FormatNumber(options.counter_threshold);
+  out += ",\"compared\":" + std::to_string(compared.size());
+  out += ",\"regressions\":" + std::to_string(NumRegressions());
+  out += ",\"improvements\":" + std::to_string(NumImprovements());
+  out += ",\"counter_changes\":" + std::to_string(NumCounterChanges());
+  out += ",\"added\":[";
+  for (std::size_t i = 0; i < added.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonString(&out, added[i]);
+  }
+  out += "],\"removed\":[";
+  for (std::size_t i = 0; i < removed.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonString(&out, removed[i]);
+  }
+  out += "],\"entries\":[";
+  for (std::size_t i = 0; i < compared.size(); ++i) {
+    const BenchDiffEntry& e = compared[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    AppendJsonString(&out, e.name);
+    out += ",\"base_time\":" + FormatNumber(e.base_time);
+    out += ",\"current_time\":" + FormatNumber(e.current_time);
+    out += ",\"time_unit\":";
+    AppendJsonString(&out, e.time_unit);
+    out += ",\"time_ratio\":" + FormatNumber(e.time_ratio);
+    out += std::string(",\"regression\":") + (e.regression ? "true" : "false");
+    out += std::string(",\"improvement\":") +
+           (e.improvement ? "true" : "false");
+    out += ",\"counter_changes\":{";
+    bool first = true;
+    for (const auto& [name, change] : e.counter_changes) {
+      if (!first) out += ",";
+      first = false;
+      AppendJsonString(&out, name);
+      out += ":{\"base\":" + FormatNumber(change.first) +
+             ",\"current\":" + FormatNumber(change.second) + "}";
+    }
+    out += "}}";
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace focq

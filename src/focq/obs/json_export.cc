@@ -34,4 +34,50 @@ std::string ComposeTraceJson(const TraceSink& trace) {
   return nested + "," + chrome.substr(1);
 }
 
+namespace {
+
+void AppendExplainNode(const ExplainReport& report, int id, std::string* out) {
+  const PlanNode& node = report.nodes[static_cast<std::size_t>(id)];
+  const NodeProfile& profile = report.profiles[static_cast<std::size_t>(id)];
+  *out += "{\"id\":" + std::to_string(node.id) +
+          ",\"parent\":" + std::to_string(node.parent) + ",\"kind\":";
+  AppendJsonString(out, node.kind);
+  *out += ",\"label\":";
+  AppendJsonString(out, node.label);
+  *out += ",\"duration_ns\":" + std::to_string(profile.duration_ns) +
+          ",\"bytes_peak\":" + std::to_string(profile.bytes_peak) +
+          ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : profile.counters) {
+    if (!first) *out += ",";
+    first = false;
+    AppendJsonString(out, name);
+    *out += ':';
+    *out += std::to_string(value);
+  }
+  *out += "},\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out += ",";
+    AppendExplainNode(report, node.children[i], out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string ComposeExplainJson(const ExplainReport& report) {
+  std::string out = "{\"explain\":{\"analyzed\":";
+  out += report.analyzed ? "true" : "false";
+  out += ",\"nodes\":[";
+  bool first = true;
+  for (std::size_t id = 0; id < report.nodes.size(); ++id) {
+    if (report.nodes[id].parent >= 0) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendExplainNode(report, static_cast<int>(id), &out);
+  }
+  out += "]}}";
+  return out;
+}
+
 }  // namespace focq

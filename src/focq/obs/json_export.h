@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "focq/obs/explain.h"
 #include "focq/obs/metrics.h"
 #include "focq/obs/trace.h"
 
@@ -25,6 +26,16 @@ std::string ComposeMetricsJson(const EvalMetrics& metrics,
 /// The trace document: nested spans and flat chrome://tracing events for the
 /// same forest, in one object: {"spans": [...], "traceEvents": [...]}.
 std::string ComposeTraceJson(const TraceSink& trace);
+
+/// The explain document (`focq_cli --explain-json`): the plan forest with
+/// per-node attribution, children nested:
+///   {"explain": {"analyzed": bool,
+///                "nodes": [{"id","parent","kind","label","duration_ns",
+///                           "bytes_peak","counters":{...},
+///                           "children":[...]}, ...]}}
+/// `nodes` holds the forest roots; duration/bytes/counters are zero/empty in
+/// plain-EXPLAIN reports (analyzed = false).
+std::string ComposeExplainJson(const ExplainReport& report);
 
 }  // namespace focq
 

@@ -51,10 +51,13 @@ std::string EvalMetrics::ToJson() const {
     if (!first) out += ", ";
     first = false;
     AppendJsonString(&out, name);
+    char mean[32];
+    std::snprintf(mean, sizeof(mean), "%.6g", stats.Mean());
     out += ": {\"count\": " + std::to_string(stats.count) +
            ", \"sum\": " + std::to_string(stats.sum) +
            ", \"min\": " + std::to_string(stats.min) +
-           ", \"max\": " + std::to_string(stats.max) + "}";
+           ", \"max\": " + std::to_string(stats.max) +
+           ", \"mean\": " + mean + "}";
   }
   out += "}}";
   return out;

@@ -63,6 +63,12 @@ struct ValueStats {
     sum += other.sum;
   }
 
+  /// Arithmetic mean of the recorded samples; 0 for an empty stream.
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
   friend bool operator==(const ValueStats& a, const ValueStats& b) {
     return a.count == b.count && a.sum == b.sum && a.min == b.min &&
            a.max == b.max;
@@ -76,7 +82,8 @@ struct EvalMetrics {
   std::map<std::string, ValueStats> values;
 
   /// {"counters": {name: value, ...},
-  ///  "values": {name: {"count":..,"sum":..,"min":..,"max":..}, ...}}
+  ///  "values": {name: {"count":..,"sum":..,"min":..,"max":..,"mean":..},
+  ///             ...}}
   std::string ToJson() const;
 };
 

@@ -1,9 +1,10 @@
 #include "focq/obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
+#include <set>
 
 #include "focq/obs/metrics.h"
-#include "focq/util/check.h"
 
 namespace focq {
 
@@ -30,7 +31,9 @@ void TraceSink::Begin(std::string name) {
 
 void TraceSink::End() {
   std::lock_guard<std::mutex> lock(mutex_);
-  FOCQ_CHECK(!open_.empty());
+  // A surplus End() (nothing open) is tolerated: it drops on the floor
+  // rather than crashing, and the completed forest stays intact.
+  if (open_.empty()) return;
   TraceSpan span = std::move(open_.back());
   open_.pop_back();
   span.duration_ns = NowNs() - span.start_ns;
@@ -41,9 +44,27 @@ void TraceSink::End() {
   }
 }
 
+void TraceSink::RecordChunk(int worker_tid, std::size_t /*chunk*/,
+                            std::int64_t start_ns, std::int64_t duration_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerSlice slice;
+  // Chunks run under the span that enclosed their ParallelFor; that span is
+  // still open here because the fan-out joins before the span ends.
+  slice.span_name = open_.empty() ? "parallel_for" : open_.back().name;
+  slice.tid = worker_tid;
+  slice.start_ns = start_ns - epoch_ns_;
+  slice.duration_ns = duration_ns;
+  slices_.push_back(std::move(slice));
+}
+
 std::vector<TraceSpan> TraceSink::Spans() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return roots_;
+}
+
+std::vector<WorkerSlice> TraceSink::Slices() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slices_;
 }
 
 namespace {
@@ -72,11 +93,22 @@ void AppendChromeEvents(const TraceSpan& span, bool* first, std::string* out) {
   *first = false;
   *out += "{\"name\": ";
   AppendJsonString(out, span.name);
-  // Complete ("X") events with microsecond timestamps, one logical track.
+  // Complete ("X") events with microsecond timestamps; spans live on the
+  // coordinator lane, worker slices are appended on their own lanes below.
   *out += ", \"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"ts\": " +
           std::to_string(span.start_ns / 1000) +
           ", \"dur\": " + std::to_string(span.duration_ns / 1000) + "}";
   for (const TraceSpan& c : span.children) AppendChromeEvents(c, first, out);
+}
+
+void AppendThreadNameEvent(int tid, const std::string& name, bool* first,
+                           std::string* out) {
+  if (!*first) *out += ",\n  ";
+  *first = false;
+  *out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": " +
+          std::to_string(tid) + ", \"args\": {\"name\": ";
+  AppendJsonString(out, name);
+  *out += "}}";
 }
 
 }  // namespace
@@ -101,9 +133,28 @@ std::string TraceSink::ToJson() const {
 
 std::string TraceSink::ToChromeTracing() const {
   std::vector<TraceSpan> roots = Spans();
+  std::vector<WorkerSlice> slices = Slices();
   std::string out = "{\"traceEvents\": [\n  ";
   bool first = true;
+  // Lane names first: the coordinator plus every worker lane that actually
+  // ran a chunk, so Perfetto labels the tracks.
+  std::set<int> tids{0};
+  for (const WorkerSlice& s : slices) tids.insert(s.tid);
+  for (int tid : tids) {
+    AppendThreadNameEvent(
+        tid, tid == 0 ? "coordinator" : "pool-worker-" + std::to_string(tid),
+        &first, &out);
+  }
   for (const TraceSpan& span : roots) AppendChromeEvents(span, &first, &out);
+  for (const WorkerSlice& s : slices) {
+    if (!first) out += ",\n  ";
+    first = false;
+    out += "{\"name\": ";
+    AppendJsonString(&out, s.span_name + ".chunk");
+    out += ", \"ph\": \"X\", \"pid\": 0, \"tid\": " + std::to_string(s.tid) +
+           ", \"ts\": " + std::to_string(s.start_ns / 1000) +
+           ", \"dur\": " + std::to_string(s.duration_ns / 1000) + "}";
+  }
   out += "\n]}";
   return out;
 }

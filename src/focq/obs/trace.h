@@ -6,10 +6,19 @@
 //
 // Spans are opened and closed on the coordinating thread only — parallel
 // bodies are covered by the span enclosing their ParallelFor — so one sink
-// observes one strictly nested span stack. The sink itself is mutex-guarded
-// anyway: tracing is phase-grained, never per-item, so the lock is off every
-// hot path. Timings use the steady clock and are *not* part of the
-// determinism contract (unlike metrics counters).
+// observes one strictly nested span stack. In addition, the sink implements
+// ParallelForObserver: while a ScopedSpan is live its sink is installed as
+// the calling thread's observer, so every chunk a ParallelFor runs under the
+// span is recorded as a worker *slice* with the real pool-worker lane. The
+// Chrome export then shows the coordinator's span track (tid 0) plus one
+// track per pool worker instead of a single flat lane.
+//
+// The sink itself is mutex-guarded: span tracing is phase-grained and slice
+// recording is chunk-grained, never per-item, so the lock is off every hot
+// path. Timings, slice-to-lane assignment and slice counts per lane all
+// depend on scheduling and are *not* part of the determinism contract
+// (unlike metrics counters); only the total slice count per ParallelFor —
+// the chunk count of its grid — is deterministic.
 #ifndef FOCQ_OBS_TRACE_H_
 #define FOCQ_OBS_TRACE_H_
 
@@ -19,6 +28,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "focq/util/thread_pool.h"
 
 namespace focq {
 
@@ -31,19 +42,34 @@ struct TraceSpan {
   std::vector<TraceSpan> children;
 };
 
-/// Collects a forest of nested spans.
-class TraceSink {
+/// One chunk of a ParallelFor executed while a span was open, attributed to
+/// the pool-worker lane that ran it (tid 0: the coordinating thread).
+struct WorkerSlice {
+  std::string span_name;  // the innermost open span when the chunk ran
+  int tid = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+};
+
+/// Collects a forest of nested spans plus per-worker chunk slices.
+class TraceSink : public ParallelForObserver {
  public:
   TraceSink();
 
   /// Opens a span as a child of the innermost open span.
   void Begin(std::string name);
 
-  /// Closes the innermost open span. Begin/End must balance.
+  /// Closes the innermost open span. A surplus End() (no span open) is a
+  /// tolerated no-op: an unbalanced caller loses attribution but can never
+  /// crash the process or corrupt the finished span forest.
   void End();
 
   /// The completed roots (open spans are excluded until their End).
   std::vector<TraceSpan> Spans() const;
+
+  /// Chunk slices recorded via the ParallelForObserver hook, in recording
+  /// order (scheduling-dependent).
+  std::vector<WorkerSlice> Slices() const;
 
   /// Total wall time per span name, summed over the whole forest — the
   /// "per-phase wall time" table of the metrics export.
@@ -54,10 +80,20 @@ class TraceSink {
   ///               "children":[...]}, ...]}
   std::string ToJson() const;
 
-  /// chrome://tracing / Perfetto export:
-  ///   {"traceEvents": [{"name":..,"ph":"X","pid":0,"tid":0,
+  /// chrome://tracing / Perfetto export: thread_name metadata ("M") events
+  /// naming each lane, the span forest as complete ("X") events on the
+  /// coordinator lane (tid 0), and one "X" event per ParallelFor chunk on
+  /// the lane of the worker that ran it:
+  ///   {"traceEvents": [{"name":"thread_name","ph":"M",...},
+  ///                    {"name":..,"ph":"X","pid":0,"tid":<lane>,
   ///                     "ts":<us>,"dur":<us>}, ...]}
   std::string ToChromeTracing() const;
+
+  /// ParallelForObserver: records one chunk execution as a WorkerSlice named
+  /// after the innermost open span ("parallel_for" when none is open).
+  /// Called from worker threads; thread-safe.
+  void RecordChunk(int worker_tid, std::size_t chunk, std::int64_t start_ns,
+                   std::int64_t duration_ns) override;
 
  private:
   std::int64_t NowNs() const;
@@ -68,17 +104,27 @@ class TraceSink {
   // Open spans, outermost first. Parked in a side stack (not in roots_) so
   // Spans()/exports never see half-open spans.
   std::vector<TraceSpan> open_;
+  std::vector<WorkerSlice> slices_;
 };
 
-/// RAII span; null-safe, so call sites need no sink guard:
+/// RAII span; null-safe, so call sites need no sink guard. While live, the
+/// sink is also installed as the calling thread's ParallelFor observer (the
+/// previous observer is restored on exit, so scopes nest), which is what
+/// routes chunk slices to worker lanes:
 ///   ScopedSpan span(options_.trace, "cover_build");
 class ScopedSpan {
  public:
   ScopedSpan(TraceSink* sink, std::string_view name) : sink_(sink) {
-    if (sink_ != nullptr) sink_->Begin(std::string(name));
+    if (sink_ != nullptr) {
+      sink_->Begin(std::string(name));
+      previous_observer_ = SetParallelForObserver(sink_);
+    }
   }
   ~ScopedSpan() {
-    if (sink_ != nullptr) sink_->End();
+    if (sink_ != nullptr) {
+      SetParallelForObserver(previous_observer_);
+      sink_->End();
+    }
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -86,6 +132,7 @@ class ScopedSpan {
 
  private:
   TraceSink* sink_;
+  ParallelForObserver* previous_observer_ = nullptr;
 };
 
 }  // namespace focq

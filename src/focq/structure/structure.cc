@@ -27,6 +27,21 @@ std::size_t Structure::SizeNorm() const {
   return total;
 }
 
+std::int64_t Relation::ApproxBytes() const {
+  // Tuples are stored twice (flat list + membership set); 24 bytes stands in
+  // for the per-tuple vector/bucket overhead of either copy.
+  return static_cast<std::int64_t>(NumTuples()) *
+         (2 * (static_cast<std::int64_t>(arity_) *
+                   static_cast<std::int64_t>(sizeof(ElemId)) +
+               24));
+}
+
+std::int64_t Structure::ApproxBytes() const {
+  std::int64_t total = 0;
+  for (const Relation& r : relations_) total += r.ApproxBytes();
+  return total;
+}
+
 void Structure::AddTuple(SymbolId id, Tuple t) {
   FOCQ_CHECK_LT(id, relations_.size());
   for (ElemId e : t) FOCQ_CHECK_LT(e, universe_size_);

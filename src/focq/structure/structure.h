@@ -34,6 +34,10 @@ class Relation {
 
   bool Contains(const Tuple& t) const { return lookup_.contains(t); }
 
+  /// Approximate resident footprint in bytes: payload of every tuple, twice
+  /// (flat list + hash set), plus a flat per-tuple overhead. Deterministic.
+  std::int64_t ApproxBytes() const;
+
  private:
   int arity_;
   std::vector<Tuple> tuples_;
@@ -61,6 +65,11 @@ class Structure {
 
   /// The paper's size ||A|| = |A| + sum_R |R^A|.
   std::size_t SizeNorm() const;
+
+  /// Approximate resident footprint in bytes, summed over the relations. A
+  /// pure function of the structure, so it falls under the determinism
+  /// contract (memory accounting, DESIGN.md "Observability").
+  std::int64_t ApproxBytes() const;
 
   const Relation& relation(SymbolId id) const { return relations_[id]; }
 

@@ -152,9 +152,13 @@ bool SnapshotsEqual(const EvalMetrics& a, const EvalMetrics& b) {
 // Metrics that describe artifact builds / cache state rather than the
 // evaluation itself: a warm context legitimately skips builds, so these
 // differ between cold and warm runs by design. Note "cover." does not match
-// the evaluation counters "cover_eval.*" — exactly the split we want.
+// the evaluation counters "cover_eval.*" — exactly the split we want. The
+// "mem.<artifact>.bytes" footprints are recorded at build time, so they are
+// cache state too; "mem.structure.bytes" is not listed because both runs
+// materialise the same working copy.
 bool IsCacheStateMetric(const std::string& name) {
-  for (const char* prefix : {"gaifman.", "cover.", "ctx.cache."}) {
+  for (const char* prefix : {"gaifman.", "cover.", "ctx.cache.",
+                             "mem.gaifman.", "mem.cover.", "mem.spheres."}) {
     if (name.rfind(prefix, 0) == 0) return true;
   }
   return false;

@@ -15,7 +15,28 @@ namespace {
 // per-chunk bookkeeping visible.
 constexpr std::size_t kChunksPerWorker = 8;
 
+// The calling thread's chunk observer (installed by ScopedSpan in obs) and
+// this thread's pool-worker lane (set once in WorkerLoop).
+thread_local ParallelForObserver* tls_observer = nullptr;
+thread_local int tls_worker_tid = 0;
+
+std::int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+ParallelForObserver* SetParallelForObserver(ParallelForObserver* observer) {
+  ParallelForObserver* previous = tls_observer;
+  tls_observer = observer;
+  return previous;
+}
+
+ParallelForObserver* CurrentParallelForObserver() { return tls_observer; }
+
+int CurrentWorkerTid() { return tls_worker_tid; }
 
 int HardwareThreads() {
   unsigned int n = std::thread::hardware_concurrency();
@@ -118,6 +139,7 @@ ThreadPool::Stats ThreadPool::GetStats() const {
 }
 
 void ThreadPool::WorkerLoop(int self) {
+  tls_worker_tid = self + 1;  // lane 0 is reserved for callers
   for (;;) {
     std::function<void()> task;
     if (FindTask(self, &task)) {
@@ -150,10 +172,19 @@ void ParallelFor(int num_threads, std::size_t n,
   if (n == 0) return;
   const int workers = EffectiveThreads(num_threads);
   ChunkGrid grid = MakeChunkGrid(n, workers);
+  // The observer of the calling thread covers this whole fan-out: helper
+  // tasks report to it from their own threads (RecordChunk is thread-safe).
+  ParallelForObserver* observer = tls_observer;
   if (workers <= 1 || grid.num_chunks <= 1) {
     for (std::size_t c = 0; c < grid.num_chunks; ++c) {
       auto [begin, end] = grid.Bounds(c);
-      body(c, begin, end);
+      if (observer != nullptr) {
+        std::int64_t start = SteadyNowNs();
+        body(c, begin, end);
+        observer->RecordChunk(tls_worker_tid, c, start, SteadyNowNs() - start);
+      } else {
+        body(c, begin, end);
+      }
     }
     return;
   }
@@ -164,6 +195,7 @@ void ParallelFor(int num_threads, std::size_t n,
   struct State {
     ParallelChunkBody body;
     ChunkGrid grid;
+    ParallelForObserver* observer = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex mutex;
@@ -172,13 +204,21 @@ void ParallelFor(int num_threads, std::size_t n,
   auto state = std::make_shared<State>();
   state->body = body;
   state->grid = grid;
+  state->observer = observer;
 
   auto drain = [](const std::shared_ptr<State>& s) {
     for (;;) {
       std::size_t c = s->next.fetch_add(1, std::memory_order_relaxed);
       if (c >= s->grid.num_chunks) return;
       auto [begin, end] = s->grid.Bounds(c);
-      s->body(c, begin, end);
+      if (s->observer != nullptr) {
+        std::int64_t start = SteadyNowNs();
+        s->body(c, begin, end);
+        s->observer->RecordChunk(tls_worker_tid, c, start,
+                                 SteadyNowNs() - start);
+      } else {
+        s->body(c, begin, end);
+      }
       if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           s->grid.num_chunks) {
         std::lock_guard<std::mutex> lock(s->mutex);

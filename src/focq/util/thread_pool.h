@@ -121,6 +121,34 @@ class ThreadPool {
   bool stop_ = false;                    // guarded by sleep_mutex_
 };
 
+/// Observes the chunk executions of a ParallelFor, for profilers that want
+/// per-worker lanes (TraceSink implements this to tag chrome://tracing
+/// events with real worker tids). RecordChunk is invoked once per completed
+/// chunk *from the thread that ran it* and must therefore be thread-safe.
+/// `worker_tid` is 0 for the coordinating (caller) thread and pool-worker
+/// index + 1 for helpers; timestamps are raw steady-clock nanoseconds.
+/// Everything recorded here depends on scheduling and is outside the
+/// determinism contract (except the total chunk count, which is fixed by
+/// the grid).
+class ParallelForObserver {
+ public:
+  virtual ~ParallelForObserver() = default;
+  virtual void RecordChunk(int worker_tid, std::size_t chunk,
+                           std::int64_t start_ns, std::int64_t duration_ns) = 0;
+};
+
+/// Installs `observer` as the calling thread's ParallelFor observer and
+/// returns the previous one so scopes can nest (restore on exit). ParallelFor
+/// reads the observer of the *calling* thread at entry; it is intentionally
+/// not propagated to nested ParallelFor calls made from inside chunk bodies,
+/// which run with whatever (normally no) observer their thread has.
+ParallelForObserver* SetParallelForObserver(ParallelForObserver* observer);
+ParallelForObserver* CurrentParallelForObserver();
+
+/// The pool-worker lane of the current thread: worker index + 1 on a shared
+/// pool thread, 0 anywhere else (including every ParallelFor caller).
+int CurrentWorkerTid();
+
 /// The chunk body: (chunk_index, begin, end) over a half-open item range.
 using ParallelChunkBody =
     std::function<void(std::size_t, std::size_t, std::size_t)>;

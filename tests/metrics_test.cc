@@ -81,10 +81,9 @@ TEST(MetricsSink, ToJsonEscapesNames) {
   EXPECT_NE(json.find("\\\"back\\\\slash\\n"), std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"values\""), std::string::npos);
-  EXPECT_NE(
-      json.find(
-          "\"plain\": {\"count\": 1, \"sum\": 3, \"min\": 3, \"max\": 3}"),
-      std::string::npos);
+  EXPECT_NE(json.find("\"plain\": {\"count\": 1, \"sum\": 3, \"min\": 3, "
+                      "\"max\": 3, \"mean\": 3}"),
+            std::string::npos);
 }
 
 TEST(TraceSink, SpansNestAndAggregate) {
@@ -119,6 +118,63 @@ Formula ObservedCondition() {
   Var x = VarNamed("obx"), y = VarNamed("oby"), z = VarNamed("obz");
   Formula deg2 = TermEq(Count({z}, Atom("E", {y, z})), Int(2));
   return Ge1(Sub(Count({y}, And(Atom("E", {x, y}), deg2)), Int(1)));
+}
+
+TEST(TraceSink, SurplusEndIsTolerated) {
+  TraceSink sink;
+  sink.End();  // nothing open: must be a no-op, not a crash
+  sink.Begin("outer");
+  sink.Begin("inner");
+  sink.End();
+  sink.End();
+  sink.End();  // surplus again, after a balanced forest
+  sink.Begin("second");
+  sink.End();
+  std::vector<TraceSpan> spans = sink.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  ASSERT_EQ(spans[0].children.size(), 1u);
+  EXPECT_EQ(spans[0].children[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "second");
+  EXPECT_TRUE(spans[1].children.empty());
+}
+
+TEST(TraceSink, WorkerSlicesTagChunks) {
+  constexpr std::size_t kItems = 64;
+  constexpr int kThreads = 4;
+  TraceSink sink;
+  std::vector<int> out(kItems, 0);
+  {
+    ScopedSpan span(&sink, "fanout");
+    ParallelFor(kThreads, kItems,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i) out[i] = 1;
+                });
+  }
+  for (int v : out) EXPECT_EQ(v, 1);
+  // One slice per chunk of the same grid the loop ran over, each named after
+  // the innermost open span and assigned a lane in [0, workers].
+  ChunkGrid grid = MakeChunkGrid(kItems, kThreads);
+  std::vector<WorkerSlice> slices = sink.Slices();
+  ASSERT_EQ(slices.size(), grid.num_chunks);
+  for (const WorkerSlice& slice : slices) {
+    EXPECT_EQ(slice.span_name, "fanout");
+    EXPECT_GE(slice.tid, 0);
+    EXPECT_LE(slice.tid, EffectiveThreads(kThreads));
+    EXPECT_GE(slice.duration_ns, 0);
+  }
+  // The Chrome export names the worker lanes and keeps spans at tid 0.
+  std::string chrome = sink.ToChromeTracing();
+  EXPECT_NE(chrome.find("thread_name"), std::string::npos);
+  EXPECT_NE(chrome.find("fanout.chunk"), std::string::npos);
+
+  // Outside any ParallelFor the observer must be uninstalled again: a second
+  // loop with no open span records no further slices.
+  ParallelFor(kThreads, kItems,
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) out[i] = 2;
+              });
+  EXPECT_EQ(sink.Slices().size(), grid.num_chunks);
 }
 
 TEST(Observability, SinksDoNotChangeResults) {

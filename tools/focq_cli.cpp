@@ -32,6 +32,19 @@
 //                      ({"counters","values","phase_ns","pool"})
 //   --trace-json       write the phase-span forest as JSON: nested "spans"
 //                      plus chrome://tracing / Perfetto "traceEvents"
+//   --explain          print the compiled plan tree (formula -> layers ->
+//                      marker relations -> cl-terms -> residual) WITHOUT
+//                      evaluating. Not available with --batch
+//   --explain-analyze  evaluate, then print the plan tree annotated with
+//                      per-node wall time, peak bytes and deterministic
+//                      pipeline counters. With --batch each statement gets
+//                      its own "query"/"check"/... root; cached-artifact
+//                      builds (Gaifman graph, covers, sphere typings) appear
+//                      as root-level "artifact" nodes charged to the
+//                      statement that missed the cache
+//   --explain-json     write the explain document as JSON
+//                      ({"explain":{"analyzed","nodes":[...]}}); implies
+//                      --explain-analyze unless --explain was given
 //
 // Examples:
 //   focq_cli graph.fs --check 'exists x. @eq(#(y). (E(x, y)), 4)'
@@ -66,6 +79,8 @@ int Usage() {
                "usage: focq_cli <structure-file> [--edges] "
                "[--engine naive|local|cover] [--threads N] [--stats]\n"
                "                [--metrics-json PATH] [--trace-json PATH]\n"
+               "                [--explain | --explain-analyze] "
+               "[--explain-json PATH]\n"
                "                (--check S | --count F | --term T "
                "| --batch FILE)\n");
   return 2;
@@ -92,6 +107,9 @@ int main(int argc, char** argv) {
   std::string mode, query_text;
   std::string batch_path;
   std::string metrics_path, trace_path;
+  bool explain = false;
+  bool explain_analyze = false;
+  std::string explain_json_path;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -123,6 +141,16 @@ int main(int argc, char** argv) {
       trace_path = v;
     } else if (arg.rfind("--trace-json=", 0) == 0) {
       trace_path = arg.substr(std::string("--trace-json=").size());
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--explain-analyze") {
+      explain_analyze = true;
+    } else if (arg == "--explain-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      explain_json_path = v;
+    } else if (arg.rfind("--explain-json=", 0) == 0) {
+      explain_json_path = arg.substr(std::string("--explain-json=").size());
     } else if (arg == "--batch") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -162,12 +190,28 @@ int main(int argc, char** argv) {
     return Fail("unknown engine '" + engine_name + "'");
   }
 
+  if (explain && explain_analyze) {
+    return Fail("--explain and --explain-analyze are mutually exclusive");
+  }
+  if (!explain_json_path.empty() && !explain) explain_analyze = true;
+  if (explain && !batch_path.empty()) {
+    return Fail("--explain needs a single statement; "
+                "use --explain-analyze with --batch");
+  }
+
   MetricsSink metrics_sink;
   TraceSink trace_sink;
+  ExplainSink explain_sink;
   if (!metrics_path.empty() || stats) options.metrics = &metrics_sink;
   // The metrics document embeds per-phase wall time, so tracing is on for
   // either export.
   if (!trace_path.empty() || !metrics_path.empty()) options.trace = &trace_sink;
+  if (explain_analyze) {
+    options.explain = &explain_sink;
+    // Per-node counters are deltas of the flat sink, so analysis always
+    // installs it.
+    options.metrics = &metrics_sink;
+  }
 
   Result<Structure> structure = [&]() -> Result<Structure> {
     if (!edges) return ReadStructureFile(path);
@@ -193,6 +237,14 @@ int main(int argc, char** argv) {
 
   // Shared epilogue: pool statistics under --stats, JSON exports when asked.
   auto finish = [&](int rc) {
+    if (explain_analyze) {
+      ExplainReport report = explain_sink.Snapshot();
+      std::printf("%s", report.ToText().c_str());
+      if (!explain_json_path.empty() &&
+          !WriteFile(explain_json_path, ComposeExplainJson(report))) {
+        return Fail("cannot write '" + explain_json_path + "'");
+      }
+    }
     if (stats) {
       for (const auto& [name, value] : metrics_sink.Snapshot().counters) {
         std::printf("metric %s = %lld\n", name.c_str(),
@@ -221,6 +273,35 @@ int main(int argc, char** argv) {
     }
     return rc;
   };
+
+  // Plain EXPLAIN: compile, materialise the plan tree, print, done — the
+  // structure is never touched beyond its signature.
+  if (explain) {
+    Result<EvalPlan> plan = [&]() -> Result<EvalPlan> {
+      if (mode == "--term") {
+        Result<Term> term = ParseTerm(query_text);
+        if (!term.ok()) return term.status();
+        Status symbols = CheckSymbols(*term, structure->signature());
+        if (!symbols.ok()) return symbols;
+        return CompileTerm(*term, structure->signature());
+      }
+      Result<Formula> formula = ParseFormula(query_text);
+      if (!formula.ok()) return formula.status();
+      Status symbols = CheckSymbols(*formula, structure->signature());
+      if (!symbols.ok()) return symbols;
+      return CompileFormula(*formula, structure->signature());
+    }();
+    if (!plan.ok()) return Fail(plan.status().ToString());
+    print_stats(plan);
+    RegisterPlanNodes(&explain_sink, *plan, -1);
+    ExplainReport report = explain_sink.Snapshot();
+    std::printf("%s", report.ToText().c_str());
+    if (!explain_json_path.empty() &&
+        !WriteFile(explain_json_path, ComposeExplainJson(report))) {
+      return Fail("cannot write '" + explain_json_path + "'");
+    }
+    return 0;
+  }
 
   if (!batch_path.empty()) {
     std::ifstream batch_in(batch_path);

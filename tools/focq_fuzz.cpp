@@ -6,7 +6,7 @@
 //
 // Usage:
 //   focq_fuzz [--seed S] [--cases N] [--max-universe M] [--class NAME]
-//             [--time-budget SECONDS] [--out DIR] [--dump]
+//             [--time-budget SECONDS] [--out DIR] [--dump] [--stats]
 //   focq_fuzz --replay FILE...      replay .case files (regression check)
 //   focq_fuzz --corpus DIR          replay every .case file in a directory
 //   focq_fuzz --self-test           inject a miscounting engine and verify
@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "focq/obs/metrics.h"
 #include "focq/testing/case_io.h"
 #include "focq/testing/differential.h"
 #include "focq/testing/shrink.h"
@@ -41,7 +42,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: focq_fuzz [--seed S] [--cases N] [--max-universe M]\n"
                "                 [--class NAME] [--time-budget SECONDS]\n"
-               "                 [--out DIR] [--dump]\n"
+               "                 [--out DIR] [--dump] [--stats]\n"
                "       focq_fuzz --replay FILE...\n"
                "       focq_fuzz --corpus DIR\n"
                "       focq_fuzz --self-test\n"
@@ -184,6 +185,7 @@ int main(int argc, char** argv) {
   std::string corpus_dir;
   bool self_test = false;
   bool dump = false;
+  bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -242,6 +244,8 @@ int main(int argc, char** argv) {
       self_test = true;
     } else if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else {
       return Usage();
     }
@@ -273,6 +277,7 @@ int main(int argc, char** argv) {
 
   auto start = std::chrono::steady_clock::now();
   Rng rng(seed);
+  MetricsSink case_metrics;  // per-case wall-time distribution (--stats)
   std::size_t executed = 0;
   for (std::size_t i = 0; i < cases; ++i) {
     if (time_budget_s > 0) {
@@ -287,7 +292,14 @@ int main(int argc, char** argv) {
     if (dump) {
       std::printf("--- case %zu ---\n%s", i, WriteCase(c).c_str());
     }
+    auto case_start = std::chrono::steady_clock::now();
     std::optional<DiffFailure> failure = RunCase(c, config);
+    if (stats) {
+      auto case_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - case_start)
+                         .count();
+      case_metrics.RecordValue("fuzz.case_ns", case_ns);
+    }
     if (failure.has_value()) {
       return ReportFailure(*failure, config, out_dir, seed, i);
     }
@@ -298,5 +310,16 @@ int main(int argc, char** argv) {
   }
   std::printf("all %zu cases agree (seed %llu)\n", executed,
               static_cast<unsigned long long>(seed));
+  if (stats && executed > 0) {
+    ValueStats wall = case_metrics.Snapshot().values["fuzz.case_ns"];
+    double total_s = static_cast<double>(wall.sum) / 1e9;
+    std::printf(
+        "stats: %lld cases in %.3f s (%.1f cases/s); per case "
+        "mean %.3f ms, min %.3f ms, max %.3f ms\n",
+        static_cast<long long>(wall.count), total_s,
+        total_s > 0 ? static_cast<double>(wall.count) / total_s : 0.0,
+        wall.Mean() / 1e6, static_cast<double>(wall.min) / 1e6,
+        static_cast<double>(wall.max) / 1e6);
+  }
   return 0;
 }
