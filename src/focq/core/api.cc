@@ -451,4 +451,18 @@ std::vector<Result<QueryResult>> EvaluateQueries(
   return results;
 }
 
+Result<UpdateStats> Session::ApplyUpdate(const TupleUpdate& u) {
+  if (mutable_a_ == nullptr) {
+    return Status::Unsupported(
+        "session is read-only: construct Session(Structure*) to apply "
+        "updates");
+  }
+  ArtifactOptions opts;
+  opts.num_threads = options_.num_threads;
+  opts.metrics = options_.metrics;
+  opts.trace = options_.trace;
+  opts.explain = options_.explain;
+  return context_.ApplyUpdate(mutable_a_, u, opts);
+}
+
 }  // namespace focq

@@ -87,21 +87,40 @@ std::vector<Result<QueryResult>> EvaluateQueries(
 /// A long-lived evaluation session over one structure: the facade for
 /// serving workloads. Owns an EvalContext and threads it through every call,
 /// so N queries pay for each artifact once. The structure must outlive the
-/// session and stay unmodified. Thread-compatible; concurrent sessions may
-/// share a structure (each owns its own context) but a single Session should
-/// be driven from one thread at a time.
+/// session and stay unmodified *except through ApplyUpdate* (available when
+/// the session was constructed over a mutable structure), which repairs the
+/// cached artifacts in place instead of rebuilding them (DESIGN.md §3e).
+/// Thread-compatible; concurrent sessions may share a structure (each owns
+/// its own context — but then none of them may update it) and a single
+/// Session should be driven from one thread at a time.
 class Session {
  public:
   /// `defaults` seeds the per-call options (engine, term engine, threads,
   /// sinks); its `context` field is ignored — the session installs its own.
+  /// A session over a const structure is read-only: ApplyUpdate fails with
+  /// kUnsupported.
   explicit Session(const Structure& a, const EvalOptions& defaults = {})
       : a_(&a), options_(defaults), context_(a) {
+    options_.context = &context_;
+  }
+
+  /// A read-write session: same as above, plus ApplyUpdate.
+  explicit Session(Structure* a, const EvalOptions& defaults = {})
+      : a_(a), mutable_a_(a), options_(defaults), context_(*a) {
     options_.context = &context_;
   }
 
   const Structure& structure() const { return *a_; }
   EvalContext& context() { return context_; }
   const EvalOptions& options() const { return options_; }
+
+  /// Applies one tuple-level update to the live structure and incrementally
+  /// repairs the session's cached artifacts (see EvalContext::ApplyUpdate
+  /// for the full update/invalidate contract). Subsequent evaluations
+  /// observe the updated structure and reuse every artifact that survived.
+  /// Fails with kUnsupported on a read-only session; validation errors
+  /// (unknown symbol, arity, bounds) leave everything untouched.
+  Result<UpdateStats> ApplyUpdate(const TupleUpdate& u);
 
   Result<bool> ModelCheck(const Formula& sentence) {
     return focq::ModelCheck(sentence, *a_, options_);
@@ -122,6 +141,7 @@ class Session {
 
  private:
   const Structure* a_;
+  Structure* mutable_a_ = nullptr;  // non-null iff constructed read-write
   EvalOptions options_;
   EvalContext context_;
 };

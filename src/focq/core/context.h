@@ -34,6 +34,8 @@
 #include "focq/obs/explain.h"
 #include "focq/obs/metrics.h"
 #include "focq/obs/trace.h"
+#include "focq/structure/update.h"
+#include "focq/util/status.h"
 
 namespace focq {
 
@@ -59,15 +61,29 @@ struct ArtifactOptions {
   ExplainSink* explain = nullptr;  // not owned; may be null
 };
 
+/// Per-update repair telemetry, the value half of ApplyUpdate. Every field
+/// is determined by (structure, update, cache contents) alone, independent of
+/// thread count — the repair itself is serial.
+struct UpdateStats {
+  bool changed = false;                   // did the structure actually change
+  std::int64_t edges_added = 0;           // Gaifman edges created
+  std::int64_t edges_removed = 0;         // Gaifman edges destroyed
+  std::int64_t clusters_rebuilt = 0;      // cover clusters recomputed in place
+  std::int64_t clusters_added = 0;        // sparse-cover centre promotions
+  std::int64_t elements_retyped = 0;      // sphere types recomputed
+  std::int64_t artifacts_invalidated = 0; // cache entries dropped wholesale
+};
+
 /// Reusable per-structure artifact cache. Thread-safe (getters may race from
 /// concurrent sessions over the same context); references returned by the
 /// getters are stable for the lifetime of the context — artifacts are built
-/// at most once and never evicted or mutated.
+/// at most once and never evicted, and mutate only under ApplyUpdate (see
+/// below for the exact reference-stability contract under updates).
 class EvalContext {
  public:
   /// Borrows `a`, which must outlive the context and stay unmodified for as
   /// long as artifacts are requested (cached artifacts would silently go
-  /// stale otherwise).
+  /// stale otherwise). The one sanctioned mutation path is ApplyUpdate.
   explicit EvalContext(const Structure& a) : a_(&a) {}
 
   EvalContext(const EvalContext&) = delete;
@@ -91,6 +107,47 @@ class EvalContext {
   const SphereTypeAssignment& SphereTypes(std::uint32_t radius,
                                           const ArtifactOptions& opts = {});
 
+  /// Applies one tuple-level update to the structure AND incrementally
+  /// repairs every cached artifact (DESIGN.md §3e). `a` must be the very
+  /// structure this context was built over (passed mutably to make the
+  /// aliasing explicit at the call site). Validation failures (unknown
+  /// symbol, arity mismatch, out-of-universe element) are reported via
+  /// Status and leave structure and caches untouched.
+  ///
+  /// Repair strategy — the update/invalidate contract:
+  ///   * Gaifman graph: edge deltas from per-pair tuple support counts,
+  ///     applied in place. Bit-identical to a rebuild.
+  ///   * Exact covers (radius r): clusters of every vertex within distance r
+  ///     (old or new graph) of the updated tuple's elements are recomputed.
+  ///     Bit-identical to a rebuild.
+  ///   * Sparse covers (radius r): clusters of centres within 2r are
+  ///     recomputed; affected vertices keep their centre if it is still
+  ///     within distance r, else reassign to the nearest centre in their
+  ///     r-ball, else are promoted to a new centre. The result is a valid
+  ///     (r, 2r)-cover (CheckCoverInvariants passes) but not necessarily the
+  ///     cover a cold greedy rebuild would produce — answers are identical
+  ///     because cover-based evaluation is correct for *any* valid cover.
+  ///   * Sphere types (radius r): elements within distance r (old or new) of
+  ///     the tuple's elements are retyped against the existing registry
+  ///     (which only grows). The partition matches a rebuild; the dense type
+  ///     ids may be numbered differently — answers do not depend on ids.
+  ///   * Fallback: when an artifact's affected region exceeds half the
+  ///     universe, or the update touches a nullary fact (which every sphere
+  ///     embeds), the cache entry is dropped instead of repaired and the
+  ///     next access rebuilds it (counter: cache.invalidated.*).
+  ///
+  /// Reference stability under updates: in-place repairs keep previously
+  /// returned references valid (artifact slots are mutated, never moved);
+  /// a *dropped* entry invalidates its references. Callers that hold
+  /// references across ApplyUpdate must re-fetch after any update — the
+  /// engines do this naturally by fetching per evaluation call.
+  ///
+  /// Not thread-safe against concurrent evaluation: callers must quiesce
+  /// queries on this context for the duration of the call (it takes the
+  /// cache mutex, but engines hold artifact references outside it).
+  Result<UpdateStats> ApplyUpdate(Structure* a, const TupleUpdate& u,
+                                  const ArtifactOptions& opts = {});
+
   /// Cache observability: lookups served from cache, builds performed, and
   /// an approximate footprint of everything cached so far.
   struct CacheStats {
@@ -110,12 +167,20 @@ class EvalContext {
   void RecordHit(const ArtifactOptions& opts);
   void RecordMiss(const ArtifactOptions& opts, std::int64_t bytes);
 
+  /// Recomputes stats_.bytes as the current footprint of everything cached
+  /// (repairs and drops can shrink it, unlike the build-only accumulation).
+  void RecomputeBytes();
+
   const Structure* a_;
   mutable std::mutex mutex_;
   std::optional<Graph> gaifman_;
   // std::map: references stay valid across later insertions.
   std::map<std::pair<std::uint32_t, int>, NeighborhoodCover> covers_;
   std::map<std::uint32_t, SphereTypeAssignment> spheres_;
+  // Tuple-pair support counts backing incremental Gaifman repair; engaged by
+  // the first ApplyUpdate that finds a cached graph, from the pre-update
+  // structure, and kept in sync by every subsequent update.
+  std::optional<GaifmanMaintainer> maintainer_;
   CacheStats stats_;
 };
 

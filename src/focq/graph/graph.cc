@@ -27,6 +27,35 @@ void Graph::Finalize() {
   finalized_ = true;
 }
 
+bool Graph::InsertEdge(VertexId u, VertexId v) {
+  FOCQ_CHECK(finalized_);
+  FOCQ_CHECK_LT(u, adj_.size());
+  FOCQ_CHECK_LT(v, adj_.size());
+  if (u == v) return false;
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it != adj_[u].end() && *it == v) return false;
+  adj_[u].insert(it, v);
+  auto jt = std::lower_bound(adj_[v].begin(), adj_[v].end(), u);
+  adj_[v].insert(jt, u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::EraseEdge(VertexId u, VertexId v) {
+  FOCQ_CHECK(finalized_);
+  FOCQ_CHECK_LT(u, adj_.size());
+  FOCQ_CHECK_LT(v, adj_.size());
+  if (u == v) return false;
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it == adj_[u].end() || *it != v) return false;
+  adj_[u].erase(it);
+  auto jt = std::lower_bound(adj_[v].begin(), adj_[v].end(), u);
+  FOCQ_CHECK(jt != adj_[v].end() && *jt == u);
+  adj_[v].erase(jt);
+  --num_edges_;
+  return true;
+}
+
 std::size_t Graph::MaxDegree() const {
   std::size_t best = 0;
   for (const auto& list : adj_) best = std::max(best, list.size());

@@ -45,6 +45,15 @@ class Graph {
 
   bool finalized() const { return finalized_; }
 
+  /// Inserts the edge {u, v} into a finalized graph, keeping adjacency lists
+  /// sorted (the incremental Gaifman-repair path, DESIGN.md §3e). Self-loops
+  /// and existing edges are no-ops. Returns true iff the edge was added.
+  bool InsertEdge(VertexId u, VertexId v);
+
+  /// Removes the edge {u, v} from a finalized graph, keeping adjacency lists
+  /// sorted. Returns true iff the edge existed.
+  bool EraseEdge(VertexId u, VertexId v);
+
   /// Neighbours of `v` in increasing order (valid after Finalize()).
   const std::vector<VertexId>& Neighbors(VertexId v) const { return adj_[v]; }
 

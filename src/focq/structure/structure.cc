@@ -13,6 +13,14 @@ bool Relation::Add(Tuple t) {
   return inserted;
 }
 
+bool Relation::Remove(const Tuple& t) {
+  if (lookup_.erase(t) == 0) return false;
+  auto it = std::find(tuples_.begin(), tuples_.end(), t);
+  FOCQ_CHECK(it != tuples_.end());
+  tuples_.erase(it);
+  return true;
+}
+
 Structure::Structure(Signature sig, std::size_t universe_size)
     : sig_(std::move(sig)), universe_size_(universe_size) {
   relations_.reserve(sig_.NumSymbols());
@@ -46,6 +54,18 @@ void Structure::AddTuple(SymbolId id, Tuple t) {
   FOCQ_CHECK_LT(id, relations_.size());
   for (ElemId e : t) FOCQ_CHECK_LT(e, universe_size_);
   relations_[id].Add(std::move(t));
+}
+
+bool Structure::InsertTuple(SymbolId id, Tuple t) {
+  FOCQ_CHECK_LT(id, relations_.size());
+  for (ElemId e : t) FOCQ_CHECK_LT(e, universe_size_);
+  return relations_[id].Add(std::move(t));
+}
+
+bool Structure::DeleteTuple(SymbolId id, const Tuple& t) {
+  FOCQ_CHECK_LT(id, relations_.size());
+  for (ElemId e : t) FOCQ_CHECK_LT(e, universe_size_);
+  return relations_[id].Remove(t);
 }
 
 bool Structure::NullaryHolds(SymbolId id) const {

@@ -32,6 +32,12 @@ class Relation {
   /// Inserts `t`; duplicate inserts are ignored. Returns true if inserted.
   bool Add(Tuple t);
 
+  /// Removes `t` if present. Returns true if removed. The flat tuple list
+  /// keeps its relative order (stable erase) so that a structure mutated by
+  /// delete+reinsert round-trips identically through iteration-order
+  /// consumers such as the Gaifman builder.
+  bool Remove(const Tuple& t);
+
   bool Contains(const Tuple& t) const { return lookup_.contains(t); }
 
   /// Approximate resident footprint in bytes: payload of every tuple, twice
@@ -76,6 +82,12 @@ class Structure {
   /// Adds a tuple to relation `id`; element ids must be < universe_size and
   /// the tuple length must match the symbol's arity.
   void AddTuple(SymbolId id, Tuple t);
+
+  /// Tuple-level update entry points (DESIGN.md §3e). Same validation as
+  /// AddTuple; both are no-ops (returning false) when the tuple is already
+  /// present / absent, so callers can distinguish real changes from no-ops.
+  bool InsertTuple(SymbolId id, Tuple t);
+  bool DeleteTuple(SymbolId id, const Tuple& t);
 
   /// Membership test, the semantics of atomic formulas.
   bool Holds(SymbolId id, const Tuple& t) const {

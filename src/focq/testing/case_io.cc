@@ -20,6 +20,9 @@ std::string WriteCase(const DiffCase& c) {
   for (const Term& t : c.head_terms) {
     out += "headterm " + ToString(t) + "\n";
   }
+  for (const TupleUpdate& u : c.updates) {
+    out += "update " + UpdateToString(u, c.structure.signature()) + "\n";
+  }
   out += "structure\n";
   out += WriteStructure(c.structure);
   return out;
@@ -32,6 +35,7 @@ Result<DiffCase> ReadCase(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   std::ostringstream structure_text;
+  std::vector<std::string> raw_updates;
   bool in_structure = false;
   while (std::getline(in, line)) {
     if (in_structure) {
@@ -70,6 +74,10 @@ Result<DiffCase> ReadCase(const std::string& text) {
       Result<Term> t = ParseTerm(rest);
       if (!t.ok()) return t.status();
       c.head_terms.push_back(*t);
+    } else if (key == "update") {
+      // Updates reference relation symbols, so parsing must wait until the
+      // structure section below supplies the signature.
+      raw_updates.push_back(rest);
     } else if (key == "structure") {
       in_structure = true;
     } else {
@@ -91,6 +99,17 @@ Result<DiffCase> ReadCase(const std::string& text) {
   Result<Structure> a = ReadStructure(structure_text.str());
   if (!a.ok()) return a.status();
   c.structure = *a;
+  for (const std::string& raw : raw_updates) {
+    Result<TupleUpdate> u = ParseUpdate(raw, c.structure.signature());
+    if (!u.ok()) return u.status();
+    for (ElemId e : u->tuple) {
+      if (e >= c.structure.universe_size()) {
+        return Status::OutOfRange("update element " + std::to_string(e) +
+                                  " outside universe in '" + raw + "'");
+      }
+    }
+    c.updates.push_back(*u);
+  }
   return c;
 }
 
@@ -129,6 +148,13 @@ std::string CaseToCppSnippet(const DiffCase& c) {
         out += std::to_string(t[i]);
       }
       out += "});\n";
+    }
+  }
+  if (!c.updates.empty()) {
+    out += "// Update sequence: apply each via Session(&a).ApplyUpdate and\n";
+    out += "// re-compare engines after every step.\n";
+    for (const TupleUpdate& u : c.updates) {
+      out += "//   " + UpdateToString(u, sig) + "\n";
     }
   }
   if (c.mode == CaseMode::kTerm) {

@@ -7,6 +7,7 @@
 //   mode count                     -- check | count | term | query
 //   formula <one line of syntax>   -- or: term <one line>  (mode term)
 //   headterm <one line>            -- 0+ lines, query mode only
+//   update insert E 0 1            -- 0+ lines: update-sequence mode
 //   structure
 //   universe 5
 //   relation E 2
@@ -14,7 +15,11 @@
 //   ...
 //
 // Everything after the `structure` line is the focq/structure/io.h text
-// format. Formulas/terms round-trip through the printer and parser.
+// format (update lines must precede it — the section swallows the rest of
+// the file). Formulas/terms round-trip through the printer and parser;
+// update lines are parsed against the structure's signature after the
+// structure section is read. See tests/corpus/README.md for the
+// field-by-field reference.
 #ifndef FOCQ_TESTING_CASE_IO_H_
 #define FOCQ_TESTING_CASE_IO_H_
 

@@ -172,10 +172,85 @@ EvalMetrics StripCacheStateMetrics(EvalMetrics m) {
   return m;
 }
 
+// Update mode: every subject variant shares one EvalContext across the whole
+// sequence — primed on the initial structure, repaired in place by
+// EvalContext::ApplyUpdate after every step — while the oracle re-evaluates
+// naively on a freshly updated copy. Incremental warm answers must be
+// bit-identical to the cold rebuild at every step, for every engine and
+// thread count.
+std::optional<DiffFailure> RunUpdateCase(const DiffCase& c,
+                                         const DiffConfig& config) {
+  auto subject = config.subject
+                     ? config.subject
+                     : [](const DiffCase& cs, const EvalOptions& options) {
+                         return RunSubject(cs, options);
+                       };
+
+  EvalOptions oracle_options;
+  oracle_options.engine = Engine::kNaive;
+  oracle_options.num_threads = 1;
+  // oracle_steps[0]: before any update; oracle_steps[i + 1]: after update i.
+  std::vector<Outcome> oracle_steps;
+  {
+    DiffCase scratch = c;
+    scratch.updates.clear();
+    oracle_steps.push_back(RunSubject(scratch, oracle_options));
+    for (const TupleUpdate& u : c.updates) {
+      Result<bool> changed = ApplyToStructure(&scratch.structure, u);
+      FOCQ_CHECK(changed.ok());  // generator/shrinker only emit valid updates
+      oracle_steps.push_back(RunSubject(scratch, oracle_options));
+    }
+  }
+
+  for (TermEngine term_engine : config.term_engines) {
+    for (int threads : config.thread_counts) {
+      DiffCase scratch = c;
+      scratch.updates.clear();
+      EvalContext ctx(scratch.structure);
+      EvalOptions options;
+      options.engine = Engine::kLocal;
+      options.term_engine = term_engine;
+      options.num_threads = threads;
+      options.context = &ctx;
+      ArtifactOptions repair_options;
+      repair_options.num_threads = threads;
+      for (std::size_t step = 0; step < oracle_steps.size(); ++step) {
+        if (step > 0) {
+          const TupleUpdate& u = c.updates[step - 1];
+          Result<UpdateStats> applied =
+              ctx.ApplyUpdate(&scratch.structure, u, repair_options);
+          FOCQ_CHECK(applied.ok());
+        }
+        Outcome got = subject(scratch, options);
+        if (Agrees(oracle_steps[step], got)) continue;
+        DiffFailure failure;
+        std::string where =
+            step == 0 ? "initial evaluation"
+                      : "after update " + std::to_string(step - 1) + " (" +
+                            UpdateToString(c.updates[step - 1],
+                                           c.structure.signature()) +
+                            ")";
+        failure.description =
+            CaseHeadline(c) + "\n  update mode, " + where +
+            "\n  variant: engine=local term_engine=" +
+            TermEngineName(term_engine) +
+            " threads=" + std::to_string(threads) +
+            "\n  oracle (naive, cold rebuild): " +
+            OutcomeToString(oracle_steps[step]) +
+            "\n  subject (warm incremental):   " + OutcomeToString(got);
+        failure.c = c;
+        return failure;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::optional<DiffFailure> RunCase(const DiffCase& c,
                                    const DiffConfig& config) {
+  if (!c.updates.empty()) return RunUpdateCase(c, config);
   auto subject = config.subject
                      ? config.subject
                      : [](const DiffCase& cs, const EvalOptions& options) {
@@ -364,6 +439,33 @@ DiffCase GenerateCase(const StructureGenOptions& structure_options,
   }
   BoundUniverse(&c);
   return c;
+}
+
+void AppendRandomUpdates(DiffCase* c, std::size_t count, Rng* rng) {
+  const Signature& sig = c->structure.signature();
+  const std::size_t n = c->structure.universe_size();
+  if (sig.NumSymbols() == 0) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    TupleUpdate u;
+    u.symbol = static_cast<SymbolId>(rng->NextBelow(sig.NumSymbols()));
+    const int arity = sig.Arity(u.symbol);
+    u.kind = rng->NextBool(0.5) ? UpdateKind::kDelete : UpdateKind::kInsert;
+    const auto& existing = c->structure.relation(u.symbol).tuples();
+    if (u.kind == UpdateKind::kDelete && !existing.empty() &&
+        rng->NextBool(0.75)) {
+      // Bias deletes toward tuples of the initial structure so sequences
+      // exercise real removals (later steps may have deleted them already —
+      // then this is a legitimate no-op case).
+      u.tuple = existing[rng->NextBelow(existing.size())];
+    } else if (arity > 0 && n == 0) {
+      continue;  // no elements to form a tuple from
+    } else {
+      for (int j = 0; j < arity; ++j) {
+        u.tuple.push_back(static_cast<ElemId>(rng->NextBelow(n)));
+      }
+    }
+    c->updates.push_back(std::move(u));
+  }
 }
 
 }  // namespace focq::fuzz

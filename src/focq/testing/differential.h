@@ -19,6 +19,7 @@
 #include "focq/eval/query.h"
 #include "focq/logic/expr.h"
 #include "focq/structure/structure.h"
+#include "focq/structure/update.h"
 #include "focq/testing/formula_gen.h"
 #include "focq/testing/structure_gen.h"
 #include "focq/util/rng.h"
@@ -43,6 +44,11 @@ struct DiffCase {
   Term term;                    // kTerm
   std::vector<Term> head_terms; // kQuery only (free vars within head vars)
   Structure structure{Signature{}, 1};
+  // Update-sequence mode (non-empty): the expression is evaluated on the
+  // initial structure and re-evaluated after every update. The subject runs
+  // warm through one EvalContext repaired by ApplyUpdate; the oracle
+  // rebuilds from scratch per step. Answers must be bit-identical.
+  std::vector<TupleUpdate> updates;
 
   /// The query evaluated in kQuery mode: head variables are the sorted free
   /// variables of the condition and the head terms (recomputed on the fly so
@@ -95,7 +101,20 @@ struct DiffConfig {
 /// variant of the subject. Returns nullopt on full agreement. Cases where
 /// the *oracle* itself fails (e.g. arithmetic overflow on an adversarial
 /// term) still require the subject to fail with the same status code.
+///
+/// With a non-empty update sequence the case runs in update mode instead:
+/// the oracle applies each update to a fresh copy and re-evaluates naively
+/// from scratch, while every subject variant threads one EvalContext through
+/// EvalContext::ApplyUpdate and re-evaluates warm. Any per-step disagreement
+/// is a failure (the incremental≡rebuild invariant of DESIGN.md §3e).
+/// compare_metrics / warm_context do not apply in update mode — repair
+/// counters legitimately differ from a cold build.
 std::optional<DiffFailure> RunCase(const DiffCase& c, const DiffConfig& config);
+
+/// Appends `count` random tuple updates to the case: uniform over symbols
+/// and insert/delete, with deletes biased toward tuples actually present so
+/// sequences exercise real removals, not just no-ops.
+void AppendRandomUpdates(DiffCase* c, std::size_t count, Rng* rng);
 
 /// Draws a random case: structure from `structure_options`, expression from
 /// a FormulaGenerator over the structure's signature, mode uniform over the

@@ -113,6 +113,45 @@ Structure DropVertex(const Structure& a, ElemId v) {
 
 namespace {
 
+// Rewrites an update sequence after vertex `v` was dropped: updates whose
+// tuple mentions v are removed (their target element no longer exists),
+// every id above v shifts down by one (Induced renumbering).
+void RemapUpdatesAfterVertexDrop(std::vector<TupleUpdate>* updates, ElemId v) {
+  std::vector<TupleUpdate> kept;
+  kept.reserve(updates->size());
+  for (TupleUpdate& u : *updates) {
+    if (std::find(u.tuple.begin(), u.tuple.end(), v) != u.tuple.end()) {
+      continue;
+    }
+    for (ElemId& e : u.tuple) {
+      if (e > v) --e;
+    }
+    kept.push_back(std::move(u));
+  }
+  *updates = std::move(kept);
+}
+
+// One pass dropping whole updates — the coarsest reduction of an
+// update-sequence case, tried before structural shrinking so the repro keeps
+// only the steps that matter.
+bool ShrinkUpdateStep(DiffCase* c,
+                      const std::function<bool(const DiffCase&)>& fails,
+                      const ShrinkLimits& limits, ShrinkStats* stats) {
+  for (std::size_t i = 0; i < c->updates.size(); ++i) {
+    if (stats->evaluations >= limits.max_evaluations) return false;
+    DiffCase candidate = *c;
+    candidate.updates.erase(candidate.updates.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    ++stats->evaluations;
+    if (fails(candidate)) {
+      *c = std::move(candidate);
+      ++stats->reductions;
+      return true;
+    }
+  }
+  return false;
+}
+
 // One pass of structure reductions; returns true when a reduction applied.
 bool ShrinkStructureStep(DiffCase* c,
                          const std::function<bool(const DiffCase&)>& fails,
@@ -124,6 +163,7 @@ bool ShrinkStructureStep(DiffCase* c,
     if (stats->evaluations >= limits.max_evaluations) return false;
     DiffCase candidate = *c;
     candidate.structure = DropVertex(c->structure, v);
+    RemapUpdatesAfterVertexDrop(&candidate.updates, v);
     ++stats->evaluations;
     if (fails(candidate)) {
       *c = std::move(candidate);
@@ -223,7 +263,10 @@ DiffCase Shrink(const DiffCase& c,
   DiffCase current = c;
   bool progress = true;
   while (progress && stats->evaluations < limits.max_evaluations) {
-    progress = ShrinkStructureStep(&current, still_fails, limits, stats);
+    progress = ShrinkUpdateStep(&current, still_fails, limits, stats);
+    if (!progress) {
+      progress = ShrinkStructureStep(&current, still_fails, limits, stats);
+    }
     if (!progress) {
       progress = ShrinkExprStep(&current, still_fails, limits, stats);
     }

@@ -1,7 +1,8 @@
-// Greedy shrinking of failing differential cases: minimise the structure
-// (vertex deletion, tuple deletion) and the expression (subtree replacement
-// by constants, child promotion, quantifier stripping) while the failure
-// predicate keeps holding. Every reduction preserves well-formedness and
+// Greedy shrinking of failing differential cases: minimise the update
+// sequence (whole-update dropping), the structure (vertex deletion — which
+// remaps the surviving updates' element ids — and tuple deletion) and the
+// expression (subtree replacement by constants, child promotion, quantifier
+// stripping) while the failure predicate keeps holding. Every reduction preserves well-formedness and
 // FOC1(P) membership and can only remove free variables, so a shrunk case is
 // always replayable through the same driver.
 #ifndef FOCQ_TESTING_SHRINK_H_

@@ -127,6 +127,42 @@ TEST_F(CliExitTest, MalformedStructureExitsOne) {
   EXPECT_EQ(CountLines(r.output), 1) << r.output;
 }
 
+TEST_F(CliExitTest, UpdateFlagAppliesBeforeEvaluation) {
+  RunResult r = RunCli(structure_path_ +
+                       " --update 'insert E 1 2' --update 'insert E 1 2'"
+                       " --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("update: insert E 1 2 (applied)"),
+            std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("update: insert E 1 2 (noop)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("solutions: 3"), std::string::npos) << r.output;
+}
+
+TEST_F(CliExitTest, MalformedUpdateSpecExitsOne) {
+  RunResult r = RunCli(structure_path_ +
+                       " --update 'insert Q 0' --count 'true'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("--update 'insert Q 0'"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliExitTest, BatchUpdateLinesMutateTheSharedSession) {
+  std::string batch_path = (dir_ / "workload.txt").string();
+  std::ofstream(batch_path) << "count E(x, y)\n"
+                            << "update insert E 2 0\n"
+                            << "count E(x, y)\n"
+                            << "update delete E 2 0\n"
+                            << "count E(x, y)\n";
+  RunResult r = RunCli(structure_path_ + " --batch " + batch_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("line 1: count: 2"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("line 2: update: applied"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("line 3: count: 3"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("line 5: count: 2"), std::string::npos) << r.output;
+}
+
 TEST_F(CliExitTest, UsageErrorsExitTwo) {
   EXPECT_EQ(RunCli("").exit_code, 2);
   EXPECT_EQ(RunCli(structure_path_).exit_code, 2);

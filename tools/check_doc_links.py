@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Scans the given markdown files (or the default doc set) for inline links and
+image references. External links (http/https/mailto) are ignored; every
+relative target — optionally carrying a #fragment — must resolve to an
+existing file or directory relative to the file that references it. CI runs
+this so a moved or renamed file cannot silently orphan the documentation
+that points at it.
+
+Usage: tools/check_doc_links.py [file.md ...]
+Exit code 0 when every relative link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+DEFAULT_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "tests/corpus/README.md",
+]
+
+# Inline markdown links and images: [text](target) / ![alt](target).
+# Reference-style definitions: [label]: target
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+
+# Fenced code blocks must not contribute links: `[i](j)` in a code sample is
+# array indexing, not a reference.
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def targets_in(text):
+    text = FENCE.sub("", text)
+    for match in INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in REF_DEF.finditer(text):
+        yield match.group(1)
+
+
+def is_external(target):
+    return target.startswith(("http://", "https://", "mailto:", "#"))
+
+
+def check_file(path):
+    """Returns a list of (target, reason) dead links in `path`."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    dead = []
+    base = os.path.dirname(path)
+    for target in targets_in(text):
+        if is_external(target):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = os.path.normpath(os.path.join(base, relative))
+        if not os.path.exists(resolved):
+            dead.append((target, f"{resolved} does not exist"))
+    return dead
+
+
+def main(argv):
+    files = argv[1:] or DEFAULT_FILES
+    failures = 0
+    for path in files:
+        if not os.path.exists(path):
+            print(f"check_doc_links: {path}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for target, reason in check_file(path):
+            print(f"check_doc_links: {path}: dead link '{target}' ({reason})",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"check_doc_links: {failures} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,7 +3,7 @@
 //
 // Usage:
 //   focq_cli <structure-file> [--edges] [--engine naive|local|cover]
-//            [--threads N]
+//            [--threads N] [--update 'insert E 0 1']...
 //            (--check '<sentence>' | --count '<formula>' | --term '<term>'
 //             | --batch FILE)
 //            [--stats] [--metrics-json PATH] [--trace-json PATH]
@@ -13,13 +13,20 @@
 //   --check            decide A |= phi for a sentence
 //   --count            the counting problem |phi(A)|
 //   --term             evaluate a ground counting term
+//   --update           apply a tuple update ("insert <symbol> <elem>..." or
+//                      "delete <symbol> <elem>...") to the loaded structure
+//                      before evaluation; repeatable, applied in order. See
+//                      DESIGN.md section 3e for the update model
 //   --batch            evaluate many statements against the one structure
 //                      through a shared Session, so Gaifman graphs, covers
 //                      and sphere typings are built once and reused. Each
 //                      non-empty, non-'#' line of FILE is
-//                      "check <sentence>", "count <formula>" or
-//                      "term <term>"; results are printed per line and a
-//                      cache summary at the end
+//                      "check <sentence>", "count <formula>", "term <term>"
+//                      or "update <spec>"; update lines mutate the live
+//                      structure between statements and incrementally repair
+//                      the session's cached artifacts instead of discarding
+//                      them. Results are printed per line and a cache
+//                      summary at the end
 //   --engine           naive = Definition 3.1 semantics;
 //                      local = Theorem 6.10 pipeline (default);
 //                      cover = local with sparse-cover cl-term evaluation
@@ -52,17 +59,21 @@
 //   focq_cli web.edges --edges --threads=8 --engine cover --count '...'
 //       --metrics-json metrics.json --trace-json run.trace.json
 //   focq_cli graph.fs --engine cover --batch workload.txt --stats
+//   focq_cli graph.fs --update 'insert E 0 5' --update 'delete E 2 3'
+//       --count '@ge1(#(y). (E(x, y)) - 2)'
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "focq/core/api.h"
 #include "focq/logic/fragment.h"
 #include "focq/logic/parser.h"
 #include "focq/obs/json_export.h"
 #include "focq/structure/io.h"
+#include "focq/structure/update.h"
 #include "focq/util/thread_pool.h"
 
 namespace {
@@ -78,6 +89,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: focq_cli <structure-file> [--edges] "
                "[--engine naive|local|cover] [--threads N] [--stats]\n"
+               "                [--update 'insert E 0 1']...\n"
                "                [--metrics-json PATH] [--trace-json PATH]\n"
                "                [--explain | --explain-analyze] "
                "[--explain-json PATH]\n"
@@ -106,6 +118,7 @@ int main(int argc, char** argv) {
   std::string threads_text = "1";
   std::string mode, query_text;
   std::string batch_path;
+  std::vector<std::string> update_specs;
   std::string metrics_path, trace_path;
   bool explain = false;
   bool explain_analyze = false;
@@ -151,6 +164,12 @@ int main(int argc, char** argv) {
       explain_json_path = v;
     } else if (arg.rfind("--explain-json=", 0) == 0) {
       explain_json_path = arg.substr(std::string("--explain-json=").size());
+    } else if (arg == "--update") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      update_specs.push_back(v);
+    } else if (arg.rfind("--update=", 0) == 0) {
+      update_specs.push_back(arg.substr(std::string("--update=").size()));
     } else if (arg == "--batch") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -224,6 +243,22 @@ int main(int argc, char** argv) {
   if (!structure.ok()) return Fail(structure.status().ToString());
   std::printf("structure: %zu elements, ||A|| = %zu\n",
               structure->Order(), structure->SizeNorm());
+
+  // --update specs mutate the loaded structure before any evaluation (and
+  // before the batch Session is constructed, so its caches are built against
+  // the updated structure).
+  for (const std::string& spec : update_specs) {
+    Result<TupleUpdate> update = ParseUpdate(spec, structure->signature());
+    if (!update.ok()) {
+      return Fail("--update '" + spec + "': " + update.status().ToString());
+    }
+    Result<bool> changed = ApplyToStructure(&structure.value(), *update);
+    if (!changed.ok()) {
+      return Fail("--update '" + spec + "': " + changed.status().ToString());
+    }
+    std::printf("update: %s (%s)\n", spec.c_str(),
+                *changed ? "applied" : "noop");
+  }
 
   auto print_stats = [&](const Result<EvalPlan>& plan) {
     if (!stats || !plan.ok()) return;
@@ -308,7 +343,9 @@ int main(int argc, char** argv) {
     if (!batch_in) return Fail("cannot open '" + batch_path + "'");
     // One Session for the whole file: every statement shares the context's
     // Gaifman graph, covers and sphere typings (README, "Batch workloads").
-    Session session(*structure, options);
+    // Constructed over the mutable structure so "update" lines can repair
+    // the cached artifacts in place instead of discarding them.
+    Session session(&structure.value(), options);
     int evaluated = 0;
     int failed = [&] {
       // Root span closed before finish() reads the sink.
@@ -329,10 +366,22 @@ int main(int argc, char** argv) {
                       status.ToString().c_str());
           ++errors;
         };
-        if (kind != "check" && kind != "count" && kind != "term") {
+        if (kind != "check" && kind != "count" && kind != "term" &&
+            kind != "update") {
           Fail("line " + std::to_string(lineno) +
-               ": expected 'check', 'count' or 'term', got '" + kind + "'");
+               ": expected 'check', 'count', 'term' or 'update', got '" +
+               kind + "'");
           return -1;
+        }
+        if (kind == "update") {
+          Result<TupleUpdate> update =
+              ParseUpdate(text, structure->signature());
+          if (!update.ok()) { Fail(update.status().ToString()); return -1; }
+          Result<UpdateStats> applied = session.ApplyUpdate(*update);
+          if (!applied.ok()) { report(applied.status()); continue; }
+          std::printf("line %d: update: %s\n", lineno,
+                      applied->changed ? "applied" : "noop");
+          continue;
         }
         ++evaluated;
         if (kind == "term") {

@@ -6,17 +6,25 @@
 //
 // Usage:
 //   focq_fuzz [--seed S] [--cases N] [--max-universe M] [--class NAME]
-//             [--time-budget SECONDS] [--out DIR] [--dump] [--stats]
+//             [--updates K] [--time-budget SECONDS] [--out DIR]
+//             [--dump] [--stats]
 //   focq_fuzz --replay FILE...      replay .case files (regression check)
 //   focq_fuzz --corpus DIR          replay every .case file in a directory
 //   focq_fuzz --self-test           inject a miscounting engine and verify
 //                                   the harness catches and shrinks it
+//
+// --updates K switches generated cases to update-sequence mode: each case
+// carries K random tuple inserts/deletes, the subject evaluates warm through
+// one incrementally repaired EvalContext after every step, and the oracle
+// rebuilds from scratch (DESIGN.md §3e). Replay handles both flavours — the
+// .case file records the sequence.
 //
 // Exit codes: 0 = all cases agree, 1 = disagreement found (or self-test
 // failed), 2 = usage / input error.
 //
 // Examples:
 //   focq_fuzz --seed 42 --cases 500
+//   focq_fuzz --seed 42 --cases 500 --updates 4
 //   focq_fuzz --seed 7 --cases 200 --class tree --max-universe 12
 //   focq_fuzz --corpus ../tests/corpus
 #include <algorithm>
@@ -41,7 +49,8 @@ using namespace focq::fuzz;
 int Usage() {
   std::fprintf(stderr,
                "usage: focq_fuzz [--seed S] [--cases N] [--max-universe M]\n"
-               "                 [--class NAME] [--time-budget SECONDS]\n"
+               "                 [--class NAME] [--updates K]\n"
+               "                 [--time-budget SECONDS]\n"
                "                 [--out DIR] [--dump] [--stats]\n"
                "       focq_fuzz --replay FILE...\n"
                "       focq_fuzz --corpus DIR\n"
@@ -178,6 +187,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t cases = 200;
   std::size_t max_universe = 24;
+  std::size_t updates = 0;  // per-case update-sequence length (0 = off)
   double time_budget_s = 0.0;  // 0 = unlimited
   std::string out_dir = ".";
   std::optional<StructureClass> cls;
@@ -212,6 +222,10 @@ int main(int argc, char** argv) {
       std::uint64_t v = 0;
       if (!parse_u64(next(), &v) || v < 1) return Usage();
       max_universe = static_cast<std::size_t>(v);
+    } else if (arg == "--updates") {
+      std::uint64_t v = 0;
+      if (!parse_u64(next(), &v)) return Usage();
+      updates = static_cast<std::size_t>(v);
     } else if (arg == "--time-budget") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -289,6 +303,7 @@ int main(int argc, char** argv) {
       }
     }
     DiffCase c = GenerateCase(structure_options, formula_options, &rng);
+    if (updates > 0) AppendRandomUpdates(&c, updates, &rng);
     if (dump) {
       std::printf("--- case %zu ---\n%s", i, WriteCase(c).c_str());
     }
