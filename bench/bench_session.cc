@@ -7,6 +7,8 @@
 // step asserts exactly that on BENCH_session.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "focq/core/api.h"
 #include "focq/graph/generators.h"
 #include "focq/logic/parser.h"
@@ -15,6 +17,21 @@
 
 namespace focq {
 namespace {
+
+// E16 knob: FOCQ_BENCH_WATCHDOG=1 installs a ProgressSink and arms a
+// generous hard deadline on every run, so diffing a knobbed run against a
+// plain one measures the progress/watchdog overhead (EXPERIMENTS.md E16).
+// Off (the default) the benchmark is byte-for-byte the baseline workload.
+bool WatchdogEnabled() {
+  const char* v = std::getenv("FOCQ_BENCH_WATCHDOG");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+void MaybeArmWatchdog(EvalOptions* options, ProgressSink* progress) {
+  if (!WatchdogEnabled()) return;
+  options->progress = progress;
+  options->deadline = Deadline{0, 3'600'000};
+}
 
 Structure MakeInput(std::size_t n) {
   Rng rng(4242);
@@ -64,6 +81,8 @@ void BM_QueryCold(benchmark::State& state) {
   EvalOptions options;
   options.term_engine = TermEngineFromRange(static_cast<int>(state.range(1)));
   options.metrics = &metrics;
+  ProgressSink progress;
+  MaybeArmWatchdog(&options, &progress);
   for (auto _ : state) {
     Result<QueryResult> r = EvaluateQuery(q, a, options);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
@@ -93,6 +112,8 @@ void BM_QueryWarm(benchmark::State& state) {
   EvalOptions options;
   options.term_engine = TermEngineFromRange(static_cast<int>(state.range(1)));
   options.metrics = &metrics;
+  ProgressSink progress;
+  MaybeArmWatchdog(&options, &progress);
   Session session(a, options);
   {
     Result<QueryResult> prime = session.EvaluateQuery(q);
@@ -142,6 +163,8 @@ void BM_BatchVsLoop(benchmark::State& state) {
   EvalOptions options;
   options.term_engine = TermEngine::kSparseCover;
   options.metrics = &metrics;
+  ProgressSink progress;
+  MaybeArmWatchdog(&options, &progress);
   for (auto _ : state) {
     if (batched) {
       std::vector<Result<QueryResult>> rs = EvaluateQueries(queries, a, options);

@@ -19,8 +19,27 @@ ExecOptions MakeExecOptions(const EvalOptions& options) {
   exec.trace = options.trace;
   exec.explain = options.explain;
   exec.explain_parent = options.explain_parent;
+  exec.progress = options.progress;
   return exec;
 }
+
+// Cancellation setup for one top-level API call: when the caller armed a
+// deadline, (re)start the sink's clock — conjuring a private call-local sink
+// when none was installed, so `deadline` alone suffices — and clear the
+// deadline from the forwarded options. Nested entry points (a query's
+// condition/head-term sub-calls) then see an unarmed deadline and leave the
+// running clock alone: the budget covers the whole top-level call.
+struct ProgressScope {
+  std::optional<ProgressSink> local;
+  EvalOptions options;
+
+  explicit ProgressScope(const EvalOptions& in) : options(in) {
+    if (!options.deadline.armed()) return;
+    if (options.progress == nullptr) options.progress = &local.emplace();
+    options.progress->ArmDeadline(options.deadline);
+    options.deadline = Deadline{};
+  }
+};
 
 // One explain node per public-API call: the attribution scope for whatever
 // the call compiles and executes (plans register beneath it). `node` stays -1
@@ -89,10 +108,12 @@ void FlushNaiveMetrics(const NaiveEvaluator& eval, MetricsSink* metrics) {
 }  // namespace
 
 Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
-                        const EvalOptions& options) {
+                        const EvalOptions& caller_options) {
   if (!FreeVars(sentence).empty()) {
     return Status::InvalidArgument("ModelCheck expects a sentence");
   }
+  ProgressScope scope(caller_options);
+  const EvalOptions& options = scope.options;
   ExplainCall call = BeginExplainCall(
       options, options.engine == Engine::kNaive ? "naive-check" : "check",
       ToString(sentence));
@@ -100,8 +121,10 @@ Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
   if (options.engine == Engine::kNaive) {
     ScopedSpan span(options.trace, "naive_eval");
     NaiveEvaluator eval(a);
+    eval.set_progress(options.progress);
     bool holds = eval.Satisfies(sentence);
     FlushNaiveMetrics(eval, options.metrics);
+    if (eval.stopped()) return options.progress->DeadlineStatus();
     return holds;
   }
   Result<EvalPlan> plan = [&] {
@@ -121,10 +144,12 @@ Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
 }
 
 Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
-                                    const EvalOptions& options) {
+                                    const EvalOptions& caller_options) {
   if (!FreeVars(t).empty()) {
     return Status::InvalidArgument("EvaluateGroundTerm expects a ground term");
   }
+  ProgressScope scope(caller_options);
+  const EvalOptions& options = scope.options;
   ExplainCall call = BeginExplainCall(
       options, options.engine == Engine::kNaive ? "naive-term" : "term",
       ToString(t));
@@ -132,6 +157,7 @@ Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
   if (options.engine == Engine::kNaive) {
     ScopedSpan span(options.trace, "naive_eval");
     NaiveEvaluator eval(a);
+    eval.set_progress(options.progress);
     Result<CountInt> v = eval.Evaluate(t);
     FlushNaiveMetrics(eval, options.metrics);
     return v;
@@ -153,7 +179,9 @@ Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
 }
 
 Result<CountInt> CountSolutions(const Formula& phi, const Structure& a,
-                                const EvalOptions& options) {
+                                const EvalOptions& caller_options) {
+  ProgressScope scope(caller_options);
+  const EvalOptions& options = scope.options;
   std::vector<Var> free = FreeVars(phi);
   if (free.empty()) {
     Result<bool> holds = ModelCheck(phi, a, options);
@@ -165,6 +193,7 @@ Result<CountInt> CountSolutions(const Formula& phi, const Structure& a,
     ScopedNodeTimer call_timer(call.sink, call.node, options.metrics);
     ScopedSpan span(options.trace, "naive_eval");
     NaiveEvaluator eval(a);
+    eval.set_progress(options.progress);
     Result<CountInt> v = eval.CountSolutions(phi, options.num_threads);
     FlushNaiveMetrics(eval, options.metrics);
     return v;
@@ -341,11 +370,20 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
       MakeChunkGrid(ordered.size(), workers).num_chunks;
   std::vector<std::vector<QueryRow>> chunk_rows(num_chunks);
   std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ProgressSink* progress = options.progress;
+  if (progress != nullptr) {
+    progress->AddTotal(ProgressPhase::kResidual,
+                       static_cast<std::int64_t>(ordered.size()));
+  }
   ParallelFor(
       workers, ordered.size(),
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         LocalEvaluator eval(a, gaifman);
         for (std::size_t c = begin; c < end; ++c) {
+          if (progress != nullptr) {
+            if (progress->ShouldStop()) return;  // drain on hard deadline
+            progress->Advance(ProgressPhase::kResidual, 1);
+          }
           const Tuple& head = ordered[c];
           Env env;
           for (std::size_t i = 0; i < k; ++i) {
@@ -365,6 +403,9 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
           chunk_rows[chunk].push_back(std::move(row));
         }
       });
+  if (progress != nullptr && progress->cancelled()) {
+    return progress->DeadlineStatus();
+  }
   QueryResult result;
   for (std::size_t c = 0; c < num_chunks; ++c) {
     if (!chunk_status[c].ok()) return chunk_status[c];
@@ -378,8 +419,13 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
 }  // namespace
 
 Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
-                                  const EvalOptions& options) {
+                                  const EvalOptions& caller_options) {
   FOCQ_RETURN_IF_ERROR(q.Validate());
+  // One budget for the whole query: condition and head-term sub-calls see an
+  // already-armed sink and an unarmed deadline, so they poll without
+  // restarting the clock.
+  ProgressScope scope(caller_options);
+  const EvalOptions& options = scope.options;
   // A query fans out into several plan executions (condition plus one per
   // head term); they share the caller's context — or a query-local one — so
   // one query triggers exactly one Gaifman build and one cover build per
@@ -462,7 +508,22 @@ Result<UpdateStats> Session::ApplyUpdate(const TupleUpdate& u) {
   opts.metrics = options_.metrics;
   opts.trace = options_.trace;
   opts.explain = options_.explain;
-  return context_.ApplyUpdate(mutable_a_, u, opts);
+  Result<UpdateStats> stats = context_.ApplyUpdate(mutable_a_, u, opts);
+  MaybeSampleOpenMetrics();
+  return stats;
+}
+
+void Session::MaybeSampleOpenMetrics() {
+  if (om_series_ == nullptr) return;
+  const std::int64_t now = UnixMillisNow();
+  if (om_last_sample_ms_ != 0 && om_min_interval_ms_ > 0 &&
+      now - om_last_sample_ms_ < om_min_interval_ms_) {
+    return;
+  }
+  om_last_sample_ms_ = now;
+  EvalMetrics snapshot;
+  if (options_.metrics != nullptr) snapshot = options_.metrics->Snapshot();
+  om_series_->Sample(now, snapshot, options_.progress);
 }
 
 }  // namespace focq

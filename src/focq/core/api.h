@@ -12,6 +12,8 @@
 #include "focq/core/plan.h"
 #include "focq/eval/query.h"
 #include "focq/logic/expr.h"
+#include "focq/obs/openmetrics.h"
+#include "focq/obs/progress.h"
 #include "focq/structure/structure.h"
 #include "focq/util/status.h"
 
@@ -46,6 +48,21 @@ struct EvalOptions {
   // changes results (see DESIGN.md, "Observability").
   ExplainSink* explain = nullptr;
   int explain_parent = -1;
+  // Live progress + cooperative cancellation (not owned; may be null). The
+  // sink's monotone per-phase counters are advanced from the engines at
+  // ParallelFor chunk granularity; a polling thread may read them at any
+  // time. Installing a sink never changes results. When `deadline` is armed
+  // (soft_ms/hard_ms > 0) it is (re)armed against the sink at every entry
+  // point: soft expiry fires the sink's one-shot callback (the CLI dumps the
+  // flight recorder there); hard expiry cancels the call cooperatively at
+  // the next chunk boundary and the call returns kDeadlineExceeded carrying
+  // the progress snapshot. A deadline with a null `progress` gets a private
+  // call-local sink, so cancellation works without external wiring. No
+  // partially built artifacts are ever cached by a cancelled call, and a
+  // re-run after cancellation is bit-identical to a cold run (see DESIGN.md
+  // §3b, "Live observability").
+  ProgressSink* progress = nullptr;
+  Deadline deadline;
   // Optional shared artifact cache (not owned; may be null). When set and
   // caching artifacts of the evaluated structure, Gaifman graphs and covers
   // are pulled from it instead of being rebuilt per call — results stay
@@ -123,27 +140,59 @@ class Session {
   Result<UpdateStats> ApplyUpdate(const TupleUpdate& u);
 
   Result<bool> ModelCheck(const Formula& sentence) {
-    return focq::ModelCheck(sentence, *a_, options_);
+    Result<bool> r = focq::ModelCheck(sentence, *a_, options_);
+    MaybeSampleOpenMetrics();
+    return r;
   }
   Result<CountInt> EvaluateGroundTerm(const Term& t) {
-    return focq::EvaluateGroundTerm(t, *a_, options_);
+    Result<CountInt> r = focq::EvaluateGroundTerm(t, *a_, options_);
+    MaybeSampleOpenMetrics();
+    return r;
   }
   Result<CountInt> CountSolutions(const Formula& phi) {
-    return focq::CountSolutions(phi, *a_, options_);
+    Result<CountInt> r = focq::CountSolutions(phi, *a_, options_);
+    MaybeSampleOpenMetrics();
+    return r;
   }
   Result<QueryResult> EvaluateQuery(const Foc1Query& q) {
-    return focq::EvaluateQuery(q, *a_, options_);
+    Result<QueryResult> r = focq::EvaluateQuery(q, *a_, options_);
+    MaybeSampleOpenMetrics();
+    return r;
   }
   std::vector<Result<QueryResult>> EvaluateQueries(
       std::span<const Foc1Query> queries) {
-    return focq::EvaluateQueries(queries, *a_, options_);
+    std::vector<Result<QueryResult>> r =
+        focq::EvaluateQueries(queries, *a_, options_);
+    MaybeSampleOpenMetrics();
+    return r;
+  }
+
+  /// Enables periodic OpenMetrics snapshot sampling: after every call routed
+  /// through this session (evaluations and updates alike) the cumulative
+  /// state of the session's metrics sink and progress sink — whichever of
+  /// the two are installed — is appended to `series` as one timestamped
+  /// sample, at most once per `min_interval_ms` (0: every call). The series
+  /// is borrowed, not owned; pass nullptr to stop sampling. No background
+  /// thread is involved: sampling happens at call boundaries only, so a
+  /// session stays single-threaded and the overhead is one clock read per
+  /// call when the interval has not elapsed.
+  void EnableOpenMetricsSampling(OpenMetricsSeries* series,
+                                 std::int64_t min_interval_ms = 0) {
+    om_series_ = series;
+    om_min_interval_ms_ = min_interval_ms;
+    om_last_sample_ms_ = 0;
   }
 
  private:
+  void MaybeSampleOpenMetrics();
+
   const Structure* a_;
   Structure* mutable_a_ = nullptr;  // non-null iff constructed read-write
   EvalOptions options_;
   EvalContext context_;
+  OpenMetricsSeries* om_series_ = nullptr;  // not owned; may be null
+  std::int64_t om_min_interval_ms_ = 0;
+  std::int64_t om_last_sample_ms_ = 0;
 };
 
 }  // namespace focq

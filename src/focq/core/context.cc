@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "focq/graph/bfs.h"
+#include "focq/obs/recorder.h"
 #include "focq/structure/gaifman.h"
 #include "focq/structure/incidence.h"
 
@@ -37,18 +38,21 @@ void Add(MetricsSink* metrics, const char* name, std::int64_t delta) {
 
 }  // namespace
 
-void EvalContext::RecordHit(const ArtifactOptions& opts) {
+void EvalContext::RecordHit(const ArtifactOptions& opts, const char* what) {
   ++stats_.hits;
   if (opts.metrics != nullptr) opts.metrics->AddCounter("ctx.cache.hits", 1);
+  FlightRecord(FlightEventKind::kCacheHit, what);
 }
 
-void EvalContext::RecordMiss(const ArtifactOptions& opts, std::int64_t bytes) {
+void EvalContext::RecordMiss(const ArtifactOptions& opts, std::int64_t bytes,
+                             const char* what) {
   ++stats_.misses;
   stats_.bytes += bytes;
   if (opts.metrics != nullptr) {
     opts.metrics->AddCounter("ctx.cache.misses", 1);
     opts.metrics->MaxCounter("ctx.cache.bytes", stats_.bytes);
   }
+  FlightRecord(FlightEventKind::kCacheMiss, what, bytes);
 }
 
 const Graph& EvalContext::EnsureGaifman(const ArtifactOptions& opts) {
@@ -65,7 +69,7 @@ const Graph& EvalContext::EnsureGaifman(const ArtifactOptions& opts) {
       opts.metrics->MaxCounter("mem.gaifman.bytes", bytes);
     }
     if (opts.explain != nullptr) opts.explain->RecordBytes(node, bytes);
-    RecordMiss(opts, bytes);
+    RecordMiss(opts, bytes, "gaifman");
   }
   return *gaifman_;
 }
@@ -74,19 +78,29 @@ const Graph& EvalContext::Gaifman(const ArtifactOptions& opts) {
   std::lock_guard<std::mutex> lock(mutex_);
   bool hit = gaifman_.has_value();
   const Graph& g = EnsureGaifman(opts);
-  if (hit) RecordHit(opts);
+  if (hit) RecordHit(opts, "gaifman");
   return g;
 }
 
 const NeighborhoodCover& EvalContext::Cover(std::uint32_t radius,
                                             CoverBackend backend,
                                             const ArtifactOptions& opts) {
+  // The infallible getter ignores any armed deadline: with no cancellation
+  // source the Try variant below cannot fail.
+  ArtifactOptions no_cancel = opts;
+  no_cancel.progress = nullptr;
+  Result<const NeighborhoodCover*> cover = TryCover(radius, backend, no_cancel);
+  return **cover;
+}
+
+Result<const NeighborhoodCover*> EvalContext::TryCover(
+    std::uint32_t radius, CoverBackend backend, const ArtifactOptions& opts) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto key = std::make_pair(radius, static_cast<int>(backend));
   auto it = covers_.find(key);
   if (it != covers_.end()) {
-    RecordHit(opts);
-    return it->second;
+    RecordHit(opts, "cover");
+    return &it->second;
   }
   const Graph& gaifman = EnsureGaifman(opts);
   int node = NewArtifactNode(
@@ -96,41 +110,59 @@ const NeighborhoodCover& EvalContext::Cover(std::uint32_t radius,
   ScopedSpan span(opts.trace, "cover_build");
   NeighborhoodCover cover =
       backend == CoverBackend::kExact
-          ? ExactBallCover(gaifman, radius, opts.num_threads, opts.metrics)
-          : SparseCover(gaifman, radius, opts.num_threads, opts.metrics);
+          ? ExactBallCover(gaifman, radius, opts.num_threads, opts.metrics,
+                           opts.progress)
+          : SparseCover(gaifman, radius, opts.num_threads, opts.metrics,
+                        opts.progress);
+  if (opts.progress != nullptr && opts.progress->cancelled()) {
+    // Discard the partial build without caching it: the next access rebuilds
+    // from scratch, so a warm re-run stays bit-identical to a cold run.
+    return opts.progress->DeadlineStatus();
+  }
   it = covers_.emplace(key, std::move(cover)).first;
   std::int64_t bytes = it->second.ApproxBytes();
   if (opts.metrics != nullptr) {
     opts.metrics->MaxCounter("mem.cover.bytes", bytes);
   }
   if (opts.explain != nullptr) opts.explain->RecordBytes(node, bytes);
-  RecordMiss(opts, bytes);
-  return it->second;
+  RecordMiss(opts, bytes, "cover");
+  return &it->second;
 }
 
 const SphereTypeAssignment& EvalContext::SphereTypes(
     std::uint32_t radius, const ArtifactOptions& opts) {
+  ArtifactOptions no_cancel = opts;
+  no_cancel.progress = nullptr;
+  Result<const SphereTypeAssignment*> spheres =
+      TrySphereTypes(radius, no_cancel);
+  return **spheres;
+}
+
+Result<const SphereTypeAssignment*> EvalContext::TrySphereTypes(
+    std::uint32_t radius, const ArtifactOptions& opts) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = spheres_.find(radius);
   if (it != spheres_.end()) {
-    RecordHit(opts);
-    return it->second;
+    RecordHit(opts, "spheres");
+    return &it->second;
   }
   const Graph& gaifman = EnsureGaifman(opts);
   int node = NewArtifactNode(opts, "sphere types r=" + std::to_string(radius));
   ScopedNodeTimer timer(opts.explain, node, opts.metrics);
   ScopedSpan span(opts.trace, "hanf_typing");
-  it = spheres_
-           .emplace(radius,
-                    ComputeSphereTypes(*a_, gaifman, radius, opts.num_threads))
-           .first;
+  SphereTypeAssignment assignment = ComputeSphereTypes(
+      *a_, gaifman, radius, opts.num_threads, opts.progress);
+  if (opts.progress != nullptr && opts.progress->cancelled()) {
+    return opts.progress->DeadlineStatus();  // partial typing: not cached
+  }
+  it = spheres_.emplace(radius, std::move(assignment)).first;
   std::int64_t bytes = it->second.ApproxBytes();
   if (opts.metrics != nullptr) {
     opts.metrics->MaxCounter("mem.spheres.bytes", bytes);
   }
   if (opts.explain != nullptr) opts.explain->RecordBytes(node, bytes);
-  RecordMiss(opts, bytes);
-  return it->second;
+  RecordMiss(opts, bytes, "spheres");
+  return &it->second;
 }
 
 void EvalContext::RecomputeBytes() {
@@ -197,6 +229,9 @@ Result<UpdateStats> EvalContext::ApplyUpdate(Structure* a,
   ScopedNodeTimer timer(opts.explain, node, opts.metrics);
   ScopedSpan span(opts.trace, "update_repair");
   Add(opts.metrics, "update.repairs", 1);
+  FlightRecord(FlightEventKind::kRepair, "update_repair",
+               static_cast<std::int64_t>(u.symbol),
+               static_cast<std::int64_t>(u.tuple.size()));
 
   // Nullary facts live inside every sphere view but never touch the Gaifman
   // graph: covers stay valid, sphere entries are dropped wholesale.

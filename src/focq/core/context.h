@@ -33,6 +33,7 @@
 #include "focq/hanf/sphere.h"
 #include "focq/obs/explain.h"
 #include "focq/obs/metrics.h"
+#include "focq/obs/progress.h"
 #include "focq/obs/trace.h"
 #include "focq/structure/update.h"
 #include "focq/util/status.h"
@@ -59,6 +60,10 @@ struct ArtifactOptions {
   // a root-level "artifact" node (with build time, counters and footprint
   // bytes) to the sink of whichever query got unlucky and paid for it.
   ExplainSink* explain = nullptr;  // not owned; may be null
+  // Progress + cooperative cancellation for builds triggered by this access
+  // (not owned; may be null). Only the Try* getters honour cancellation; the
+  // infallible getters ignore an armed deadline and always complete.
+  ProgressSink* progress = nullptr;
 };
 
 /// Per-update repair telemetry, the value half of ApplyUpdate. Every field
@@ -106,6 +111,18 @@ class EvalContext {
   /// they are per-use, not per-build, so they remain cache-state independent.
   const SphereTypeAssignment& SphereTypes(std::uint32_t radius,
                                           const ArtifactOptions& opts = {});
+
+  /// Cancellable variants of Cover/SphereTypes: identical cache behaviour,
+  /// but when `opts.progress` has an armed hard deadline that fires during
+  /// the build, they return kDeadlineExceeded and DISCARD the partial
+  /// artifact — nothing is inserted into the cache, so a later (re)run
+  /// rebuilds from scratch and stays bit-identical to a cold run. Cache hits
+  /// never fail: an already-built artifact is returned even after expiry.
+  Result<const NeighborhoodCover*> TryCover(std::uint32_t radius,
+                                            CoverBackend backend,
+                                            const ArtifactOptions& opts = {});
+  Result<const SphereTypeAssignment*> TrySphereTypes(
+      std::uint32_t radius, const ArtifactOptions& opts = {});
 
   /// Applies one tuple-level update to the structure AND incrementally
   /// repairs every cached artifact (DESIGN.md §3e). `a` must be the very
@@ -163,9 +180,11 @@ class EvalContext {
   /// and sphere builders does not inflate ctx.cache.hits.
   const Graph& EnsureGaifman(const ArtifactOptions& opts);
 
-  /// Hit/miss bookkeeping into both the internal stats and the caller sink.
-  void RecordHit(const ArtifactOptions& opts);
-  void RecordMiss(const ArtifactOptions& opts, std::int64_t bytes);
+  /// Hit/miss bookkeeping into the internal stats, the caller sink and the
+  /// flight recorder (`what` labels the artifact kind in the event ring).
+  void RecordHit(const ArtifactOptions& opts, const char* what);
+  void RecordMiss(const ArtifactOptions& opts, std::int64_t bytes,
+                  const char* what);
 
   /// Recomputes stats_.bytes as the current footprint of everything cached
   /// (repairs and drops can shrink it, unlike the build-only accumulation).

@@ -25,7 +25,7 @@ PlanExecutor::PlanExecutor(const EvalPlan& plan, const Structure& input,
 
 ArtifactOptions PlanExecutor::MakeArtifactOptions() const {
   return {options_.num_threads, options_.metrics, options_.trace,
-          options_.explain};
+          options_.explain, options_.progress};
 }
 
 void PlanExecutor::RecordStructureBytes() {
@@ -40,11 +40,11 @@ void PlanExecutor::RecordStructureBytes() {
   }
 }
 
-const NeighborhoodCover& PlanExecutor::CoverFor(std::uint32_t radius) {
+Result<const NeighborhoodCover*> PlanExecutor::CoverFor(std::uint32_t radius) {
   CoverBackend backend = options_.term_engine == TermEngine::kExactCover
                              ? CoverBackend::kExact
                              : CoverBackend::kSparse;
-  return context_->Cover(radius, backend, MakeArtifactOptions());
+  return context_->TryCover(radius, backend, MakeArtifactOptions());
 }
 
 Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term,
@@ -53,7 +53,7 @@ Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term,
   if (options_.term_engine == TermEngine::kBall) {
     ScopedSpan span(options_.trace, "cl_term_eval");
     ClTermBallEvaluator eval(structure_, gaifman_, options_.num_threads,
-                             options_.metrics);
+                             options_.metrics, options_.progress);
     return eval.EvaluateAll(term);
   }
   // Cover engines: one cover per required radius; evaluate factor-wise and
@@ -67,10 +67,12 @@ Result<std::vector<CountInt>> PlanExecutor::EvalClTermAll(const ClTerm& term,
     if (options_.explain != nullptr) {
       options_.explain->MaxCounter(explain_node, "cover.radius", radius);
     }
-    const NeighborhoodCover& cover = CoverFor(radius);
+    Result<const NeighborhoodCover*> cover = CoverFor(radius);
+    if (!cover.ok()) return cover.status();
     ScopedSpan span(options_.trace, "cl_term_eval");
-    ClTermCoverEvaluator eval(structure_, gaifman_, cover,
-                              options_.num_threads, options_.metrics);
+    ClTermCoverEvaluator eval(structure_, gaifman_, **cover,
+                              options_.num_threads, options_.metrics,
+                              options_.progress);
     if (b.unary) {
       Result<std::vector<CountInt>> v = eval.EvaluateBasicAll(b);
       if (!v.ok()) return v.status();
@@ -129,20 +131,34 @@ Status PlanExecutor::MaterializeLayers() {
           const int workers = EffectiveThreads(options_.num_threads);
           const std::size_t num_chunks = MakeChunkGrid(n, workers).num_chunks;
           std::vector<std::vector<ElemId>> chunk_elements(num_chunks);
+          ProgressSink* progress = options_.progress;
+          if (progress != nullptr) {
+            progress->AddTotal(ProgressPhase::kMaterialize,
+                               static_cast<std::int64_t>(n));
+          }
           ParallelFor(workers, n,
                       [&](std::size_t chunk, std::size_t begin,
                           std::size_t end) {
                         LocalEvaluator chunk_eval(structure_, gaifman_);
                         Env env;
                         for (std::size_t a = begin; a < end; ++a) {
+                          if (progress != nullptr && progress->ShouldStop()) {
+                            return;  // hard deadline: drain remaining chunks
+                          }
                           env.Bind(def.free_var, static_cast<ElemId>(a));
                           if (chunk_eval.Satisfies(def.fallback_formula,
                                                    &env)) {
                             chunk_elements[chunk].push_back(
                                 static_cast<ElemId>(a));
                           }
+                          if (progress != nullptr) {
+                            progress->Advance(ProgressPhase::kMaterialize, 1);
+                          }
                         }
                       });
+          if (progress != nullptr && progress->cancelled()) {
+            return progress->DeadlineStatus();
+          }
           std::vector<ElemId> elements;
           for (const auto& part : chunk_elements) {
             elements.insert(elements.end(), part.begin(), part.end());
@@ -236,10 +252,15 @@ Result<std::vector<bool>> PlanExecutor::CheckAll() {
   // std::vector<bool> packs bits, so concurrent writes to distinct indices
   // race; collect into bytes and convert after the join.
   std::vector<std::uint8_t> buffer(n, 0);
+  ProgressSink* progress = options_.progress;
+  if (progress != nullptr) {
+    progress->AddTotal(ProgressPhase::kResidual, static_cast<std::int64_t>(n));
+  }
   ParallelFor(options_.num_threads, n,
               [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
                 LocalEvaluator chunk_eval(structure_, gaifman_);
                 for (std::size_t a = begin; a < end; ++a) {
+                  if (progress != nullptr && progress->ShouldStop()) return;
                   Env env;
                   if (!free.empty()) {
                     env.Bind(free[0], static_cast<ElemId>(a));
@@ -247,8 +268,14 @@ Result<std::vector<bool>> PlanExecutor::CheckAll() {
                   buffer[a] = chunk_eval.Satisfies(plan_.final_formula, &env)
                                   ? 1
                                   : 0;
+                  if (progress != nullptr) {
+                    progress->Advance(ProgressPhase::kResidual, 1);
+                  }
                 }
               });
+  if (progress != nullptr && progress->cancelled()) {
+    return progress->DeadlineStatus();
+  }
   std::vector<bool> out(n, false);
   for (std::size_t a = 0; a < n; ++a) out[a] = buffer[a] != 0;
   return out;
@@ -300,10 +327,15 @@ Result<std::vector<CountInt>> PlanExecutor::TermValues() {
   const int workers = EffectiveThreads(options_.num_threads);
   const std::size_t num_chunks = MakeChunkGrid(n, workers).num_chunks;
   std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  ProgressSink* progress = options_.progress;
+  if (progress != nullptr) {
+    progress->AddTotal(ProgressPhase::kResidual, static_cast<std::int64_t>(n));
+  }
   ParallelFor(workers, n,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 LocalEvaluator chunk_eval(structure_, gaifman_);
                 for (std::size_t a = begin; a < end; ++a) {
+                  if (progress != nullptr && progress->ShouldStop()) return;
                   Env env;
                   env.Bind(plan_.final_free_var, static_cast<ElemId>(a));
                   Result<CountInt> v =
@@ -313,8 +345,14 @@ Result<std::vector<CountInt>> PlanExecutor::TermValues() {
                     return;
                   }
                   out[a] = *v;
+                  if (progress != nullptr) {
+                    progress->Advance(ProgressPhase::kResidual, 1);
+                  }
                 }
               });
+  if (progress != nullptr && progress->cancelled()) {
+    return progress->DeadlineStatus();
+  }
   for (const Status& s : chunk_status) {
     if (!s.ok()) return s;
   }

@@ -14,6 +14,7 @@
 #include "focq/cover/neighborhood_cover.h"
 #include "focq/locality/local_eval.h"
 #include "focq/obs/metrics.h"
+#include "focq/obs/progress.h"
 #include "focq/obs/trace.h"
 
 namespace focq {
@@ -44,6 +45,13 @@ struct ExecOptions {
   // `metrics` installed (deltas of the flat sink are charged to nodes).
   ExplainSink* explain = nullptr;
   int explain_parent = -1;
+  // Progress + cooperative cancellation (not owned; may be null): the
+  // executor advances per-phase counters at chunk boundaries and polls
+  // ShouldStop() there; once the hard deadline fires, the current fan-out
+  // drains its remaining chunks as no-ops and the executor returns
+  // kDeadlineExceeded instead of a result. With no armed deadline the sink
+  // is pure telemetry and never changes results.
+  ProgressSink* progress = nullptr;
 };
 
 /// Executes one plan against one structure.
@@ -83,7 +91,10 @@ class PlanExecutor {
  private:
   Result<std::vector<CountInt>> EvalClTermAll(const ClTerm& term,
                                               int explain_node);
-  const NeighborhoodCover& CoverFor(std::uint32_t radius);
+  /// The cover for `radius` under the configured backend, from the cache.
+  /// Fails with kDeadlineExceeded when the hard deadline fires during the
+  /// build (the partial artifact is discarded, never cached).
+  Result<const NeighborhoodCover*> CoverFor(std::uint32_t radius);
   ArtifactOptions MakeArtifactOptions() const;
   void RecordStructureBytes();
 

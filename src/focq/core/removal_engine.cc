@@ -93,12 +93,20 @@ Result<std::vector<CountInt>> Engine::BasicAt(
   std::optional<NeighborhoodCover> local_cover;
   const NeighborhoodCover* cover = nullptr;
   if (options.context != nullptr && &s == &options.context->structure()) {
-    cover = &options.context->Cover(
+    Result<const NeighborhoodCover*> cached = options.context->TryCover(
         cover_radius, CoverBackend::kSparse,
-        {options.num_threads, options.metrics, nullptr});
+        {options.num_threads, options.metrics, nullptr, nullptr,
+         options.progress});
+    if (!cached.ok()) return cached.status();
+    cover = *cached;
   } else {
-    cover = &local_cover.emplace(SparseCover(
-        gaifman, cover_radius, options.num_threads, options.metrics));
+    cover = &local_cover.emplace(SparseCover(gaifman, cover_radius,
+                                             options.num_threads,
+                                             options.metrics,
+                                             options.progress));
+    if (options.progress != nullptr && options.progress->cancelled()) {
+      return options.progress->DeadlineStatus();  // partial cover: discard
+    }
   }
   if (options.metrics != nullptr) {
     options.metrics->AddCounter("removal.cover_builds", 1);
@@ -108,6 +116,10 @@ Result<std::vector<CountInt>> Engine::BasicAt(
   std::vector<std::vector<std::size_t>> wanted(cover->NumClusters());
   for (std::size_t i = 0; i < positions.size(); ++i) {
     wanted[cover->assignment[positions[i]]].push_back(i);
+  }
+  if (options.progress != nullptr && depth == 0) {
+    options.progress->AddTotal(ProgressPhase::kRemoval,
+                               static_cast<std::int64_t>(cover->NumClusters()));
   }
 
   Formula phi_full =
@@ -119,6 +131,13 @@ Result<std::vector<CountInt>> Engine::BasicAt(
   std::vector<CountInt> out(positions.size(), 0);
   auto splitter = MakeTreeSplitter();
   for (std::size_t c = 0; c < cover->NumClusters(); ++c) {
+    if (options.progress != nullptr) {
+      if (options.progress->ShouldStop()) {
+        return options.progress->DeadlineStatus();
+      }
+      // Only the top level owns the phase total; recursion levels just poll.
+      if (depth == 0) options.progress->Advance(ProgressPhase::kRemoval, 1);
+    }
     if (wanted[c].empty()) continue;
     SubstructureView view = InducedView(s, cover->clusters[c]);
     Graph sub_gaifman = BuildGaifmanGraph(view.structure);

@@ -43,6 +43,10 @@ struct RemovalEngineOptions {
   /// context does not cache — and only when it caches artifacts of the
   /// evaluated structure.
   EvalContext* context = nullptr;
+  /// Progress + cooperative cancellation (not owned; may be null): the
+  /// recursion advances the kRemoval phase per visited cluster and polls the
+  /// deadline there; a hard expiry surfaces as kDeadlineExceeded.
+  ProgressSink* progress = nullptr;
 };
 
 /// Values of the unary basic cl-term at every element of `a` via the

@@ -12,12 +12,14 @@ ClTermCoverEvaluator::ClTermCoverEvaluator(const Structure& structure,
                                            const Graph& gaifman,
                                            const NeighborhoodCover& cover,
                                            int num_threads,
-                                           MetricsSink* metrics)
+                                           MetricsSink* metrics,
+                                           ProgressSink* progress)
     : structure_(structure),
       gaifman_(gaifman),
       cover_(cover),
       num_threads_(EffectiveThreads(num_threads)),
       metrics_(metrics),
+      progress_(progress),
       incidence_(structure) {
   FOCQ_CHECK_EQ(gaifman.num_vertices(), structure.universe_size());
   FOCQ_CHECK_EQ(cover.assignment.size(), structure.universe_size());
@@ -47,10 +49,18 @@ Result<std::vector<CountInt>> ClTermCoverEvaluator::EvaluateBasicAll(
   // core): every anchor belongs to exactly one cluster, so chunks write
   // disjoint slots of `out`; shared state (structure, gaifman, incidence,
   // cover) is only read.
+  if (progress_ != nullptr) {
+    progress_->AddTotal(ProgressPhase::kClTerm,
+                        static_cast<std::int64_t>(num_clusters));
+  }
   ParallelFor(
       num_threads_, num_clusters,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         for (std::size_t c = begin; c < end; ++c) {
+          if (progress_ != nullptr) {
+            if (progress_->ShouldStop()) return;  // drain on hard deadline
+            progress_->Advance(ProgressPhase::kClTerm, 1);
+          }
           if (anchors_of_cluster_[c].empty()) continue;
           // Materialise B_X = A[X] once per cluster (only local tuples).
           SubstructureView view =
@@ -76,6 +86,9 @@ Result<std::vector<CountInt>> ClTermCoverEvaluator::EvaluateBasicAll(
           placements.Add(chunk, es.placements);
         }
       });
+  if (progress_ != nullptr && progress_->cancelled()) {
+    return progress_->DeadlineStatus();
+  }
   for (const Status& s : chunk_status) {
     if (!s.ok()) return s;
   }

@@ -35,9 +35,13 @@ class ClTermCoverEvaluator {
   /// `num_threads`: per-cluster fan-out (0 = all hardware threads). With
   /// `metrics` installed, per-basic evaluations flush cover_eval.* and
   /// clterm.* counters (clusters materialised, anchors, balls, placements).
+  /// With `progress` installed, EvaluateBasicAll advances the kClTerm phase
+  /// per cluster and polls the deadline; a hard expiry makes it return
+  /// kDeadlineExceeded.
   ClTermCoverEvaluator(const Structure& structure, const Graph& gaifman,
                        const NeighborhoodCover& cover, int num_threads = 1,
-                       MetricsSink* metrics = nullptr);
+                       MetricsSink* metrics = nullptr,
+                       ProgressSink* progress = nullptr);
 
   /// Values of a unary basic cl-term at every element. The cover's radius
   /// must be at least RequiredCoverRadius(basic).
@@ -56,6 +60,7 @@ class ClTermCoverEvaluator {
   const NeighborhoodCover& cover_;
   int num_threads_;
   MetricsSink* metrics_;
+  ProgressSink* progress_;
   TupleIncidence incidence_;  // makes per-cluster materialisation local
   // anchors_of_cluster_[c]: elements assigned to cluster c.
   std::vector<std::vector<ElemId>> anchors_of_cluster_;

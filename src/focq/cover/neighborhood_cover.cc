@@ -74,7 +74,8 @@ std::int64_t NeighborhoodCover::ApproxBytes() const {
 }
 
 NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
-                                 int num_threads, MetricsSink* metrics) {
+                                 int num_threads, MetricsSink* metrics,
+                                 ProgressSink* progress) {
   NeighborhoodCover cover;
   cover.r = r;
   cover.cluster_radius = r;
@@ -82,6 +83,9 @@ NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
   cover.clusters.resize(n);
   cover.assignment.resize(n);
   cover.centers.resize(n);
+  if (progress != nullptr) {
+    progress->AddTotal(ProgressPhase::kCover, static_cast<std::int64_t>(n));
+  }
   // Cluster c is always the r-ball of vertex c, so every slot is independent
   // of every other: chunks write disjoint ranges and the result is the same
   // for any thread count. BFS work is tallied per chunk and flushed after
@@ -91,6 +95,9 @@ NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 BallExplorer explorer(gaifman);
                 for (std::size_t v = begin; v < end; ++v) {
+                  // Cooperative cancellation: once the hard deadline fires,
+                  // every remaining ball drains as a no-op.
+                  if (progress != nullptr && progress->ShouldStop()) return;
                   std::vector<ElemId> ball =
                       explorer.Explore(static_cast<VertexId>(v), r);
                   std::sort(ball.begin(), ball.end());
@@ -99,20 +106,28 @@ NeighborhoodCover ExactBallCover(const Graph& gaifman, std::uint32_t r,
                   cover.assignment[v] = static_cast<std::uint32_t>(v);
                   cover.clusters[v] = std::move(ball);
                   cover.centers[v] = static_cast<ElemId>(v);
+                  if (progress != nullptr) {
+                    progress->Advance(ProgressPhase::kCover, 1);
+                  }
                 }
               });
+  if (progress != nullptr && progress->cancelled()) return cover;  // partial
   bfs_vertices.FlushTo(metrics, "cover.bfs_vertices");
   RecordCoverMetrics(cover, metrics);
   return cover;
 }
 
 NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
-                              int num_threads, MetricsSink* metrics) {
+                              int num_threads, MetricsSink* metrics,
+                              ProgressSink* progress) {
   NeighborhoodCover cover;
   cover.r = r;
   cover.cluster_radius = 2 * r;
   std::size_t n = gaifman.num_vertices();
   cover.assignment.assign(n, 0);
+  if (progress != nullptr) {
+    progress->AddTotal(ProgressPhase::kCover, static_cast<std::int64_t>(n));
+  }
 
   // Pass 1: greedy centres. covering_center[v] = the centre within distance r
   // that claimed v first, or kUnclaimed.
@@ -121,6 +136,10 @@ NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
   std::int64_t greedy_bfs_vertices = 0;
   BallExplorer explorer(gaifman);
   for (VertexId v = 0; v < n; ++v) {
+    if (progress != nullptr) {
+      if (progress->ShouldStop()) return cover;  // partial, caller discards
+      progress->Advance(ProgressPhase::kCover, 1);
+    }
     if (covering_center[v] != kUnclaimed) continue;
     std::uint32_t center_index = static_cast<std::uint32_t>(cover.centers.size());
     cover.centers.push_back(v);
@@ -136,20 +155,29 @@ NeighborhoodCover SparseCover(const Graph& gaifman, std::uint32_t r,
   // whole r-ball (dist(v, centre) <= r). Each cluster slot is independent,
   // so the (dominant) ball materialisation fans out across threads.
   cover.clusters.resize(cover.centers.size());
+  if (progress != nullptr) {
+    progress->AddTotal(ProgressPhase::kCover,
+                       static_cast<std::int64_t>(cover.centers.size()));
+  }
   ShardedCounter bfs_vertices(
       MakeChunkGrid(cover.centers.size(), num_threads).num_chunks);
   ParallelFor(num_threads, cover.centers.size(),
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 BallExplorer chunk_explorer(gaifman);
                 for (std::size_t c = begin; c < end; ++c) {
+                  if (progress != nullptr && progress->ShouldStop()) return;
                   std::vector<ElemId> ball =
                       chunk_explorer.Explore(cover.centers[c], 2 * r);
                   std::sort(ball.begin(), ball.end());
                   bfs_vertices.Add(chunk,
                                    static_cast<std::int64_t>(ball.size()));
                   cover.clusters[c] = std::move(ball);
+                  if (progress != nullptr) {
+                    progress->Advance(ProgressPhase::kCover, 1);
+                  }
                 }
               });
+  if (progress != nullptr && progress->cancelled()) return cover;  // partial
   for (VertexId v = 0; v < n; ++v) {
     FOCQ_CHECK_NE(covering_center[v], kUnclaimed);
     cover.assignment[v] = covering_center[v];

@@ -57,6 +57,10 @@ bool NaiveEvaluator::EvalFormula(const Expr& e, Env* env) {
       ElemId old = was_bound ? env->Get(y) : 0;
       bool found = false;
       for (ElemId a = 0; a < structure_.universe_size() && !found; ++a) {
+        if (progress_ != nullptr && progress_->ShouldStop()) {
+          stopped_ = true;
+          break;
+        }
         env->Bind(y, a);
         ++tuples_enumerated_;
         found = EvalFormula(*e.children[0], env);
@@ -75,6 +79,10 @@ bool NaiveEvaluator::EvalFormula(const Expr& e, Env* env) {
       ElemId old = was_bound ? env->Get(y) : 0;
       bool all = true;
       for (ElemId a = 0; a < structure_.universe_size() && all; ++a) {
+        if (progress_ != nullptr && progress_->ShouldStop()) {
+          stopped_ = true;
+          break;
+        }
         env->Bind(y, a);
         ++tuples_enumerated_;
         all = EvalFormula(*e.children[0], env);
@@ -93,7 +101,9 @@ bool NaiveEvaluator::EvalFormula(const Expr& e, Env* env) {
       for (const ExprRef& t : e.children) {
         std::optional<CountInt> v = EvalTerm(*t, env);
         if (!v) {
-          overflow_ = true;
+          // A drained nested count is a deadline, not an overflow; the
+          // garbage truth value is discarded by the stopped() caller check.
+          if (!stopped_) overflow_ = true;
           return false;
         }
         args.push_back(*v);
@@ -163,13 +173,35 @@ std::optional<CountInt> NaiveEvaluator::EvalTerm(const Expr& e, Env* env) {
       std::size_t k = ys.size();
       std::vector<ElemId> tuple(k, 0);
       std::size_t n = structure_.universe_size();
+      // Pre-announce the odometer's n^k candidate tuples (skipped when the
+      // count itself overflows int64 — progress is observability only).
+      if (progress_ != nullptr) {
+        CountInt work = 1;
+        bool fits = true;
+        for (std::size_t i = 0; i < k && fits; ++i) {
+          std::optional<CountInt> m =
+              CheckedMul(work, static_cast<CountInt>(n));
+          fits = m.has_value();
+          if (fits) work = *m;
+        }
+        if (fits) progress_->AddTotal(ProgressPhase::kNaive, work);
+      }
       if (k == 0) {
         ++tuples_enumerated_;
         count = EvalFormula(*e.children[0], env) ? 1 : 0;
+        if (progress_ != nullptr) progress_->Advance(ProgressPhase::kNaive, 1);
       } else if (n > 0) {
         for (std::size_t i = 0; i < k; ++i) env->Bind(ys[i], 0);
         for (;;) {
+          if (progress_ != nullptr && progress_->ShouldStop()) {
+            stopped_ = true;
+            ok = false;
+            break;
+          }
           ++tuples_enumerated_;
+          if (progress_ != nullptr) {
+            progress_->Advance(ProgressPhase::kNaive, 1);
+          }
           if (EvalFormula(*e.children[0], env)) {
             std::optional<CountInt> next = CheckedAdd(count, 1);
             if (!next) {
@@ -210,6 +242,7 @@ std::optional<CountInt> NaiveEvaluator::EvalTerm(const Expr& e, Env* env) {
 
 bool NaiveEvaluator::Satisfies(const Formula& f, Env* env) {
   overflow_ = false;
+  stopped_ = false;
   bool result = EvalFormula(f.node(), env);
   FOCQ_CHECK(!overflow_);  // counting overflowed int64 inside a formula
   return result;
@@ -228,7 +261,9 @@ bool NaiveEvaluator::Satisfies(
 }
 
 Result<CountInt> NaiveEvaluator::Evaluate(const Term& t, Env* env) {
+  stopped_ = false;
   std::optional<CountInt> v = EvalTerm(t.node(), env);
+  if (stopped_) return progress_->DeadlineStatus();
   if (!v) return Status::OutOfRange("counting-term value overflows int64");
   return *v;
 }
@@ -274,7 +309,11 @@ Result<CountInt> NaiveEvaluator::CountSolutions(const Formula& f,
   ParallelFor(workers, n,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 NaiveEvaluator worker(structure_);
+                // Workers share the sink: their odometers advance kNaive and
+                // poll the deadline, so granularity matches the serial path.
+                worker.set_progress(progress_);
                 for (std::size_t a = begin; a < end; ++a) {
+                  if (progress_ != nullptr && progress_->ShouldStop()) return;
                   Env env;
                   env.Bind(free[0], static_cast<ElemId>(a));
                   Result<CountInt> v = worker.Evaluate(rest_counter, &env);
@@ -296,6 +335,9 @@ Result<CountInt> NaiveEvaluator::CountSolutions(const Formula& f,
   // exactly the serial odometer's n^k iterations: no extra term for the
   // fan-out binding itself.
   tuples_enumerated_ += enumerated.Total();
+  if (progress_ != nullptr && progress_->cancelled()) {
+    return progress_->DeadlineStatus();
+  }
   CountInt total = 0;
   for (std::size_t c = 0; c < num_chunks; ++c) {
     if (!chunk_status[c].ok()) return chunk_status[c];

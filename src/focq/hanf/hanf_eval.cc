@@ -8,11 +8,13 @@
 namespace focq {
 
 HanfEvaluator::HanfEvaluator(const Structure& a, const Graph& gaifman,
-                             int num_threads, MetricsSink* metrics)
+                             int num_threads, MetricsSink* metrics,
+                             ProgressSink* progress)
     : a_(a),
       gaifman_(gaifman),
       num_threads_(EffectiveThreads(num_threads)),
-      metrics_(metrics) {
+      metrics_(metrics),
+      progress_(progress) {
   FOCQ_CHECK_EQ(gaifman.num_vertices(), a.universe_size());
 }
 
@@ -42,7 +44,8 @@ void HanfEvaluator::RecordTyping(const SphereTypeAssignment& types) {
 const SphereTypeAssignment& HanfEvaluator::TypesFor(
     std::uint32_t r, std::optional<SphereTypeAssignment>* local) {
   if (provider_) return provider_(r);
-  return local->emplace(ComputeSphereTypes(a_, gaifman_, r, num_threads_));
+  return local->emplace(
+      ComputeSphereTypes(a_, gaifman_, r, num_threads_, progress_));
 }
 
 Result<CountInt> HanfEvaluator::CountSatisfying(const Formula& phi, Var x,
@@ -61,6 +64,11 @@ Result<CountInt> HanfEvaluator::CountSatisfying(const Formula& phi, Var x,
   }
   std::optional<SphereTypeAssignment> local;
   const SphereTypeAssignment& types = TypesFor(r, &local);
+  // A hard deadline during a local typing leaves `types` partial: bail out
+  // before reading it (provider-backed typings are always complete).
+  if (progress_ != nullptr && progress_->cancelled()) {
+    return progress_->DeadlineStatus();
+  }
   last_num_types_ = types.registry.NumTypes();
   RecordTyping(types);
   const std::size_t num_types = types.registry.NumTypes();
@@ -71,9 +79,14 @@ Result<CountInt> HanfEvaluator::CountSatisfying(const Formula& phi, Var x,
       MakeChunkGrid(num_types, num_threads_).num_chunks;
   std::vector<CountInt> partial(num_chunks, 0);
   std::vector<std::uint8_t> overflow(num_chunks, 0);
+  if (progress_ != nullptr) {
+    progress_->AddTotal(ProgressPhase::kHanf,
+                        static_cast<std::int64_t>(num_types));
+  }
   ParallelFor(num_threads_, num_types,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 for (std::size_t id = begin; id < end; ++id) {
+                  if (progress_ != nullptr && progress_->ShouldStop()) return;
                   const Structure& rep = types.registry.Representative(
                       static_cast<SphereTypeId>(id));
                   Graph rep_gaifman = BuildGaifmanGraph(rep);
@@ -81,6 +94,9 @@ Result<CountInt> HanfEvaluator::CountSatisfying(const Formula& phi, Var x,
                   bool sat = eval.Satisfies(
                       phi, {{x, types.registry.RepresentativeCenter(
                                     static_cast<SphereTypeId>(id))}});
+                  if (progress_ != nullptr) {
+                    progress_->Advance(ProgressPhase::kHanf, 1);
+                  }
                   if (!sat) continue;
                   auto sum = CheckedAdd(
                       partial[chunk],
@@ -92,6 +108,9 @@ Result<CountInt> HanfEvaluator::CountSatisfying(const Formula& phi, Var x,
                   partial[chunk] = *sum;
                 }
               });
+  if (progress_ != nullptr && progress_->cancelled()) {
+    return progress_->DeadlineStatus();
+  }
   CountInt total = 0;
   for (std::size_t c = 0; c < num_chunks; ++c) {
     if (overflow[c]) return Status::OutOfRange("type count overflows int64");
@@ -110,6 +129,9 @@ Result<std::vector<CountInt>> HanfEvaluator::EvaluateBasicAll(
   std::uint32_t sphere_radius = RequiredCoverRadius(basic);
   std::optional<SphereTypeAssignment> local;
   const SphereTypeAssignment& types = TypesFor(sphere_radius, &local);
+  if (progress_ != nullptr && progress_->cancelled()) {
+    return progress_->DeadlineStatus();  // partial local typing
+  }
   last_num_types_ = types.registry.NumTypes();
   RecordTyping(types);
 
@@ -120,9 +142,14 @@ Result<std::vector<CountInt>> HanfEvaluator::EvaluateBasicAll(
   const std::size_t num_chunks =
       MakeChunkGrid(num_types, num_threads_).num_chunks;
   std::vector<Status> chunk_status(num_chunks, Status::Ok());
+  if (progress_ != nullptr) {
+    progress_->AddTotal(ProgressPhase::kHanf,
+                        static_cast<std::int64_t>(num_types));
+  }
   ParallelFor(num_threads_, num_types,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                 for (std::size_t id = begin; id < end; ++id) {
+                  if (progress_ != nullptr && progress_->ShouldStop()) return;
                   const Structure& rep = types.registry.Representative(
                       static_cast<SphereTypeId>(id));
                   Graph rep_gaifman = BuildGaifmanGraph(rep);
@@ -137,8 +164,14 @@ Result<std::vector<CountInt>> HanfEvaluator::EvaluateBasicAll(
                     return;
                   }
                   for (ElemId e : types.elements_of_type[id]) out[e] = *value;
+                  if (progress_ != nullptr) {
+                    progress_->Advance(ProgressPhase::kHanf, 1);
+                  }
                 }
               });
+  if (progress_ != nullptr && progress_->cancelled()) {
+    return progress_->DeadlineStatus();
+  }
   for (const Status& s : chunk_status) {
     if (!s.ok()) return s;
   }

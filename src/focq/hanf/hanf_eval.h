@@ -35,9 +35,13 @@ class HanfEvaluator {
   /// `gaifman` must be BuildGaifmanGraph(a); both must outlive this object.
   /// `num_threads`: fan-out width (0 = all hardware threads, 1 = serial).
   /// With `metrics` installed, every typing pass flushes hanf.* counters
-  /// (types interned, per-type population) — all input-determined.
+  /// (types interned, per-type population) — all input-determined. With
+  /// `progress` installed the per-type loops advance the kHanf phase and
+  /// poll the deadline; a hard expiry makes them return kDeadlineExceeded
+  /// (it also flows into ComputeSphereTypes when no provider is set).
   HanfEvaluator(const Structure& a, const Graph& gaifman, int num_threads = 1,
-                MetricsSink* metrics = nullptr);
+                MetricsSink* metrics = nullptr,
+                ProgressSink* progress = nullptr);
 
   /// Installs a typing cache: when set, every evaluation pulls its sphere
   /// partition from `provider` instead of recomputing it (the EvalContext
@@ -74,6 +78,7 @@ class HanfEvaluator {
   const Graph& gaifman_;
   int num_threads_;
   MetricsSink* metrics_;
+  ProgressSink* progress_;
   SphereTypeProvider provider_;
   std::size_t last_num_types_ = 0;
 };

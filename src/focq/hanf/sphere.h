@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "focq/graph/graph.h"
+#include "focq/obs/progress.h"
 #include "focq/structure/incidence.h"
 #include "focq/structure/neighborhood.h"
 #include "focq/structure/structure.h"
@@ -83,9 +84,16 @@ struct SphereTypeAssignment {
 /// induced-substructure materialisation — fans out across workers in blocks;
 /// interning into the registry stays sequential in element order, so type
 /// ids and the whole assignment are bit-identical to the serial run.
+///
+/// With `progress` installed the typing advances the kHanf phase per element
+/// and polls the deadline at block/element granularity; after a hard-deadline
+/// expiry a PARTIAL assignment is returned — the caller
+/// (EvalContext::TrySphereTypes) must check progress->cancelled() and
+/// discard it.
 SphereTypeAssignment ComputeSphereTypes(const Structure& a,
                                         const Graph& gaifman, std::uint32_t r,
-                                        int num_threads = 1);
+                                        int num_threads = 1,
+                                        ProgressSink* progress = nullptr);
 
 }  // namespace focq
 

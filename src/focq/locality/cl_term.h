@@ -25,6 +25,7 @@
 #include "focq/locality/local_eval.h"
 #include "focq/logic/expr.h"
 #include "focq/obs/metrics.h"
+#include "focq/obs/progress.h"
 #include "focq/structure/structure.h"
 #include "focq/util/status.h"
 
@@ -123,9 +124,12 @@ class ClTermBallEvaluator {
   /// `gaifman` must be the Gaifman graph of `structure`. `num_threads`
   /// controls the per-anchor fan-out (0 = all hardware threads, 1 = serial).
   /// With `metrics` installed, EvaluateBasicAll/EvaluateBasicGround flush
-  /// the clterm.* counters accumulated during the call.
+  /// the clterm.* counters accumulated during the call. With `progress`
+  /// installed those loops advance the kClTerm phase per anchor and poll the
+  /// deadline; a hard expiry makes them return kDeadlineExceeded.
   ClTermBallEvaluator(const Structure& structure, const Graph& gaifman,
-                      int num_threads = 1, MetricsSink* metrics = nullptr);
+                      int num_threads = 1, MetricsSink* metrics = nullptr,
+                      ProgressSink* progress = nullptr);
 
   /// Cumulative exploration work since construction (includes per-call
   /// EvaluateBasicAt work, which has no flush boundary of its own).
@@ -163,6 +167,7 @@ class ClTermBallEvaluator {
   const Graph& gaifman_;
   int num_threads_;
   MetricsSink* metrics_;
+  ProgressSink* progress_;
   LocalEvaluator eval_;
   ExploreStats explore_stats_;
   std::unordered_map<std::uint32_t, std::unique_ptr<ClosenessOracle>> oracles_;

@@ -1,5 +1,7 @@
 #include "focq/obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace focq {
@@ -36,6 +38,35 @@ void AppendJsonString(std::string* out, std::string_view text) {
   out->push_back('"');
 }
 
+double ValueStats::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  std::int64_t rank = static_cast<std::int64_t>(std::ceil(q * count));
+  rank = std::clamp<std::int64_t>(rank, 1, count);
+  std::int64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cum + buckets[i] < rank) {
+      cum += buckets[i];
+      continue;
+    }
+    // The rank lands in bucket i: interpolate the j-th of c samples
+    // uniformly over the bucket's value range, tightened by min/max.
+    double lo = i == 0 ? static_cast<double>(std::min<std::int64_t>(min, 0))
+                       : static_cast<double>(std::int64_t{1} << (i - 1));
+    double hi = i == kNumBuckets - 1
+                    ? static_cast<double>(max)
+                    : static_cast<double>(BucketUpperBound(i));
+    double j = static_cast<double>(rank - cum);
+    double c = static_cast<double>(buckets[i]);
+    double estimate = lo + (hi - lo) * (j / c);
+    return std::clamp(estimate, static_cast<double>(min),
+                      static_cast<double>(max));
+  }
+  return static_cast<double>(max);  // unreachable when buckets sum to count
+}
+
 std::string EvalMetrics::ToJson() const {
   std::string out = "{\"counters\": {";
   bool first = true;
@@ -51,13 +82,16 @@ std::string EvalMetrics::ToJson() const {
     if (!first) out += ", ";
     first = false;
     AppendJsonString(&out, name);
-    char mean[32];
-    std::snprintf(mean, sizeof(mean), "%.6g", stats.Mean());
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"mean\": %.6g, \"p50\": %.6g, \"p95\": %.6g, "
+                  "\"p99\": %.6g}",
+                  stats.Mean(), stats.Quantile(0.50), stats.Quantile(0.95),
+                  stats.Quantile(0.99));
     out += ": {\"count\": " + std::to_string(stats.count) +
            ", \"sum\": " + std::to_string(stats.sum) +
            ", \"min\": " + std::to_string(stats.min) +
-           ", \"max\": " + std::to_string(stats.max) +
-           ", \"mean\": " + mean + "}";
+           ", \"max\": " + std::to_string(stats.max) + buf;
   }
   out += "}}";
   return out;

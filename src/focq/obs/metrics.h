@@ -18,6 +18,7 @@
 #ifndef FOCQ_OBS_METRICS_H_
 #define FOCQ_OBS_METRICS_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -29,12 +30,35 @@
 namespace focq {
 
 /// Distribution summary of a recorded value stream (cluster sizes, per-type
-/// populations, ...): enough to report max/mean without storing samples.
+/// populations, ...): count/sum/min/max plus a fixed log2 bucket histogram
+/// that supports order-independent quantile estimates without storing
+/// samples. Bucket 0 holds v <= 0; bucket i (1 <= i < kNumBuckets-1) holds
+/// 2^(i-1) <= v < 2^i; the last bucket holds everything above. Bucket counts
+/// are plain sums, so — unlike a sampling reservoir — the histogram (and
+/// every quantile read off it) is bit-identical regardless of recording
+/// order, merge grouping or thread count.
 struct ValueStats {
+  static constexpr int kNumBuckets = 33;
+
   std::int64_t count = 0;
   std::int64_t sum = 0;
   std::int64_t min = 0;
   std::int64_t max = 0;
+  std::array<std::int64_t, kNumBuckets> buckets{};
+
+  /// The bucket `v` falls into.
+  static int BucketIndex(std::int64_t v) {
+    if (v <= 0) return 0;
+    int i = 1;
+    while (i < kNumBuckets - 1 && v >= (std::int64_t{1} << i)) ++i;
+    return i;
+  }
+
+  /// Inclusive upper bound of bucket `i` (the OpenMetrics `le` boundary);
+  /// the last bucket is unbounded and reported as +Inf by the exporter.
+  static std::int64_t BucketUpperBound(int i) {
+    return i == 0 ? 0 : (std::int64_t{1} << i) - 1;
+  }
 
   void Record(std::int64_t v) {
     if (count == 0) {
@@ -45,12 +69,14 @@ struct ValueStats {
     }
     ++count;
     sum += v;
+    ++buckets[BucketIndex(v)];
   }
 
-  /// Folds another summary in. count/sum/min/max are all order-independent
-  /// reductions, so merging pre-aggregated batches yields exactly the stats
-  /// of recording every sample individually — which is what lets hot loops
-  /// aggregate locally and touch the sink once per batch.
+  /// Folds another summary in. count/sum/min/max/buckets are all
+  /// order-independent reductions, so merging pre-aggregated batches yields
+  /// exactly the stats of recording every sample individually — which is
+  /// what lets hot loops aggregate locally and touch the sink once per
+  /// batch.
   void Merge(const ValueStats& other) {
     if (other.count == 0) return;
     if (count == 0) {
@@ -61,6 +87,7 @@ struct ValueStats {
     if (other.max > max) max = other.max;
     count += other.count;
     sum += other.sum;
+    for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
   }
 
   /// Arithmetic mean of the recorded samples; 0 for an empty stream.
@@ -69,9 +96,17 @@ struct ValueStats {
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
 
+  /// Estimated q-quantile (q in [0, 1]) read off the log2 histogram: the
+  /// rank's bucket is located exactly, the position inside it interpolated
+  /// linearly, and the estimate clamped to the exact [min, max] envelope —
+  /// so p50/p95/p99 are within a factor of 2 of the true order statistic
+  /// and exact whenever the bucket is degenerate (single-valued streams,
+  /// small values). Deterministic for every recording order.
+  double Quantile(double q) const;
+
   friend bool operator==(const ValueStats& a, const ValueStats& b) {
     return a.count == b.count && a.sum == b.sum && a.min == b.min &&
-           a.max == b.max;
+           a.max == b.max && a.buckets == b.buckets;
   }
 };
 
@@ -82,8 +117,8 @@ struct EvalMetrics {
   std::map<std::string, ValueStats> values;
 
   /// {"counters": {name: value, ...},
-  ///  "values": {name: {"count":..,"sum":..,"min":..,"max":..,"mean":..},
-  ///             ...}}
+  ///  "values": {name: {"count":..,"sum":..,"min":..,"max":..,"mean":..,
+  ///                    "p50":..,"p95":..,"p99":..}, ...}}
   std::string ToJson() const;
 };
 

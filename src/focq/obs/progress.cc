@@ -1,0 +1,158 @@
+#include "focq/obs/progress.h"
+
+#include <chrono>
+
+#include "focq/obs/recorder.h"
+
+namespace focq {
+
+const char* ProgressPhaseName(ProgressPhase phase) {
+  switch (phase) {
+    case ProgressPhase::kMaterialize:
+      return "materialize";
+    case ProgressPhase::kCover:
+      return "cover";
+    case ProgressPhase::kClTerm:
+      return "cl_term";
+    case ProgressPhase::kHanf:
+      return "hanf";
+    case ProgressPhase::kRemoval:
+      return "removal";
+    case ProgressPhase::kResidual:
+      return "residual";
+    case ProgressPhase::kNaive:
+      return "naive";
+  }
+  return "unknown";
+}
+
+void ProgressSink::AddTotal(ProgressPhase phase, std::int64_t delta) {
+  if (delta == 0) return;
+  cells_[static_cast<int>(phase)].total.fetch_add(delta,
+                                                  std::memory_order_relaxed);
+}
+
+void ProgressSink::Advance(ProgressPhase phase, std::int64_t delta) {
+  if (delta == 0) return;
+  Cell& cell = cells_[static_cast<int>(phase)];
+  std::int64_t done =
+      cell.done.fetch_add(delta, std::memory_order_relaxed) + delta;
+  FlightRecord(FlightEventKind::kProgress, ProgressPhaseName(phase), done,
+               cell.total.load(std::memory_order_relaxed));
+}
+
+PhaseProgress ProgressSink::Get(ProgressPhase phase) const {
+  const Cell& cell = cells_[static_cast<int>(phase)];
+  return {cell.done.load(std::memory_order_relaxed),
+          cell.total.load(std::memory_order_relaxed)};
+}
+
+std::array<PhaseProgress, kNumProgressPhases> ProgressSink::Snapshot() const {
+  std::array<PhaseProgress, kNumProgressPhases> out;
+  for (int i = 0; i < kNumProgressPhases; ++i) {
+    out[i] = Get(static_cast<ProgressPhase>(i));
+  }
+  return out;
+}
+
+std::string ProgressSink::ToString() const {
+  std::string out;
+  for (int i = 0; i < kNumProgressPhases; ++i) {
+    PhaseProgress p = Get(static_cast<ProgressPhase>(i));
+    if (p.done == 0 && p.total == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += ProgressPhaseName(static_cast<ProgressPhase>(i));
+    out += ' ';
+    out += std::to_string(p.done);
+    out += '/';
+    out += std::to_string(p.total);
+  }
+  return out.empty() ? "(idle)" : out;
+}
+
+std::string ProgressSink::ToJson() const {
+  std::string out = "{\"phases\": {";
+  bool first = true;
+  for (int i = 0; i < kNumProgressPhases; ++i) {
+    PhaseProgress p = Get(static_cast<ProgressPhase>(i));
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += ProgressPhaseName(static_cast<ProgressPhase>(i));
+    out += "\": {\"done\": " + std::to_string(p.done) +
+           ", \"total\": " + std::to_string(p.total) + "}";
+  }
+  out += "}, \"elapsed_ms\": " + std::to_string(ElapsedMs()) +
+         ", \"cancelled\": " + (cancelled() ? "true" : "false") + "}";
+  return out;
+}
+
+void ProgressSink::Reset() {
+  for (Cell& cell : cells_) {
+    cell.done.store(0, std::memory_order_relaxed);
+    cell.total.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t ProgressSink::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ProgressSink::ArmDeadline(const Deadline& d) {
+  deadline_ = d;
+  std::int64_t now = NowNs();
+  start_ns_.store(now, std::memory_order_relaxed);
+  soft_ns_.store(d.soft_ms > 0 ? now + d.soft_ms * 1'000'000 : 0,
+                 std::memory_order_relaxed);
+  hard_ns_.store(d.hard_ms > 0 ? now + d.hard_ms * 1'000'000 : 0,
+                 std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
+  soft_fired_.store(false, std::memory_order_relaxed);
+  tick_.store(0, std::memory_order_relaxed);
+}
+
+bool ProgressSink::ShouldStop() {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  std::int64_t hard = hard_ns_.load(std::memory_order_relaxed);
+  std::int64_t soft = soft_ns_.load(std::memory_order_relaxed);
+  if (hard == 0 && soft == 0) return false;
+  // Gate the clock read: one fetch_add per call, one clock read per 64.
+  if ((tick_.fetch_add(1, std::memory_order_relaxed) & 63u) != 0) {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  std::int64_t now = NowNs();
+  if (soft != 0 && now >= soft) {
+    // One thread wins the latch and fires the callback; the budget keeps
+    // only one soft event per ArmDeadline in the flight recorder too.
+    if (!soft_fired_.exchange(true, std::memory_order_acq_rel)) {
+      FlightRecord(FlightEventKind::kDeadlineSoft, "soft_deadline",
+                   ElapsedMs(), deadline_.soft_ms);
+      if (soft_callback_) soft_callback_();
+    }
+  }
+  if (hard != 0 && now >= hard) {
+    if (!cancelled_.exchange(true, std::memory_order_acq_rel)) {
+      FlightRecord(FlightEventKind::kDeadlineHard, "hard_deadline",
+                   ElapsedMs(), deadline_.hard_ms);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::int64_t ProgressSink::ElapsedMs() const {
+  std::int64_t start = start_ns_.load(std::memory_order_relaxed);
+  if (start == 0) return 0;
+  return (NowNs() - start) / 1'000'000;
+}
+
+Status ProgressSink::DeadlineStatus() const {
+  std::string msg = "hard deadline of " + std::to_string(deadline_.hard_ms) +
+                    "ms exceeded after " + std::to_string(ElapsedMs()) +
+                    "ms; progress: " + ToString();
+  return Status::DeadlineExceeded(std::move(msg));
+}
+
+}  // namespace focq

@@ -1,0 +1,202 @@
+#include "focq/obs/recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "focq/util/check.h"
+#include "focq/util/thread_pool.h"
+
+namespace focq {
+namespace {
+
+// Lock-free intern table for event names. Names are expected to be a small
+// fixed vocabulary (phase names, artifact labels), so a linear scan over a
+// bounded array of atomic pointers is both fast and wait-free on the read
+// path. Interned copies are intentionally leaked: they must outlive every
+// FlightEvent ever snapshotted.
+constexpr std::size_t kInternCapacity = 128;
+
+std::atomic<const char*>& InternSlot(std::size_t i) {
+  static std::atomic<const char*> table[kInternCapacity] = {};
+  return table[i];
+}
+
+const char* InternName(std::string_view name) {
+  for (std::size_t i = 0; i < kInternCapacity; ++i) {
+    const char* entry = InternSlot(i).load(std::memory_order_acquire);
+    if (entry == nullptr) {
+      char* copy = new char[name.size() + 1];
+      std::memcpy(copy, name.data(), name.size());
+      copy[name.size()] = '\0';
+      const char* expected = nullptr;
+      if (InternSlot(i).compare_exchange_strong(expected, copy,
+                                                std::memory_order_acq_rel)) {
+        return copy;
+      }
+      delete[] copy;
+      entry = expected;  // somebody else won the slot; fall through and compare
+    }
+    if (name == entry) return entry;
+  }
+  return "...";  // vocabulary overflow: label lost, event still recorded
+}
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// The FOCQ_CHECK crash hook: dump the global ring to stderr so an aborting
+// process leaves its last-N-events postmortem behind.
+void DumpGlobalRecorderToStderr() {
+  std::string dump = FlightRecorder::Global().Dump();
+  std::fputs("--- flight recorder (last events before abort) ---\n", stderr);
+  std::fwrite(dump.data(), 1, dump.size(), stderr);
+  std::fputs("--- end flight recorder ---\n", stderr);
+}
+
+// The ParallelFor fan-out hook (see SetParallelForHook in util/thread_pool):
+// pool activity lands in the ring as one event per parallel fan-out.
+void RecordParallelForEvent(std::size_t n, std::size_t chunks) {
+  FlightRecord(FlightEventKind::kParallelFor, "parallel_for",
+               static_cast<std::int64_t>(n), static_cast<std::int64_t>(chunks));
+}
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kPhaseEnter:
+      return "PHASE_ENTER";
+    case FlightEventKind::kPhaseExit:
+      return "PHASE_EXIT";
+    case FlightEventKind::kCacheHit:
+      return "CACHE_HIT";
+    case FlightEventKind::kCacheMiss:
+      return "CACHE_MISS";
+    case FlightEventKind::kRepair:
+      return "REPAIR";
+    case FlightEventKind::kParallelFor:
+      return "PARALLEL_FOR";
+    case FlightEventKind::kProgress:
+      return "PROGRESS";
+    case FlightEventKind::kDeadlineSoft:
+      return "DEADLINE_SOFT";
+    case FlightEventKind::kDeadlineHard:
+      return "DEADLINE_HARD";
+    case FlightEventKind::kMark:
+      return "MARK";
+  }
+  return "UNKNOWN";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+std::int64_t FlightRecorder::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void FlightRecorder::Enable(std::size_t capacity) {
+  std::size_t rounded = RoundUpPow2(capacity == 0 ? 1 : capacity);
+  if (slots_ == nullptr || rounded != capacity_) {
+    enabled_.store(false, std::memory_order_relaxed);
+    slots_ = std::make_unique<Slot[]>(rounded);
+    capacity_ = rounded;
+    mask_ = rounded - 1;
+    head_.store(0, std::memory_order_relaxed);
+  }
+  epoch_ns_ = NowNs();
+  if (this == &Global()) {
+    internal::SetCrashHook(&DumpGlobalRecorderToStderr);
+    SetParallelForHook(&RecordParallelForEvent);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  if (this == &Global()) {
+    internal::SetCrashHook(nullptr);
+    SetParallelForHook(nullptr);
+  }
+}
+
+void FlightRecorder::Record(FlightEventKind kind, std::string_view name,
+                            std::int64_t a, std::int64_t b) {
+  if (!enabled()) return;
+  std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & mask_];
+  // Field-wise relaxed stores: a concurrent lap interleaves, never races.
+  slot.valid.store(false, std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.ts_ns.store(NowNs() - epoch_ns_, std::memory_order_relaxed);
+  slot.tid.store(CurrentWorkerTid(), std::memory_order_relaxed);
+  slot.kind.store(static_cast<int>(kind), std::memory_order_relaxed);
+  slot.name.store(InternName(name), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.valid.store(true, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  if (slots_ == nullptr) return out;
+  out.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    if (!slot.valid.load(std::memory_order_acquire)) continue;
+    FlightEvent e;
+    e.seq = slot.seq.load(std::memory_order_relaxed);
+    e.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    e.tid = slot.tid.load(std::memory_order_relaxed);
+    e.kind = static_cast<FlightEventKind>(slot.kind.load(std::memory_order_relaxed));
+    e.name = slot.name.load(std::memory_order_relaxed);
+    e.a = slot.a.load(std::memory_order_relaxed);
+    e.b = slot.b.load(std::memory_order_relaxed);
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::string FlightRecorder::Dump() const {
+  std::vector<FlightEvent> events = Snapshot();
+  std::string out;
+  out.reserve(events.size() * 64 + 64);
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "# flight recorder: %zu/%zu events buffered, %llu recorded\n",
+                events.size(), capacity_,
+                static_cast<unsigned long long>(total_recorded()));
+  out += line;
+  for (const FlightEvent& e : events) {
+    std::snprintf(line, sizeof(line),
+                  "seq=%llu t=+%.6fs tid=%d %s %s a=%lld b=%lld\n",
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<double>(e.ts_ns) / 1e9, e.tid,
+                  FlightEventKindName(e.kind), e.name,
+                  static_cast<long long>(e.a), static_cast<long long>(e.b));
+    out += line;
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  if (slots_ == nullptr) return;
+  head_.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].valid.store(false, std::memory_order_relaxed);
+  }
+  epoch_ns_ = NowNs();
+}
+
+}  // namespace focq

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "focq/obs/recorder.h"
 #include "focq/util/thread_pool.h"
 
 namespace focq {
@@ -112,9 +113,18 @@ class TraceSink : public ParallelForObserver {
 /// previous observer is restored on exit, so scopes nest), which is what
 /// routes chunk slices to worker lanes:
 ///   ScopedSpan span(options_.trace, "cover_build");
+/// Spans are also the flight recorder's phase feed: enter/exit events land
+/// in the global ring whenever it is enabled, independent of whether a
+/// TraceSink is installed — so the recorder sees phases even on untraced
+/// production paths, at one relaxed load + branch when disabled.
 class ScopedSpan {
  public:
   ScopedSpan(TraceSink* sink, std::string_view name) : sink_(sink) {
+    FlightRecorder& rec = FlightRecorder::Global();
+    if (rec.enabled()) {
+      recorded_name_.assign(name);  // span names can be transient strings
+      rec.Record(FlightEventKind::kPhaseEnter, name);
+    }
     if (sink_ != nullptr) {
       sink_->Begin(std::string(name));
       previous_observer_ = SetParallelForObserver(sink_);
@@ -125,6 +135,9 @@ class ScopedSpan {
       SetParallelForObserver(previous_observer_);
       sink_->End();
     }
+    if (!recorded_name_.empty()) {
+      FlightRecord(FlightEventKind::kPhaseExit, recorded_name_);
+    }
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -133,6 +146,9 @@ class ScopedSpan {
  private:
   TraceSink* sink_;
   ParallelForObserver* previous_observer_ = nullptr;
+  // Non-empty iff the recorder was enabled at entry (the only case this
+  // RAII type allocates — phase-grained, so off every hot path).
+  std::string recorded_name_;
 };
 
 }  // namespace focq

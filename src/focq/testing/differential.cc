@@ -212,6 +212,9 @@ std::optional<DiffFailure> RunUpdateCase(const DiffCase& c,
       options.term_engine = term_engine;
       options.num_threads = threads;
       options.context = &ctx;
+      if (config.soft_deadline_ms > 0) {
+        options.deadline = Deadline{config.soft_deadline_ms, 0};
+      }
       ArtifactOptions repair_options;
       repair_options.num_threads = threads;
       for (std::size_t step = 0; step < oracle_steps.size(); ++step) {
@@ -270,6 +273,9 @@ std::optional<DiffFailure> RunCase(const DiffCase& c,
       options.engine = Engine::kLocal;
       options.term_engine = term_engine;
       options.num_threads = threads;
+      if (config.soft_deadline_ms > 0) {
+        options.deadline = Deadline{config.soft_deadline_ms, 0};
+      }
       MetricsSink sink;
       if (config.compare_metrics) options.metrics = &sink;
       Outcome got = subject(c, options);

@@ -92,6 +92,13 @@ struct DiffConfig {
   // cover_eval.* are not excluded); and a warm run that succeeds actually
   // hit the cache.
   bool warm_context = true;
+  // When > 0, every subject variant runs with a *soft* deadline of this
+  // many milliseconds armed (Deadline{soft_ms, 0}). Soft expiry observes
+  // and continues — results and deterministic counters are unchanged by
+  // contract — so the comparison logic is untouched while the watchdog and
+  // its expiry path get exercised on every case that runs long enough
+  // (focq_fuzz --soft-deadline-ms, run under ASan in CI).
+  std::int64_t soft_deadline_ms = 0;
   // The implementation under test; defaults to RunSubject (the real
   // pipeline). Tests substitute a faulty subject to exercise the harness.
   std::function<Outcome(const DiffCase&, const EvalOptions&)> subject;

@@ -4,13 +4,35 @@
 #ifndef FOCQ_UTIL_CHECK_H_
 #define FOCQ_UTIL_CHECK_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace focq::internal {
 
+/// Optional crash hook, invoked once after a failed check prints and before
+/// the process aborts. The flight recorder (obs/recorder) registers a hook
+/// that dumps its ring buffer to stderr, turning an abort into a postmortem.
+/// The hook must be async-signal-tolerant in spirit: no locks it could be
+/// holding at the check site, no allocation it cannot afford to leak.
+using CrashHook = void (*)();
+
+inline std::atomic<CrashHook>& CrashHookSlot() {
+  static std::atomic<CrashHook> hook{nullptr};
+  return hook;
+}
+
+/// Installs `hook` (nullptr to clear); returns the previous hook.
+inline CrashHook SetCrashHook(CrashHook hook) {
+  return CrashHookSlot().exchange(hook);
+}
+
 [[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
   std::fprintf(stderr, "FOCQ_CHECK failed at %s:%d: %s\n", file, line, expr);
+  // One-shot: clear before calling so a check failing inside the hook
+  // cannot recurse.
+  CrashHook hook = CrashHookSlot().exchange(nullptr);
+  if (hook != nullptr) hook();
   std::abort();
 }
 

@@ -17,6 +17,8 @@ const char* CodeName(StatusCode code) {
       return "NOT_FOUND";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kOutOfRange,        // arithmetic overflow / index out of range
   kNotFound,          // lookup miss (unknown relation symbol, variable, ...)
   kInternal,          // invariant violation that was caught gracefully
+  kDeadlineExceeded,  // cooperative cancellation: a query hard deadline fired
 };
 
 /// The result of an operation that can fail. Cheap to copy when OK.
@@ -43,6 +44,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

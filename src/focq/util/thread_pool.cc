@@ -167,11 +167,25 @@ ThreadPool& ThreadPool::Shared() {
   return *pool;
 }
 
+namespace {
+std::atomic<ParallelForHook> g_parallel_for_hook{nullptr};
+}  // namespace
+
+ParallelForHook SetParallelForHook(ParallelForHook hook) {
+  return g_parallel_for_hook.exchange(hook);
+}
+
 void ParallelFor(int num_threads, std::size_t n,
                  const ParallelChunkBody& body) {
   if (n == 0) return;
   const int workers = EffectiveThreads(num_threads);
   ChunkGrid grid = MakeChunkGrid(n, workers);
+  if (workers > 1 && grid.num_chunks > 1) {
+    if (ParallelForHook hook =
+            g_parallel_for_hook.load(std::memory_order_relaxed)) {
+      hook(n, grid.num_chunks);
+    }
+  }
   // The observer of the calling thread covers this whole fan-out: helper
   // tasks report to it from their own threads (RecordChunk is thread-safe).
   ParallelForObserver* observer = tls_observer;

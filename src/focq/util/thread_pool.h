@@ -149,6 +149,17 @@ ParallelForObserver* CurrentParallelForObserver();
 /// pool thread, 0 anywhere else (including every ParallelFor caller).
 int CurrentWorkerTid();
 
+/// Process-wide fan-out hook: when installed, ParallelFor invokes it once
+/// per parallel fan-out with (items, chunks) before dispatching. This is how
+/// the flight recorder (obs/recorder) observes pool activity without a
+/// dependency cycle between the util and obs libraries — obs installs the
+/// hook when recording is enabled. The hook is called from ParallelFor
+/// callers (any thread) and must be thread-safe and cheap.
+using ParallelForHook = void (*)(std::size_t n, std::size_t chunks);
+
+/// Installs `hook` (nullptr to clear); returns the previous hook.
+ParallelForHook SetParallelForHook(ParallelForHook hook);
+
 /// The chunk body: (chunk_index, begin, end) over a half-open item range.
 using ParallelChunkBody =
     std::function<void(std::size_t, std::size_t, std::size_t)>;

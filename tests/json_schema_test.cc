@@ -183,8 +183,9 @@ TEST(JsonSchema, MetricsDocument) {
   ASSERT_EQ(values.kind, Json::kObject);
   for (const auto& [name, stats] : values.object) {
     ASSERT_EQ(stats.kind, Json::kObject) << "values." << name;
-    EXPECT_EQ(stats.object.size(), 5u) << "values." << name;
-    for (const char* key : {"count", "sum", "min", "max", "mean"}) {
+    EXPECT_EQ(stats.object.size(), 8u) << "values." << name;
+    for (const char* key :
+         {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}) {
       ASSERT_TRUE(stats.Has(key)) << "values." << name << "." << key;
       EXPECT_EQ(stats.At(key).kind, Json::kNumber);
     }

@@ -82,7 +82,8 @@ TEST(MetricsSink, ToJsonEscapesNames) {
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"values\""), std::string::npos);
   EXPECT_NE(json.find("\"plain\": {\"count\": 1, \"sum\": 3, \"min\": 3, "
-                      "\"max\": 3, \"mean\": 3}"),
+                      "\"max\": 3, \"mean\": 3, \"p50\": 3, \"p95\": 3, "
+                      "\"p99\": 3}"),
             std::string::npos);
 }
 

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Strict validator for the OpenMetrics text exposition format.
+
+Checks the subset of the spec that focq's exporter
+(src/focq/obs/openmetrics.cc, surfaced by `focq_cli --openmetrics=FILE`)
+must uphold:
+
+  * the document ends with exactly one '# EOF\n' line, nothing after it;
+  * every line is a '# TYPE|HELP|UNIT <family> ...' metadata line or a
+    sample line '<name>[{labels}] <value> [<timestamp>]';
+  * families are declared (TYPE) before their samples and never interleave:
+    once another family starts, a finished family may not reappear;
+  * sample names match their family's type (counter samples carry the
+    '_total' suffix; histogram samples '_bucket'/'_sum'/'_count'; gauges
+    the bare family name);
+  * metric names and label names match the format's charset; label values
+    are well-formed quoted strings;
+  * timestamps are strictly increasing per (name, labelset) series;
+  * histogram invariants per timestamp: cumulative bucket counts are
+    non-decreasing in 'le', an '+Inf' bucket exists and equals '_count'.
+
+Usage: check_openmetrics.py FILE [FILE...]; exits non-zero on the first
+violation, printing 'file:line: message'.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# A sample line: name, optional {labels}, value, optional timestamp.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<ts>[^ ]+))?$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+TYPES = {"counter", "gauge", "histogram", "summary", "info",
+         "stateset", "unknown"}
+
+# Sample-name suffixes allowed per family type ('' = the bare family name).
+SUFFIXES = {
+    "counter": {"_total", "_created"},
+    "gauge": {""},
+    "histogram": {"_bucket", "_sum", "_count", "_created"},
+    "summary": {"", "_sum", "_count", "_created"},
+    "info": {"_info"},
+    "stateset": {""},
+    "unknown": {""},
+}
+
+
+class Violation(Exception):
+    pass
+
+
+def parse_number(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    try:
+        return float(text)
+    except ValueError:
+        raise Violation(f"malformed number {text!r}")
+
+
+def parse_labels(text):
+    """Returns the canonical ((name, value), ...) tuple for a label block."""
+    if text is None or text == "":
+        return ()
+    out = []
+    pos = 0
+    while pos < len(text):
+        m = LABEL_RE.match(text, pos)
+        if m is None:
+            raise Violation(f"malformed label at offset {pos} in {text!r}")
+        out.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise Violation(f"expected ',' between labels in {text!r}")
+            pos += 1
+    names = [n for n, _ in out]
+    if len(names) != len(set(names)):
+        raise Violation(f"duplicate label name in {text!r}")
+    return tuple(out)
+
+
+def check_histogram_family(family, samples):
+    """Bucket cumulativity and _count consistency, per timestamp."""
+    by_ts = {}
+    for name, labels, value, ts in samples:
+        by_ts.setdefault(ts, []).append((name, dict(labels), value))
+    for ts, rows in by_ts.items():
+        buckets = []
+        count = None
+        for name, labels, value in rows:
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    raise Violation(
+                        f"{family}_bucket sample without 'le' label")
+                buckets.append((parse_number(labels["le"]), value))
+            elif name == family + "_count":
+                count = value
+        if not buckets:
+            continue
+        buckets.sort(key=lambda b: b[0])
+        prev = None
+        for le, value in buckets:
+            if prev is not None and value < prev:
+                raise Violation(
+                    f"{family}: bucket counts not cumulative at le={le}")
+            prev = value
+        if buckets[-1][0] != float("inf"):
+            raise Violation(f"{family}: missing le=\"+Inf\" bucket")
+        if count is not None and buckets[-1][1] != count:
+            raise Violation(
+                f"{family}: +Inf bucket {buckets[-1][1]} != _count {count}")
+
+
+def check_file(path):
+    with open(path, "rb") as f:
+        raw = f.read()
+    if not raw.endswith(b"# EOF\n"):
+        raise Violation("document must end with '# EOF\\n'")
+    text = raw.decode("utf-8")
+
+    families = {}          # family -> type
+    finished = set()       # families that may not reappear
+    current = None         # family currently being emitted
+    family_samples = {}    # family -> [(name, labels, value, ts)]
+    last_ts = {}           # (name, labels) -> ts
+    saw_eof = False
+
+    for lineno, line in enumerate(text.split("\n")[:-1], start=1):
+        try:
+            if saw_eof:
+                raise Violation("content after '# EOF'")
+            if line == "# EOF":
+                saw_eof = True
+                continue
+            if line.startswith("#"):
+                parts = line.split(" ", 3)
+                if len(parts) < 3 or parts[0] != "#" or \
+                        parts[1] not in ("TYPE", "HELP", "UNIT"):
+                    raise Violation(f"malformed metadata line {line!r}")
+                keyword, family = parts[1], parts[2]
+                if not NAME_RE.match(family):
+                    raise Violation(f"bad family name {family!r}")
+                if keyword == "TYPE":
+                    if family in families:
+                        raise Violation(f"duplicate TYPE for {family!r}")
+                    mtype = (parts[3] if len(parts) > 3 else "").strip()
+                    if mtype not in TYPES:
+                        raise Violation(f"unknown metric type {mtype!r}")
+                    if current is not None and current != family:
+                        finished.add(current)
+                    if family in finished:
+                        raise Violation(
+                            f"family {family!r} interleaved (reopened)")
+                    families[family] = mtype
+                    current = family
+                else:
+                    if family != current:
+                        raise Violation(
+                            f"{keyword} for {family!r} outside its family "
+                            f"block (current: {current!r})")
+                continue
+            if line == "":
+                raise Violation("blank line (forbidden by the format)")
+
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                raise Violation(f"malformed sample line {line!r}")
+            name = m.group("name")
+            labels = parse_labels(m.group("labels"))
+            value = parse_number(m.group("value"))
+            ts = parse_number(m.group("ts")) if m.group("ts") else None
+
+            # Attribute the sample to its family via the allowed suffixes.
+            family = None
+            for fam, mtype in families.items():
+                for suffix in SUFFIXES[mtype]:
+                    if name == fam + suffix:
+                        family = fam
+                        break
+                if family is not None:
+                    break
+            if family is None:
+                raise Violation(
+                    f"sample {name!r} does not belong to any declared "
+                    f"family (or uses a suffix its type forbids)")
+            if family != current:
+                raise Violation(
+                    f"sample for family {family!r} inside {current!r}'s "
+                    f"block (interleaving is forbidden)")
+
+            series = (name, labels)
+            if ts is not None and series in last_ts and \
+                    ts <= last_ts[series]:
+                raise Violation(
+                    f"timestamps not increasing for series {name!r} "
+                    f"{dict(labels)!r}: {ts} after {last_ts[series]}")
+            if ts is not None:
+                last_ts[series] = ts
+            family_samples.setdefault(family, []).append(
+                (name, labels, value, ts))
+        except Violation as v:
+            raise Violation(f"{path}:{lineno}: {v}") from None
+
+    if not saw_eof:
+        raise Violation(f"{path}: missing '# EOF' line")
+    for family, mtype in families.items():
+        if mtype == "histogram":
+            try:
+                check_histogram_family(family, family_samples.get(family, []))
+            except Violation as v:
+                raise Violation(f"{path}: {v}") from None
+    return len(families), sum(len(s) for s in family_samples.values())
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_openmetrics.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            nfam, nsamples = check_file(path)
+        except Violation as v:
+            print(f"check_openmetrics: {v}", file=sys.stderr)
+            return 1
+        except OSError as e:
+            print(f"check_openmetrics: {e}", file=sys.stderr)
+            return 2
+        print(f"{path}: OK ({nfam} families, {nsamples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

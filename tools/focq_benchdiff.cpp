@@ -7,15 +7,25 @@
 // Options:
 //   --time-threshold X     relative real-time change that counts as a
 //                          regression/improvement (default 0.30)
+//   --warn-pct P           same threshold in percent (P=25 means +25%);
+//                          overrides --time-threshold. Regressions past it
+//                          are reported (warn-only unless --strict)
+//   --fail-pct P           hard-fail threshold in percent: any benchmark
+//                          slower than base by more than P% exits 1, no
+//                          --strict needed. Use a warn band below a fail
+//                          band (--warn-pct 15 --fail-pct 40) to surface
+//                          drift early without flaking CI on noise
 //   --counter-threshold X  relative counter change worth reporting
 //                          (default 0 = exact match required)
 //   --format markdown|json report format (default markdown)
 //   --out PATH             write the report to PATH instead of stdout
-//   --strict               exit 1 when regressions are found (default is
-//                          warn-only: always exit 0 on a successful compare)
+//   --strict               exit 1 when regressions past the warn threshold
+//                          are found (default is warn-only: always exit 0 on
+//                          a successful compare)
 //
 // Exit codes: 0 compare succeeded (regardless of regressions unless
-// --strict), 1 regressions under --strict, 2 usage/IO/parse errors.
+// --strict/--fail-pct), 1 regressions under --strict or past --fail-pct,
+// 2 usage/IO/parse errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +44,10 @@ void PrintUsage() {
       << "usage: focq_benchdiff BASE.json CURRENT.json [options]\n"
          "  --time-threshold X     relative time change = regression "
          "(default 0.30)\n"
+         "  --warn-pct P           warn threshold in percent (overrides "
+         "--time-threshold)\n"
+         "  --fail-pct P           exit 1 when any time regresses past P% "
+         "(no --strict needed)\n"
          "  --counter-threshold X  relative counter change to report "
          "(default 0)\n"
          "  --format markdown|json report format (default markdown)\n"
@@ -58,6 +72,7 @@ int main(int argc, char** argv) {
   std::string format = "markdown";
   std::string out_path;
   bool strict = false;
+  double fail_pct = -1.0;
   focq::BenchDiffOptions options;
 
   auto need_value = [&](int i) -> const char* {
@@ -73,6 +88,16 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--time-threshold") == 0) {
       options.time_threshold = std::atof(need_value(i));
       ++i;
+    } else if (std::strcmp(arg, "--warn-pct") == 0) {
+      options.time_threshold = std::atof(need_value(i)) / 100.0;
+      ++i;
+    } else if (std::strcmp(arg, "--fail-pct") == 0) {
+      fail_pct = std::atof(need_value(i));
+      ++i;
+      if (fail_pct < 0) {
+        std::cerr << "focq_benchdiff: --fail-pct expects a percentage >= 0\n";
+        return 2;
+      }
     } else if (std::strcmp(arg, "--counter-threshold") == 0) {
       options.counter_threshold = std::atof(need_value(i));
       ++i;
@@ -150,11 +175,25 @@ int main(int argc, char** argv) {
     out << rendered;
   }
 
+  int rc = 0;
   if (report.NumRegressions() > 0) {
     std::cerr << "focq_benchdiff: " << report.NumRegressions()
               << " regression(s) vs " << base_path
               << (strict ? "" : " (warn-only; pass --strict to fail)") << "\n";
-    if (strict) return 1;
+    if (strict) rc = 1;
   }
-  return 0;
+  // The fail band is evaluated independently of the warn band: re-diff at
+  // the stricter threshold so warn-level noise cannot flip the exit code.
+  if (fail_pct >= 0) {
+    focq::BenchDiffOptions fail_options = options;
+    fail_options.time_threshold = fail_pct / 100.0;
+    focq::BenchDiffReport fail_report =
+        focq::DiffBenchRuns(*base, *current, fail_options);
+    if (fail_report.NumRegressions() > 0) {
+      std::cerr << "focq_benchdiff: " << fail_report.NumRegressions()
+                << " regression(s) past --fail-pct " << fail_pct << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
 }

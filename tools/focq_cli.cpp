@@ -52,6 +52,27 @@
 //   --explain-json     write the explain document as JSON
 //                      ({"explain":{"analyzed","nodes":[...]}}); implies
 //                      --explain-analyze unless --explain was given
+//   --progress         print a per-phase progress snapshot ("cover 8/8
+//                      cl_term 120/4096 ...") after every evaluation (per
+//                      statement with --batch)
+//   --deadline-ms      hard per-statement time budget: a statement past it
+//                      is cancelled cooperatively at the next chunk boundary
+//                      and reports kDeadlineExceeded with the progress
+//                      snapshot; remaining batch statements still run
+//   --soft-deadline-ms soft budget: the statement keeps running, but the
+//                      expiry is noted on stderr and — when --flight-record
+//                      is on — the flight recorder is dumped there, so slow
+//                      queries leave a postmortem while still completing
+//   --flight-record    enable the in-process flight recorder (ring buffer of
+//                      phase/cache/fan-out/watchdog events) and write its
+//                      final dump to FILE; also dumped to stderr on soft
+//                      expiry and on FOCQ_CHECK failure
+//   --openmetrics      write an OpenMetrics/Prometheus text exposition of
+//                      the run to FILE: counters as focq_<name>_total, value
+//                      distributions as focq_dist_<name> histograms, phase
+//                      progress as gauges. With --batch one timestamped
+//                      sample is taken per statement (a time series);
+//                      otherwise one sample at exit
 //
 // Examples:
 //   focq_cli graph.fs --check 'exists x. @eq(#(y). (E(x, y)), 4)'
@@ -72,6 +93,7 @@
 #include "focq/logic/fragment.h"
 #include "focq/logic/parser.h"
 #include "focq/obs/json_export.h"
+#include "focq/obs/recorder.h"
 #include "focq/structure/io.h"
 #include "focq/structure/update.h"
 #include "focq/util/thread_pool.h"
@@ -93,6 +115,9 @@ int Usage() {
                "                [--metrics-json PATH] [--trace-json PATH]\n"
                "                [--explain | --explain-analyze] "
                "[--explain-json PATH]\n"
+               "                [--progress] [--deadline-ms N] "
+               "[--soft-deadline-ms N]\n"
+               "                [--flight-record PATH] [--openmetrics PATH]\n"
                "                (--check S | --count F | --term T "
                "| --batch FILE)\n");
   return 2;
@@ -102,6 +127,15 @@ bool WriteFile(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) return false;
   out << content << "\n";
+  return out.good();
+}
+
+// Verbatim write — the OpenMetrics format requires '# EOF' to be the last
+// line, so no trailing newline may be appended.
+bool WriteFileRaw(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
   return out.good();
 }
 
@@ -123,6 +157,9 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool explain_analyze = false;
   std::string explain_json_path;
+  bool show_progress = false;
+  std::string deadline_text = "0", soft_deadline_text = "0";
+  std::string flight_path, openmetrics_path;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -164,6 +201,33 @@ int main(int argc, char** argv) {
       explain_json_path = v;
     } else if (arg.rfind("--explain-json=", 0) == 0) {
       explain_json_path = arg.substr(std::string("--explain-json=").size());
+    } else if (arg == "--progress") {
+      show_progress = true;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      deadline_text = v;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_text = arg.substr(std::string("--deadline-ms=").size());
+    } else if (arg == "--soft-deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      soft_deadline_text = v;
+    } else if (arg.rfind("--soft-deadline-ms=", 0) == 0) {
+      soft_deadline_text =
+          arg.substr(std::string("--soft-deadline-ms=").size());
+    } else if (arg == "--flight-record") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      flight_path = v;
+    } else if (arg.rfind("--flight-record=", 0) == 0) {
+      flight_path = arg.substr(std::string("--flight-record=").size());
+    } else if (arg == "--openmetrics") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      openmetrics_path = v;
+    } else if (arg.rfind("--openmetrics=", 0) == 0) {
+      openmetrics_path = arg.substr(std::string("--openmetrics=").size());
     } else if (arg == "--update") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -198,6 +262,21 @@ int main(int argc, char** argv) {
   } catch (const std::exception&) {
     return Fail("--threads expects a non-negative integer");
   }
+  auto parse_ms = [](const std::string& text, std::int64_t* out) -> bool {
+    try {
+      std::size_t pos = 0;
+      *out = std::stoll(text, &pos);
+      return pos == text.size() && *out >= 0;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  if (!parse_ms(deadline_text, &options.deadline.hard_ms)) {
+    return Fail("--deadline-ms expects a non-negative integer");
+  }
+  if (!parse_ms(soft_deadline_text, &options.deadline.soft_ms)) {
+    return Fail("--soft-deadline-ms expects a non-negative integer");
+  }
   if (engine_name == "naive") {
     options.engine = Engine::kNaive;
   } else if (engine_name == "local") {
@@ -221,6 +300,8 @@ int main(int argc, char** argv) {
   MetricsSink metrics_sink;
   TraceSink trace_sink;
   ExplainSink explain_sink;
+  ProgressSink progress_sink;
+  OpenMetricsSeries om_series;
   if (!metrics_path.empty() || stats) options.metrics = &metrics_sink;
   // The metrics document embeds per-phase wall time, so tracing is on for
   // either export.
@@ -231,6 +312,24 @@ int main(int argc, char** argv) {
     // installs it.
     options.metrics = &metrics_sink;
   }
+  // The exporter's counter/histogram families come off the metrics sink, so
+  // --openmetrics implies it; progress gauges need the progress sink.
+  if (!openmetrics_path.empty()) options.metrics = &metrics_sink;
+  if (show_progress || options.deadline.armed() || !openmetrics_path.empty()) {
+    options.progress = &progress_sink;
+  }
+  if (!flight_path.empty()) FlightRecorder::Global().Enable();
+  // Soft expiry: note it on stderr and leave a postmortem (the statement
+  // keeps running; the callback fires at most once per statement).
+  progress_sink.SetSoftExpiryCallback([&progress_sink] {
+    std::fprintf(stderr, "focq_cli: soft deadline expired after %lld ms: %s\n",
+                 static_cast<long long>(progress_sink.ElapsedMs()),
+                 progress_sink.ToString().c_str());
+    FlightRecorder& recorder = FlightRecorder::Global();
+    if (recorder.enabled()) {
+      std::fprintf(stderr, "%s", recorder.Dump().c_str());
+    }
+  });
 
   Result<Structure> structure = [&]() -> Result<Structure> {
     if (!edges) return ReadStructureFile(path);
@@ -306,6 +405,26 @@ int main(int argc, char** argv) {
         return Fail("cannot write '" + trace_path + "'");
       }
     }
+    if (show_progress) {
+      std::printf("progress: %s (%lld ms)\n", progress_sink.ToString().c_str(),
+                  static_cast<long long>(progress_sink.ElapsedMs()));
+    }
+    if (!openmetrics_path.empty()) {
+      // Single-statement runs never routed through a sampling Session; take
+      // the one end-of-run sample here.
+      if (om_series.sample_count() == 0) {
+        om_series.Sample(UnixMillisNow(), metrics_sink.Snapshot(),
+                         options.progress);
+      }
+      if (!WriteFileRaw(openmetrics_path, om_series.Render())) {
+        return Fail("cannot write '" + openmetrics_path + "'");
+      }
+    }
+    if (!flight_path.empty()) {
+      if (!WriteFile(flight_path, FlightRecorder::Global().Dump())) {
+        return Fail("cannot write '" + flight_path + "'");
+      }
+    }
     return rc;
   };
 
@@ -346,6 +465,11 @@ int main(int argc, char** argv) {
     // Constructed over the mutable structure so "update" lines can repair
     // the cached artifacts in place instead of discarding them.
     Session session(&structure.value(), options);
+    // One timestamped OpenMetrics sample per statement: the batch becomes a
+    // scrapeable time series of the session's cumulative state.
+    if (!openmetrics_path.empty()) {
+      session.EnableOpenMetricsSampling(&om_series);
+    }
     int evaluated = 0;
     int failed = [&] {
       // Root span closed before finish() reads the sink.
@@ -353,6 +477,14 @@ int main(int argc, char** argv) {
       std::string line;
       int lineno = 0;
       int errors = 0;
+      // Per-statement progress snapshot under --progress (counters are
+      // cumulative across the batch, like the metrics sink).
+      auto line_progress = [&] {
+        if (show_progress) {
+          std::printf("line %d: progress: %s\n", lineno,
+                      progress_sink.ToString().c_str());
+        }
+      };
       while (std::getline(batch_in, line)) {
         ++lineno;
         std::size_t start = line.find_first_not_of(" \t");
@@ -361,6 +493,8 @@ int main(int argc, char** argv) {
         std::string kind = line.substr(start, split - start);
         std::string text =
             split == std::string::npos ? "" : line.substr(split + 1);
+        // Statement boundaries anchor the flight-recorder timeline.
+        FlightRecord(FlightEventKind::kMark, kind, lineno);
         auto report = [&](const Status& status) {
           std::printf("line %d: %s: error: %s\n", lineno, kind.c_str(),
                       status.ToString().c_str());
@@ -390,9 +524,10 @@ int main(int argc, char** argv) {
           Status symbols = CheckSymbols(*term, structure->signature());
           if (!symbols.ok()) { Fail(symbols.ToString()); return -1; }
           Result<CountInt> value = session.EvaluateGroundTerm(*term);
-          if (!value.ok()) { report(value.status()); continue; }
+          if (!value.ok()) { report(value.status()); line_progress(); continue; }
           std::printf("line %d: term: %lld\n", lineno,
                       static_cast<long long>(*value));
+          line_progress();
           continue;
         }
         Result<Formula> formula = ParseFormula(text);
@@ -401,15 +536,16 @@ int main(int argc, char** argv) {
         if (!symbols.ok()) { Fail(symbols.ToString()); return -1; }
         if (kind == "check") {
           Result<bool> holds = session.ModelCheck(*formula);
-          if (!holds.ok()) { report(holds.status()); continue; }
+          if (!holds.ok()) { report(holds.status()); line_progress(); continue; }
           std::printf("line %d: check: %s\n", lineno,
                       *holds ? "true" : "false");
         } else {
           Result<CountInt> count = session.CountSolutions(*formula);
-          if (!count.ok()) { report(count.status()); continue; }
+          if (!count.ok()) { report(count.status()); line_progress(); continue; }
           std::printf("line %d: count: %lld\n", lineno,
                       static_cast<long long>(*count));
         }
+        line_progress();
       }
       return errors;
     }();
@@ -437,7 +573,9 @@ int main(int argc, char** argv) {
       focq::ScopedSpan root(options.trace, "query_eval");
       return EvaluateGroundTerm(*term, *structure, options);
     }();
-    if (!value.ok()) return Fail(value.status().ToString());
+    // Deadline expiries and other evaluation failures still flush the
+    // observability exports — that postmortem is what they are for.
+    if (!value.ok()) return finish(Fail(value.status().ToString()));
     std::printf("value: %lld\n", static_cast<long long>(*value));
     return finish(0);
   }
@@ -452,7 +590,7 @@ int main(int argc, char** argv) {
       focq::ScopedSpan root(options.trace, "query_eval");
       return ModelCheck(*formula, *structure, options);
     }();
-    if (!holds.ok()) return Fail(holds.status().ToString());
+    if (!holds.ok()) return finish(Fail(holds.status().ToString()));
     std::printf("result: %s\n", *holds ? "true" : "false");
     return finish(*holds ? 0 : 3);  // shell-friendly: 3 = "false", 0 = "true"
   }
@@ -460,7 +598,7 @@ int main(int argc, char** argv) {
     focq::ScopedSpan root(options.trace, "query_eval");
     return CountSolutions(*formula, *structure, options);
   }();
-  if (!count.ok()) return Fail(count.status().ToString());
+  if (!count.ok()) return finish(Fail(count.status().ToString()));
   std::printf("solutions: %lld\n", static_cast<long long>(*count));
   return finish(0);
 }

@@ -7,7 +7,7 @@
 // Usage:
 //   focq_fuzz [--seed S] [--cases N] [--max-universe M] [--class NAME]
 //             [--updates K] [--time-budget SECONDS] [--out DIR]
-//             [--dump] [--stats]
+//             [--soft-deadline-ms MAX] [--dump] [--stats]
 //   focq_fuzz --replay FILE...      replay .case files (regression check)
 //   focq_fuzz --corpus DIR          replay every .case file in a directory
 //   focq_fuzz --self-test           inject a miscounting engine and verify
@@ -18,6 +18,12 @@
 // one incrementally repaired EvalContext after every step, and the oracle
 // rebuilds from scratch (DESIGN.md §3e). Replay handles both flavours — the
 // .case file records the sequence.
+//
+// --soft-deadline-ms MAX arms a per-case random *soft* deadline in
+// [0, MAX] ms (0 disarms) on every subject variant: soft expiry observes
+// and continues, so agreement checks are unchanged while the watchdog
+// poll/expiry paths run on every case — the CI fuzz-smoke exercises this
+// under ASan.
 //
 // Exit codes: 0 = all cases agree, 1 = disagreement found (or self-test
 // failed), 2 = usage / input error.
@@ -51,6 +57,7 @@ int Usage() {
                "usage: focq_fuzz [--seed S] [--cases N] [--max-universe M]\n"
                "                 [--class NAME] [--updates K]\n"
                "                 [--time-budget SECONDS]\n"
+               "                 [--soft-deadline-ms MAX]\n"
                "                 [--out DIR] [--dump] [--stats]\n"
                "       focq_fuzz --replay FILE...\n"
                "       focq_fuzz --corpus DIR\n"
@@ -188,6 +195,7 @@ int main(int argc, char** argv) {
   std::size_t cases = 200;
   std::size_t max_universe = 24;
   std::size_t updates = 0;  // per-case update-sequence length (0 = off)
+  std::uint64_t soft_deadline_max_ms = 0;  // 0 = watchdog off
   double time_budget_s = 0.0;  // 0 = unlimited
   std::string out_dir = ".";
   std::optional<StructureClass> cls;
@@ -226,6 +234,8 @@ int main(int argc, char** argv) {
       std::uint64_t v = 0;
       if (!parse_u64(next(), &v)) return Usage();
       updates = static_cast<std::size_t>(v);
+    } else if (arg == "--soft-deadline-ms") {
+      if (!parse_u64(next(), &soft_deadline_max_ms)) return Usage();
     } else if (arg == "--time-budget") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -304,6 +314,10 @@ int main(int argc, char** argv) {
     }
     DiffCase c = GenerateCase(structure_options, formula_options, &rng);
     if (updates > 0) AppendRandomUpdates(&c, updates, &rng);
+    if (soft_deadline_max_ms > 0) {
+      config.soft_deadline_ms =
+          static_cast<std::int64_t>(rng.NextBelow(soft_deadline_max_ms + 1));
+    }
     if (dump) {
       std::printf("--- case %zu ---\n%s", i, WriteCase(c).c_str());
     }
