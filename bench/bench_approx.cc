@@ -1,0 +1,175 @@
+// E17 -- accuracy vs speed of Engine::kApprox (DESIGN.md §3f): the sampling
+// estimator against both exact engines on two workloads.
+//
+//   * BM_DegreeCount*: the degree-threshold count |{x : deg(x) >= 3}| via
+//     @ge1(#(y). (E(x, y)) - 2) on a bounded-degree random graph. The naive
+//     oracle is Theta(n^2); the locality pipeline is the strong exact
+//     baseline; the estimator checks the formula on 265 sampled vertices
+//     regardless of n.
+//   * BM_DistCount*: the radius-4 pair count #(x, y). (dist(x, y) <= 4) on
+//     a degree-8 graph — wide neighbourhoods make every exact strategy pay
+//     (the naive oracle runs a BFS per pair, the locality pipeline builds
+//     radius-4 covers), while the estimator checks 265 sampled pairs. This
+//     is the workload behind the ">= 5x over exact at sizes where exact
+//     exceeds 1s" claim of EXPERIMENTS.md E17: naive crosses 1s around
+//     n = 600 and kLocal around n = 3000, and the estimator beats each by
+//     far more than 5x at those sizes. The dense target (most pairs lie
+//     within distance 4) also keeps the estimate's relative error small, so
+//     the recorded `value` counters double as an accuracy exhibit.
+//   * BM_ApproxEpsSweep: the dist workload at one size, eps in
+//     {0.05, 0.1, 0.2} — the budget (and hence the runtime) scales with
+//     1/eps^2 while the estimate's deterministic value is recorded as a
+//     counter, making the accuracy/effort trade-off visible in
+//     BENCH_approx.json.
+//
+// The `value` / `samples` counters are deterministic for the fixed seeds
+// (the estimator is bit-identical across thread counts and machines), so
+// focq_benchdiff treats them as exact-match counters against
+// bench/baselines/approx.json; timings are warn-only as usual.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "focq/core/api.h"
+#include "focq/graph/generators.h"
+#include "focq/logic/parser.h"
+#include "focq/obs/metrics.h"
+#include "focq/structure/encode.h"
+#include "focq/util/rng.h"
+
+namespace focq {
+namespace {
+
+Structure MakeInput(std::size_t n) {
+  Rng rng(1717);
+  return EncodeGraph(MakeRandomBoundedDegree(n, 4, &rng));
+}
+
+EvalOptions EngineOptions(Engine engine, MetricsSink* metrics) {
+  EvalOptions options;
+  options.engine = engine;
+  options.metrics = metrics;
+  options.approx.seed = 17;
+  return options;
+}
+
+void ReportApprox(benchmark::State& state, const MetricsSink& metrics,
+                  CountInt value) {
+  state.counters["value"] = static_cast<double>(value);
+  if (state.iterations() > 0) {
+    state.counters["samples"] =
+        static_cast<double>(metrics.Counter("approx.samples_drawn")) /
+        static_cast<double>(state.iterations());
+  }
+}
+
+void RunDegreeCount(benchmark::State& state, Engine engine) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Structure a = MakeInput(n);
+  Formula phi = *ParseFormula("@ge1(#(y). (E(x, y)) - 2)");
+  MetricsSink metrics;
+  EvalOptions options = EngineOptions(engine, &metrics);
+  CountInt value = 0;
+  for (auto _ : state) {
+    Result<CountInt> r = CountSolutions(phi, a, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    value = *r;
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  ReportApprox(state, metrics, value);
+}
+
+Structure MakeDenseInput(std::size_t n) {
+  Rng rng(2929);
+  return EncodeGraph(MakeRandomBoundedDegree(n, 8, &rng));
+}
+
+void RunDistCount(benchmark::State& state, Engine engine) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Structure a = MakeDenseInput(n);
+  Term t = *ParseTerm("#(x, y). (dist(x, y) <= 4)");
+  MetricsSink metrics;
+  EvalOptions options = EngineOptions(engine, &metrics);
+  CountInt value = 0;
+  for (auto _ : state) {
+    Result<CountInt> r = EvaluateGroundTerm(t, a, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    value = *r;
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  ReportApprox(state, metrics, value);
+}
+
+void BM_DegreeCountNaive(benchmark::State& state) {
+  RunDegreeCount(state, Engine::kNaive);
+}
+void BM_DegreeCountLocal(benchmark::State& state) {
+  RunDegreeCount(state, Engine::kLocal);
+}
+void BM_DegreeCountApprox(benchmark::State& state) {
+  RunDegreeCount(state, Engine::kApprox);
+}
+
+void BM_DistCountNaive(benchmark::State& state) {
+  RunDistCount(state, Engine::kNaive);
+}
+void BM_DistCountLocal(benchmark::State& state) {
+  RunDistCount(state, Engine::kLocal);
+}
+void BM_DistCountApprox(benchmark::State& state) {
+  RunDistCount(state, Engine::kApprox);
+}
+
+// eps sweep at a fixed size: budget ~ ln(2/delta)/(2 eps^2).
+void BM_ApproxEpsSweep(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const double eps = static_cast<double>(state.range(0)) / 1000.0;
+  Structure a = MakeDenseInput(n);
+  Term t = *ParseTerm("#(x, y). (dist(x, y) <= 4)");
+  MetricsSink metrics;
+  EvalOptions options = EngineOptions(Engine::kApprox, &metrics);
+  options.approx.eps = eps;
+  CountInt value = 0;
+  for (auto _ : state) {
+    Result<CountInt> r = EvaluateGroundTerm(t, a, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    value = *r;
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["eps_permille"] = static_cast<double>(state.range(0));
+  ReportApprox(state, metrics, value);
+}
+
+// Exact engines stop where a single iteration crosses a few seconds; the
+// estimator keeps going two orders of magnitude further at flat cost.
+BENCHMARK(BM_DegreeCountNaive)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DegreeCountLocal)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DegreeCountApprox)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_DistCountNaive)->Arg(300)->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistCountLocal)->Arg(300)->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistCountApprox)->Arg(300)->Arg(600)->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ApproxEpsSweep)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace focq

@@ -1,0 +1,34 @@
+#include "focq/approx/counter_rng.h"
+
+#include "focq/util/check.h"
+
+namespace focq {
+
+std::uint64_t MixBits(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+CounterRng::CounterRng(std::uint64_t seed, std::uint64_t stream)
+    : key_(MixBits(MixBits(seed) ^ MixBits(stream ^ 0xa0761d6478bd642fULL))) {}
+
+std::uint64_t CounterRng::At(std::uint64_t counter) const {
+  return MixBits(key_ ^ MixBits(counter));
+}
+
+std::uint64_t CounterRng::IndexAt(std::uint64_t counter,
+                                  std::uint64_t bound) const {
+  FOCQ_CHECK(bound >= 1);
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(At(counter)) *
+      static_cast<unsigned __int128>(bound);
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+CounterRng CounterRng::Substream(std::uint64_t stream) const {
+  return CounterRng(MixBits(key_ ^ MixBits(stream ^ 0xe7037ed1a0b428dbULL)));
+}
+
+}  // namespace focq

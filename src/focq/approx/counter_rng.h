@@ -1,0 +1,52 @@
+// Counter-based (stateless) pseudo-randomness for the sampling estimators.
+//
+// The approximate engine must be bit-identical for every num_threads, which
+// rules out a sequential generator: whichever chunk grid ParallelFor picks,
+// sample i must see the same draws. A counter-based generator makes the i-th
+// draw a pure function of (seed, stream, i) — chunk bodies jump straight to
+// their first sample with no skip-ahead state, and the reduction over chunk
+// order is trivially chunking-independent (DESIGN.md, "Concurrency model").
+//
+// The mixer is the SplitMix64 finalizer (Steele/Lea/Flood-style 64-bit
+// avalanche), statistically solid for Monte-Carlo sampling; this is not a
+// cryptographic generator and is not meant to be one.
+#ifndef FOCQ_APPROX_COUNTER_RNG_H_
+#define FOCQ_APPROX_COUNTER_RNG_H_
+
+#include <cstdint>
+
+namespace focq {
+
+/// The SplitMix64 finalizer: a bijective 64-bit avalanche mix.
+std::uint64_t MixBits(std::uint64_t x);
+
+/// One logical random stream addressed by counters. Copyable and trivially
+/// cheap; a chunk body keeps a copy by value and indexes into it.
+class CounterRng {
+ public:
+  CounterRng(std::uint64_t seed, std::uint64_t stream);
+
+  /// The `counter`-th 64-bit word of the stream. Pure function of
+  /// (seed, stream, counter): identical on every thread, in any order.
+  std::uint64_t At(std::uint64_t counter) const;
+
+  /// The `counter`-th draw mapped into [0, bound) via the 128-bit
+  /// multiply-shift reduction (Lemire). No rejection loop — every counter
+  /// consumes exactly one word, so the draw sequence never depends on the
+  /// values drawn. Bias is < bound / 2^64 (irrelevant for universe-sized
+  /// bounds). `bound` must be >= 1.
+  std::uint64_t IndexAt(std::uint64_t counter, std::uint64_t bound) const;
+
+  /// A derived stream (per stratum, per counting term, ...). Substreams of
+  /// distinct ids are independent for all practical purposes.
+  CounterRng Substream(std::uint64_t stream) const;
+
+ private:
+  explicit CounterRng(std::uint64_t key) : key_(key) {}
+
+  std::uint64_t key_;
+};
+
+}  // namespace focq
+
+#endif  // FOCQ_APPROX_COUNTER_RNG_H_

@@ -1,0 +1,25 @@
+#include "focq/approx/params.h"
+
+#include <cmath>
+
+namespace focq {
+
+Status ValidateApproxParams(const ApproxParams& p) {
+  if (!(p.eps > 0.0) || !(p.eps < 1.0)) {
+    return Status::InvalidArgument("approx eps must lie in (0, 1)");
+  }
+  if (!(p.delta > 0.0) || !(p.delta < 1.0)) {
+    return Status::InvalidArgument("approx delta must lie in (0, 1)");
+  }
+  return Status::Ok();
+}
+
+CountInt ApproxSampleBudget(double eps, double delta) {
+  constexpr CountInt kMaxBudget = CountInt{1} << 26;
+  const double m = std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps));
+  if (!(m >= 1.0)) return 1;
+  if (m >= static_cast<double>(kMaxBudget)) return kMaxBudget;
+  return static_cast<CountInt>(m);
+}
+
+}  // namespace focq

@@ -5,9 +5,11 @@
 #include <optional>
 #include <set>
 
+#include "focq/approx/estimator.h"
 #include "focq/eval/naive_eval.h"
 #include "focq/logic/build.h"
 #include "focq/logic/printer.h"
+#include "focq/structure/gaifman.h"
 #include "focq/util/thread_pool.h"
 
 namespace focq {
@@ -105,6 +107,54 @@ void FlushNaiveMetrics(const NaiveEvaluator& eval, MetricsSink* metrics) {
   metrics->AddCounter("naive.tuples_enumerated", eval.tuples_enumerated());
 }
 
+// Everything one Engine::kApprox call hands the estimator, plus owned
+// storage for a stratification typing built without a shared context.
+struct ApproxSetup {
+  ApproxEvalHooks hooks;
+  std::optional<SphereTypeAssignment> local_strata;
+};
+
+// Validates the (eps, delta) contract and resolves the stratification
+// typing: from the caller's EvalContext when one caches this structure
+// (cancellable build, approx.strata_reused counter), else computed locally —
+// the typing is a pure function of (structure, radius), so warm and cold
+// runs stratify identically and stay bit-identical (DESIGN.md §3f).
+Status PrepareApprox(const EvalOptions& options, const Structure& a,
+                     const ExplainCall& call, ApproxSetup* setup) {
+  FOCQ_RETURN_IF_ERROR(ValidateApproxParams(options.approx));
+  setup->hooks.num_threads = options.num_threads;
+  setup->hooks.metrics = options.metrics;
+  setup->hooks.trace = options.trace;
+  setup->hooks.explain = options.explain;
+  setup->hooks.explain_parent =
+      call.node >= 0 ? call.node : options.explain_parent;
+  setup->hooks.progress = options.progress;
+  if (!options.approx.stratify) return Status::Ok();
+  const std::uint32_t r = options.approx.stratify_radius;
+  ArtifactOptions artifact_opts{options.num_threads, options.metrics,
+                                options.trace, options.explain,
+                                options.progress};
+  if (EvalContext* context = UsableContext(options, a); context != nullptr) {
+    const bool reused = context->CachedSphereTypes(r) != nullptr;
+    Result<const SphereTypeAssignment*> typing =
+        context->TrySphereTypes(r, artifact_opts);
+    if (!typing.ok()) return typing.status();
+    setup->hooks.strata = *typing;
+    if (options.metrics != nullptr) {
+      options.metrics->AddCounter("approx.strata_reused", reused ? 1 : 0);
+    }
+  } else {
+    Graph gaifman = BuildGaifmanGraph(a);
+    setup->local_strata.emplace(ComputeSphereTypes(
+        a, gaifman, r, options.num_threads, options.progress));
+    if (options.progress != nullptr && options.progress->cancelled()) {
+      return options.progress->DeadlineStatus();
+    }
+    setup->hooks.strata = &*setup->local_strata;
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
@@ -113,6 +163,16 @@ Result<bool> ModelCheck(const Formula& sentence, const Structure& a,
     return Status::InvalidArgument("ModelCheck expects a sentence");
   }
   ProgressScope scope(caller_options);
+  if (scope.options.engine == Engine::kApprox) {
+    // Sentences are boolean: there is no count to approximate. Validate the
+    // contract anyway (bad knobs fail uniformly across entry points) and
+    // answer exactly through the locality pipeline.
+    FOCQ_RETURN_IF_ERROR(ValidateApproxParams(scope.options.approx));
+    scope.options.engine = Engine::kLocal;
+    if (scope.options.metrics != nullptr) {
+      scope.options.metrics->AddCounter("approx.boolean_exact", 1);
+    }
+  }
   const EvalOptions& options = scope.options;
   ExplainCall call = BeginExplainCall(
       options, options.engine == Engine::kNaive ? "naive-check" : "check",
@@ -151,7 +211,10 @@ Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
   ProgressScope scope(caller_options);
   const EvalOptions& options = scope.options;
   ExplainCall call = BeginExplainCall(
-      options, options.engine == Engine::kNaive ? "naive-term" : "term",
+      options,
+      options.engine == Engine::kNaive     ? "naive-term"
+      : options.engine == Engine::kApprox  ? "approx-term"
+                                           : "term",
       ToString(t));
   ScopedNodeTimer call_timer(call.sink, call.node, options.metrics);
   if (options.engine == Engine::kNaive) {
@@ -161,6 +224,13 @@ Result<CountInt> EvaluateGroundTerm(const Term& t, const Structure& a,
     Result<CountInt> v = eval.Evaluate(t);
     FlushNaiveMetrics(eval, options.metrics);
     return v;
+  }
+  if (options.engine == Engine::kApprox) {
+    ScopedSpan span(options.trace, "approx_eval");
+    ApproxSetup setup;
+    FOCQ_RETURN_IF_ERROR(PrepareApprox(options, a, call, &setup));
+    ApproxEvaluator eval(a, options.approx, setup.hooks);
+    return eval.EvaluateGround(t);
   }
   Result<EvalPlan> plan = [&] {
     int cnode = call.sink != nullptr
@@ -416,6 +486,47 @@ Result<QueryResult> EvaluateMultiQueryLocal(const Foc1Query& q,
   return result;
 }
 
+// Engine::kApprox queries: the boolean part (which rows qualify) is answered
+// exactly by the kLocal pipeline on a head-term-less shell of the query, so
+// row sets are bit-identical to the exact engines; only the head-term count
+// columns are estimated. Rows are walked in their deterministic order and
+// each term's draws depend on the row's bound values, so the columns are
+// identical for every thread count.
+Result<QueryResult> EvaluateQueryApprox(const Foc1Query& q, const Structure& a,
+                                        const EvalOptions& options) {
+  FOCQ_RETURN_IF_ERROR(ValidateApproxParams(options.approx));
+  Foc1Query shell = q;
+  shell.head_terms.clear();
+  EvalOptions exact = options;
+  exact.engine = Engine::kLocal;
+  Result<QueryResult> rows = q.head_vars.size() >= 2
+                                 ? EvaluateMultiQueryLocal(shell, a, exact)
+                                 : EvaluateUnaryQueryLocal(shell, a, exact);
+  if (!rows.ok()) return rows;
+  if (q.head_terms.empty()) return rows;
+  ExplainCall call = BeginExplainCall(
+      options, "approx-head-terms",
+      std::to_string(q.head_terms.size()) + " terms over " +
+          std::to_string(rows.value().rows.size()) + " rows");
+  ScopedNodeTimer call_timer(call.sink, call.node, options.metrics);
+  ApproxSetup setup;
+  FOCQ_RETURN_IF_ERROR(PrepareApprox(options, a, call, &setup));
+  ApproxEvaluator eval(a, options.approx, setup.hooks);
+  QueryResult result = std::move(rows.value());
+  for (QueryRow& row : result.rows) {
+    Env env;
+    for (std::size_t i = 0; i < q.head_vars.size(); ++i) {
+      env.Bind(q.head_vars[i], row.elements[i]);
+    }
+    for (const Term& t : q.head_terms) {
+      Result<CountInt> v = eval.Evaluate(t, &env);
+      if (!v.ok()) return v.status();
+      row.counts.push_back(*v);
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
@@ -452,10 +563,10 @@ Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
     if (options.engine == Engine::kNaive) {
       return EvaluateQueryNaive(q, a);
     }
-    if (q.head_vars.size() >= 2) {
-      return EvaluateMultiQueryLocal(q, a, query_options);
-    }
     if (q.head_vars.empty()) {
+      // ModelCheck answers the condition exactly under every engine and the
+      // ground head terms route through the engine's term path (estimated
+      // under Engine::kApprox), so this branch covers all of them.
       Result<bool> holds = ModelCheck(q.condition, a, query_options);
       if (!holds.ok()) return holds.status();
       QueryResult result;
@@ -469,6 +580,12 @@ Result<QueryResult> EvaluateQuery(const Foc1Query& q, const Structure& a,
         result.rows.push_back(std::move(row));
       }
       return result;
+    }
+    if (options.engine == Engine::kApprox) {
+      return EvaluateQueryApprox(q, a, query_options);
+    }
+    if (q.head_vars.size() >= 2) {
+      return EvaluateMultiQueryLocal(q, a, query_options);
     }
     return EvaluateUnaryQueryLocal(q, a, query_options);
   }();

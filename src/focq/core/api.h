@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "focq/approx/params.h"
 #include "focq/core/context.h"
 #include "focq/core/evaluator.h"
 #include "focq/core/plan.h"
@@ -21,13 +22,22 @@ namespace focq {
 
 /// Which evaluation pipeline to use.
 enum class Engine {
-  kNaive,  // direct Definition 3.1 semantics (the ground-truth baseline)
-  kLocal,  // Theorem 6.10 decomposition + local cl-term evaluation
+  kNaive,   // direct Definition 3.1 semantics (the ground-truth baseline)
+  kLocal,   // Theorem 6.10 decomposition + local cl-term evaluation
+  kApprox,  // sampling estimation of counting terms (DESIGN.md §3f): counts
+            // carry the (eps, delta) Hoeffding contract of EvalOptions::
+            // approx; everything boolean (sentences, query conditions) is
+            // still exact, via the kLocal pipeline
 };
 
 struct EvalOptions {
   Engine engine = Engine::kLocal;
   TermEngine term_engine = TermEngine::kBall;  // used by Engine::kLocal
+  // Accuracy contract, seed and stratification of Engine::kApprox (ignored
+  // by the exact engines). Like everything else here, results are
+  // bit-identical for every num_threads and for warm vs cold contexts —
+  // the sampling RNG is counter-based per sample, not per chunk.
+  ApproxParams approx;
   // Worker threads for the parallel engine: 0 = all hardware threads,
   // 1 (default) = serial. Every result is bit-identical for every value —
   // parallel loops write disjoint slots and reduce partial counts in a

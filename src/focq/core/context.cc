@@ -165,6 +165,13 @@ Result<const SphereTypeAssignment*> EvalContext::TrySphereTypes(
   return &it->second;
 }
 
+const SphereTypeAssignment* EvalContext::CachedSphereTypes(
+    std::uint32_t radius) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spheres_.find(radius);
+  return it != spheres_.end() ? &it->second : nullptr;
+}
+
 void EvalContext::RecomputeBytes() {
   std::int64_t bytes = gaifman_.has_value() ? gaifman_->ApproxBytes() : 0;
   for (const auto& [key, cover] : covers_) bytes += cover.ApproxBytes();

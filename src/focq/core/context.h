@@ -124,6 +124,11 @@ class EvalContext {
   Result<const SphereTypeAssignment*> TrySphereTypes(
       std::uint32_t radius, const ArtifactOptions& opts = {});
 
+  /// The radius-r typing if it is already cached, else nullptr — a pure
+  /// peek: nothing is built, no hit/miss is recorded. The approximate engine
+  /// uses it to report whether stratification reused a cached typing.
+  const SphereTypeAssignment* CachedSphereTypes(std::uint32_t radius) const;
+
   /// Applies one tuple-level update to the structure AND incrementally
   /// repairs every cached artifact (DESIGN.md §3e). `a` must be the very
   /// structure this context was built over (passed mutably to make the

@@ -22,6 +22,8 @@ const char* ProgressPhaseName(ProgressPhase phase) {
       return "residual";
     case ProgressPhase::kNaive:
       return "naive";
+    case ProgressPhase::kApprox:
+      return "approx";
   }
   return "unknown";
 }

@@ -50,8 +50,9 @@ enum class ProgressPhase : int {
   kRemoval,          // removal-surgery cluster checks
   kResidual,         // residual-formula elements checked
   kNaive,            // naive-engine tuples scanned
+  kApprox,           // approx-engine samples drawn
 };
-inline constexpr int kNumProgressPhases = 7;
+inline constexpr int kNumProgressPhases = 8;
 
 const char* ProgressPhaseName(ProgressPhase phase);
 

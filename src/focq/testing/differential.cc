@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "focq/approx/estimator.h"
+#include "focq/hanf/sphere.h"
+#include "focq/logic/build.h"
 #include "focq/logic/printer.h"
 #include "focq/obs/metrics.h"
+#include "focq/structure/gaifman.h"
+#include "focq/testing/error_band.h"
 #include "focq/util/check.h"
 
 namespace focq::fuzz {
@@ -30,6 +35,10 @@ std::optional<CaseMode> ParseCaseMode(const std::string& name) {
 
 const Expr& DiffCase::expr() const {
   return mode == CaseMode::kTerm ? term.node() : formula.node();
+}
+
+bool IsApproxMetric(const std::string& name) {
+  return name.rfind("approx.", 0) == 0;
 }
 
 Foc1Query DiffCase::ToQuery() const {
@@ -172,6 +181,18 @@ EvalMetrics StripCacheStateMetrics(EvalMetrics m) {
   return m;
 }
 
+// The approx.* sampling tallies are stripped (like the cache-state metrics)
+// before every cross-run deterministic-metrics comparison: they are scoped
+// to the (eps, delta, seed) sampling contract rather than the input, and
+// approx.strata_reused is outright cache state.
+EvalMetrics StripApproxMetrics(EvalMetrics m) {
+  std::erase_if(m.counters,
+                [](const auto& kv) { return IsApproxMetric(kv.first); });
+  std::erase_if(m.values,
+                [](const auto& kv) { return IsApproxMetric(kv.first); });
+  return m;
+}
+
 // Update mode: every subject variant shares one EvalContext across the whole
 // sequence — primed on the initial structure, repaired in place by
 // EvalContext::ApplyUpdate after every step — while the oracle re-evaluates
@@ -292,7 +313,7 @@ std::optional<DiffFailure> RunCase(const DiffCase& c,
       }
       EvalMetrics snapshot;
       if (config.compare_metrics) {
-        snapshot = sink.Snapshot();
+        snapshot = StripApproxMetrics(sink.Snapshot());
         if (!reference_metrics.has_value()) {
           reference_metrics = snapshot;
           reference_threads = threads;
@@ -373,6 +394,262 @@ std::optional<DiffFailure> RunCase(const DiffCase& c,
     }
   }
   return std::nullopt;
+}
+
+namespace {
+
+// Per-column |approx - exact| slack the band admits for case `c`: one bound
+// per count column, mirroring exactly which term Engine::kApprox estimates
+// in each mode. Booleans (kCheck, row membership) are exact, so their slack
+// is 0; kCount estimates the term #(free vars). phi; kQuery estimates every
+// head term per row (the bound does not depend on the row binding — frames
+// are n^k over the binder's own variables).
+std::vector<std::optional<CountInt>> ApproxCaseBounds(
+    const DiffCase& c, const ApproxParams& params, double tail_delta,
+    const SphereTypeAssignment* strata) {
+  std::vector<std::optional<CountInt>> bounds;
+  const std::size_t n = c.structure.universe_size();
+  switch (c.mode) {
+    case CaseMode::kCheck:
+      bounds.emplace_back(0);  // model checking is exact under kApprox
+      break;
+    case CaseMode::kCount: {
+      Term whole = Count(FreeVars(c.formula), c.formula);
+      bounds.push_back(
+          ApproxErrorBound(whole.node(), n, params, tail_delta, strata));
+      break;
+    }
+    case CaseMode::kTerm:
+      bounds.push_back(
+          ApproxErrorBound(c.term.node(), n, params, tail_delta, strata));
+      break;
+    case CaseMode::kQuery:
+      for (const Term& t : c.head_terms) {
+        bounds.push_back(
+            ApproxErrorBound(t.node(), n, params, tail_delta, strata));
+      }
+      break;
+  }
+  return bounds;
+}
+
+// Band-level agreement: nullopt when the pair is acceptable, else a one-line
+// description. Status leniency is asymmetric to the exact harness: a
+// kOutOfRange on either side (only) is accepted against success on the
+// other, because an estimate within the band need not overflow exactly
+// where the exact arithmetic does, and vice versa.
+std::optional<std::string> BandDisagreement(
+    const Outcome& oracle, const Outcome& got,
+    const std::vector<std::optional<CountInt>>& bounds) {
+  if (!oracle.status.ok() || !got.status.ok()) {
+    if (oracle.status.code() == got.status.code()) return std::nullopt;
+    if (oracle.status.code() == StatusCode::kOutOfRange && got.status.ok()) {
+      return std::nullopt;
+    }
+    if (got.status.code() == StatusCode::kOutOfRange && oracle.status.ok()) {
+      return std::nullopt;
+    }
+    return "status mismatch (outside the kOutOfRange leniency)";
+  }
+  return CheckErrorBand(oracle.rows, got.rows, bounds);
+}
+
+}  // namespace
+
+std::optional<DiffFailure> RunApproxCase(const DiffCase& c,
+                                         const ApproxDiffConfig& config) {
+  FOCQ_CHECK(c.updates.empty());  // approx cases never carry update sequences
+  auto subject = config.subject
+                     ? config.subject
+                     : [](const DiffCase& cs, const EvalOptions& options) {
+                         return RunSubject(cs, options);
+                       };
+
+  EvalOptions oracle_options;
+  oracle_options.engine = Engine::kNaive;
+  oracle_options.num_threads = 1;
+  Outcome oracle = RunSubject(c, oracle_options);
+
+  // The radius-r typing used to size the stratified band. Built lazily and
+  // independently of the engine (which builds its own, or pulls a cached
+  // one) — both are the same pure function of (structure, radius), which is
+  // exactly the property the warm-context check below asserts.
+  std::optional<SphereTypeAssignment> typing;
+  auto strata_for = [&](bool stratify) -> const SphereTypeAssignment* {
+    if (!stratify) return nullptr;
+    if (!typing.has_value()) {
+      Graph gaifman = BuildGaifmanGraph(c.structure);
+      typing.emplace(ComputeSphereTypes(c.structure, gaifman,
+                                        config.params.stratify_radius));
+    }
+    return &*typing;
+  };
+
+  for (bool stratify : config.stratify_modes) {
+    ApproxParams params = config.params;
+    params.stratify = stratify;
+    std::vector<std::optional<CountInt>> bounds = ApproxCaseBounds(
+        c, params, config.band_tail_delta, strata_for(stratify));
+    auto variant_text = [&](int threads) {
+      return std::string("engine=approx stratify=") +
+             (stratify ? "on" : "off") +
+             " threads=" + std::to_string(threads) +
+             " seed=" + std::to_string(params.seed);
+    };
+    auto fail = [&](int threads, const std::string& what) {
+      DiffFailure failure;
+      failure.description =
+          CaseHeadline(c) + "\n  variant: " + variant_text(threads) + "\n  " +
+          what;
+      failure.c = c;
+      return failure;
+    };
+    // Within one stratify mode every thread count must produce the same
+    // bits: the first thread count is the reference.
+    std::optional<Outcome> reference;
+    int reference_threads = 0;
+    std::optional<EvalMetrics> reference_metrics;
+    for (int threads : config.thread_counts) {
+      EvalOptions options;
+      options.engine = Engine::kApprox;
+      options.approx = params;
+      options.num_threads = threads;
+      MetricsSink sink;
+      if (config.compare_metrics) options.metrics = &sink;
+      Outcome got = subject(c, options);
+      if (std::optional<std::string> violation =
+              BandDisagreement(oracle, got, bounds);
+          violation.has_value()) {
+        return fail(threads, "oracle (naive):   " + OutcomeToString(oracle) +
+                                 "\n  subject (approx): " +
+                                 OutcomeToString(got) + "\n  " + *violation);
+      }
+      if (!reference.has_value()) {
+        reference = got;
+        reference_threads = threads;
+      } else if (reference->status.code() != got.status.code() ||
+                 reference->rows != got.rows) {
+        return fail(threads,
+                    "nondeterministic estimates across thread counts: "
+                    "threads=" + std::to_string(reference_threads) + " got " +
+                        OutcomeToString(*reference) + " vs " +
+                        OutcomeToString(got));
+      }
+      if (config.compare_metrics) {
+        EvalMetrics snapshot = StripApproxMetrics(sink.Snapshot());
+        if (!reference_metrics.has_value()) {
+          reference_metrics = snapshot;
+        } else if (!SnapshotsEqual(*reference_metrics, snapshot)) {
+          return fail(threads,
+                      "nondeterministic metrics vs threads=" +
+                          std::to_string(reference_threads) +
+                          " (after stripping approx.* tallies)");
+        }
+      }
+      if (config.warm_context) {
+        // Same seed through a shared context, primed then warm: the draws
+        // are pure functions of the seed, so all three runs (uncached, cold
+        // context, warm context) must be bit-identical — and the stratified
+        // variant must actually serve its typing from the cache on the warm
+        // run.
+        EvalContext ctx(c.structure);
+        EvalOptions warm_options = options;
+        warm_options.context = &ctx;
+        warm_options.metrics = nullptr;
+        Outcome primed = subject(c, warm_options);
+        Outcome warm = subject(c, warm_options);
+        for (const auto& [label, run] :
+             {std::pair<const char*, const Outcome*>{"context-cold", &primed},
+              {"context-warm", &warm}}) {
+          if (run->status.code() == got.status.code() &&
+              run->rows == got.rows) {
+            continue;
+          }
+          return fail(threads,
+                      std::string("estimates depend on context state (") +
+                          label + "): uncached " + OutcomeToString(got) +
+                          " vs " + OutcomeToString(*run));
+        }
+        if (stratify && warm.status.ok() && ctx.cache_stats().hits == 0) {
+          return fail(threads,
+                      "stratified warm run never hit the sphere-typing "
+                      "cache");
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<DiffFailure> RunApproxTrials(const DiffCase& c,
+                                           const ApproxDiffConfig& config,
+                                           int trials) {
+  FOCQ_CHECK(c.updates.empty());
+  auto subject = config.subject
+                     ? config.subject
+                     : [](const DiffCase& cs, const EvalOptions& options) {
+                         return RunSubject(cs, options);
+                       };
+
+  EvalOptions oracle_options;
+  oracle_options.engine = Engine::kNaive;
+  oracle_options.num_threads = 1;
+  Outcome oracle = RunSubject(c, oracle_options);
+  if (!oracle.status.ok()) return std::nullopt;  // nothing to band-test
+
+  std::optional<SphereTypeAssignment> typing;
+  const SphereTypeAssignment* strata = nullptr;
+  if (config.params.stratify) {
+    Graph gaifman = BuildGaifmanGraph(c.structure);
+    typing.emplace(ComputeSphereTypes(c.structure, gaifman,
+                                      config.params.stratify_radius));
+    strata = &*typing;
+  }
+
+  // The delta-level band: per-binder confidence 1 - delta, the contract the
+  // estimator actually advertises. (The per-binder union over a multi-binder
+  // term makes the true whole-term violation rate up to B * delta; Hoeffding
+  // is loose enough in practice that empirical rates sit orders of magnitude
+  // below delta, so the alpha = 1e-6 binomial gate never false-alarms.)
+  std::vector<std::optional<CountInt>> bounds =
+      ApproxCaseBounds(c, config.params, config.params.delta, strata);
+
+  std::int64_t failures = 0;
+  std::string first_violation;
+  for (int t = 0; t < trials; ++t) {
+    ApproxParams params = config.params;
+    params.seed = config.params.seed + static_cast<std::uint64_t>(t);
+    EvalOptions options;
+    options.engine = Engine::kApprox;
+    options.approx = params;
+    options.num_threads = 1;
+    Outcome got = subject(c, options);
+    // Overflow of an estimate is not a band violation (see BandDisagreement)
+    // and contributes no sample to the rate.
+    if (!got.status.ok()) continue;
+    std::optional<std::string> violation =
+        CheckErrorBand(oracle.rows, got.rows, bounds);
+    if (violation.has_value()) {
+      ++failures;
+      if (first_violation.empty()) {
+        first_violation =
+            "seed " + std::to_string(params.seed) + ": " + *violation;
+      }
+    }
+  }
+  if (FailureRateConsistentWithDelta(trials, failures, config.params.delta)) {
+    return std::nullopt;
+  }
+  DiffFailure failure;
+  failure.description =
+      CaseHeadline(c) + "\n  repeated trials: " + std::to_string(failures) +
+      "/" + std::to_string(trials) +
+      " runs violated the delta-level band, statistically inconsistent with "
+      "the advertised failure probability delta=" +
+      std::to_string(config.params.delta) +
+      (first_violation.empty() ? "" : "\n  first violation: " + first_violation);
+  failure.c = c;
+  return failure;
 }
 
 namespace {

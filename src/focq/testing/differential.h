@@ -104,6 +104,69 @@ struct DiffConfig {
   std::function<Outcome(const DiffCase&, const EvalOptions&)> subject;
 };
 
+/// Differential configuration for Engine::kApprox: the subject runs the
+/// sampling engine and is admitted when every count column lies within the
+/// theoretical error band (ApproxErrorBound at `band_tail_delta` confidence
+/// per binder) of the naive oracle — everything boolean (row membership,
+/// model-checking verdicts) must still match exactly. On top of the band,
+/// the driver enforces the determinism contract: within one stratify mode,
+/// estimates must be bit-identical across all thread counts and across warm
+/// vs cold contexts for the fixed seed.
+struct ApproxDiffConfig {
+  // eps/delta/seed of the subject; `stratify` is overridden per variant by
+  // stratify_modes, `stratify_radius` is honoured as-is.
+  ApproxParams params;
+  std::vector<int> thread_counts = {0, 1, 4};
+  std::vector<bool> stratify_modes = {false, true};
+  // Require the deterministic counters (after stripping cache-state and
+  // approx.* sampling tallies, see IsApproxMetric) to be identical across
+  // thread_counts.
+  bool compare_metrics = true;
+  // Also rerun each variant twice through a shared EvalContext; warm
+  // estimates must be bit-identical to the cold-context run (the draws are
+  // pure functions of the seed, never of cache state), and the stratified
+  // variant must actually serve its sphere typing from the cache.
+  bool warm_context = true;
+  // Per-binder tail probability used to size the admitted band. Far below
+  // ApproxParams::delta on purpose: the band test is run over hundreds of
+  // fuzz cases with zero tolerated failures, so the slack is widened (by
+  // sqrt(ln(2/band_tail_delta)/ln(2/delta)), about 2.3x for the defaults)
+  // until a correct estimator violates it with probability ~1e-12 per
+  // binder instead of delta. RunApproxTrials tests the delta-level band.
+  double band_tail_delta = 1e-12;
+  // The implementation under test; defaults to RunSubject.
+  std::function<Outcome(const DiffCase&, const EvalOptions&)> subject;
+};
+
+/// Runs one case through Engine::kApprox under every (stratify, threads)
+/// variant: band agreement against the naive oracle, bit-identical rows and
+/// deterministic metrics across thread counts, warm-context bit-identity.
+/// Status leniency: when either side reports kOutOfRange the band is not
+/// checkable and the pair is accepted (estimates need not overflow exactly
+/// where the exact arithmetic does); any other status mismatch fails.
+/// Update sequences are not supported in approx mode (cases carry none).
+std::optional<DiffFailure> RunApproxCase(const DiffCase& c,
+                                         const ApproxDiffConfig& config);
+
+/// Repeated-trial mode: evaluates the case once per seed (config.params.seed,
+/// +1, ..., +trials-1; single-threaded, stratify as configured) and checks
+/// each run against the *delta-level* band — ApproxErrorBound at tail_delta =
+/// params.delta, the confidence the estimator actually advertises. The case
+/// fails when the empirical violation count is statistically inconsistent
+/// with a per-run failure rate <= delta under the exact binomial gate
+/// (FailureRateConsistentWithDelta). Cases whose oracle fails (or whose band
+/// overflows) are vacuous and pass. Returns nullopt on success.
+std::optional<DiffFailure> RunApproxTrials(const DiffCase& c,
+                                           const ApproxDiffConfig& config,
+                                           int trials);
+
+/// True for the approx.* sampling tallies (samples drawn, strata, budget,
+/// strata_reused). They are parameterised by (eps, delta, seed) and — for
+/// strata_reused — by cache state, so the harness strips them alongside the
+/// cache-state metrics before any cross-run deterministic-metrics
+/// comparison.
+bool IsApproxMetric(const std::string& name);
+
 /// Runs one case: naive oracle once, then every (term engine, thread count)
 /// variant of the subject. Returns nullopt on full agreement. Cases where
 /// the *oracle* itself fails (e.g. arithmetic overflow on an adversarial

@@ -1,0 +1,73 @@
+#include "focq/testing/error_band.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace focq::fuzz {
+
+double BinomialUpperTail(std::int64_t n, std::int64_t k, double p) {
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  if (p <= 0.0) return 0.0;  // k >= 1 successes are impossible at p = 0
+  if (p >= 1.0) return 1.0;
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  const double log_n_fact = std::lgamma(static_cast<double>(n) + 1.0);
+  double sum = 0.0;
+  for (std::int64_t i = k; i <= n; ++i) {
+    const double di = static_cast<double>(i);
+    const double log_term = log_n_fact - std::lgamma(di + 1.0) -
+                            std::lgamma(static_cast<double>(n - i) + 1.0) +
+                            di * log_p +
+                            static_cast<double>(n - i) * log_q;
+    sum += std::exp(log_term);
+  }
+  return std::min(1.0, sum);
+}
+
+bool FailureRateConsistentWithDelta(std::int64_t trials, std::int64_t failures,
+                                    double delta, double alpha) {
+  return BinomialUpperTail(trials, failures, delta) >= alpha;
+}
+
+std::optional<std::string> CheckErrorBand(
+    const std::vector<QueryRow>& exact_rows,
+    const std::vector<QueryRow>& approx_rows,
+    const std::vector<std::optional<CountInt>>& column_bounds) {
+  if (exact_rows.size() != approx_rows.size()) {
+    return "row count mismatch: exact " + std::to_string(exact_rows.size()) +
+           " rows vs approx " + std::to_string(approx_rows.size());
+  }
+  for (std::size_t i = 0; i < exact_rows.size(); ++i) {
+    const QueryRow& exact = exact_rows[i];
+    const QueryRow& approx = approx_rows[i];
+    if (exact.elements != approx.elements) {
+      return "row " + std::to_string(i) + ": element tuples differ "
+             "(row membership is boolean and must be exact)";
+    }
+    if (exact.counts.size() != approx.counts.size()) {
+      return "row " + std::to_string(i) + ": count arity mismatch";
+    }
+    for (std::size_t j = 0; j < exact.counts.size(); ++j) {
+      // Columns without an explicit bound must be exact; a nullopt bound
+      // (theoretical band overflowed int64) is unverifiable and skipped.
+      std::optional<CountInt> bound =
+          j < column_bounds.size() ? column_bounds[j]
+                                   : std::optional<CountInt>(0);
+      if (!bound.has_value()) continue;
+      // Counts are int64; their difference needs 65 bits in the worst case.
+      __int128 diff = static_cast<__int128>(approx.counts[j]) -
+                      static_cast<__int128>(exact.counts[j]);
+      if (diff < 0) diff = -diff;
+      if (diff > static_cast<__int128>(*bound)) {
+        return "row " + std::to_string(i) + " column " + std::to_string(j) +
+               ": |approx - exact| = |" + std::to_string(approx.counts[j]) +
+               " - " + std::to_string(exact.counts[j]) +
+               "| exceeds the admitted band " + std::to_string(*bound);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace focq::fuzz

@@ -1,0 +1,54 @@
+// Error-band comparison for the approximate engine's differential tests:
+// instead of bit-identical agreement, Engine::kApprox answers are admitted
+// when every count column lies within a per-column absolute slack derived
+// from the estimator's Hoeffding contract (ApproxErrorBound), and repeated
+// independent trials are gated with an exact binomial (Clopper-Pearson
+// style) test that the empirical band-violation rate is consistent with the
+// advertised failure probability delta.
+#ifndef FOCQ_TESTING_ERROR_BAND_H_
+#define FOCQ_TESTING_ERROR_BAND_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "focq/eval/query.h"
+#include "focq/util/checked_arith.h"
+
+namespace focq::fuzz {
+
+/// P[X >= k] for X ~ Binomial(n, p): the probability of seeing at least `k`
+/// successes in `n` independent trials of probability `p`. Computed in log
+/// space (lgamma), so it is stable for the small tail probabilities the gate
+/// cares about. Edge conventions: k <= 0 -> 1; k > n -> 0.
+double BinomialUpperTail(std::int64_t n, std::int64_t k, double p);
+
+/// Clopper-Pearson-style one-sided consistency gate: is observing `failures`
+/// band violations in `trials` independent runs statistically consistent
+/// with a true per-run failure probability <= `delta`? Equivalent to "the
+/// exact one-sided lower confidence bound on the failure rate at confidence
+/// 1 - alpha does not exceed delta": consistent iff
+/// BinomialUpperTail(trials, failures, delta) >= alpha. With the default
+/// alpha the gate false-alarms on a correct estimator with probability at
+/// most 1e-6 per call.
+bool FailureRateConsistentWithDelta(std::int64_t trials, std::int64_t failures,
+                                    double delta, double alpha = 1e-6);
+
+/// Compares an approximate row relation against the exact one under
+/// per-column absolute error bounds: row sets must have identical size and
+/// identical element tuples in identical order (everything boolean is exact
+/// in Engine::kApprox, so row membership never differs), and each count must
+/// satisfy |approx - exact| <= column_bounds[j]. A nullopt bound means the
+/// theoretical bound overflowed int64 — that column is not checked. Columns
+/// beyond column_bounds.size() are required to be exact (slack 0). Returns
+/// nullopt when everything is within band, else a one-line description of
+/// the first violation.
+std::optional<std::string> CheckErrorBand(
+    const std::vector<QueryRow>& exact_rows,
+    const std::vector<QueryRow>& approx_rows,
+    const std::vector<std::optional<CountInt>>& column_bounds);
+
+}  // namespace focq::fuzz
+
+#endif  // FOCQ_TESTING_ERROR_BAND_H_

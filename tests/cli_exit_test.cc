@@ -163,6 +163,56 @@ TEST_F(CliExitTest, BatchUpdateLinesMutateTheSharedSession) {
   EXPECT_NE(r.output.find("line 5: count: 2"), std::string::npos) << r.output;
 }
 
+TEST_F(CliExitTest, ApproxEngineCountExitsZero) {
+  // Frame 9 fits inside the default budget, so the estimate is exact and the
+  // output matches the exact engines bit-for-bit.
+  RunResult r = RunCli(structure_path_ +
+                       " --engine approx --approx-seed 7 --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("solutions: 2"), std::string::npos) << r.output;
+}
+
+TEST_F(CliExitTest, EpsOutOfRangeExitsOneWithOneLineDiagnostic) {
+  for (const std::string bad : {"0", "1", "-0.5", "2"}) {
+    RunResult r = RunCli(structure_path_ + " --engine approx --eps " + bad +
+                         " --count 'E(x, y)'");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_EQ(CountLines(r.output), 1) << r.output;
+    EXPECT_NE(r.output.find("approx eps must lie in (0, 1)"),
+              std::string::npos) << r.output;
+  }
+  // Garbage that does not even parse as a number gets its own diagnostic.
+  RunResult r = RunCli(structure_path_ +
+                       " --engine approx --eps nope --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("--eps expects a number in (0, 1)"),
+            std::string::npos) << r.output;
+}
+
+TEST_F(CliExitTest, DeltaOutOfRangeExitsOneEvenForExactEngines) {
+  RunResult r = RunCli(structure_path_ +
+                       " --engine approx --delta 1 --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountLines(r.output), 1) << r.output;
+  EXPECT_NE(r.output.find("approx delta must lie in (0, 1)"),
+            std::string::npos) << r.output;
+  // The knobs are validated up front for every engine, so a typo never
+  // silently changes the contract of a later approx run.
+  r = RunCli(structure_path_ + " --delta 1 --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountLines(r.output), 1) << r.output;
+}
+
+TEST_F(CliExitTest, ApproxWithExplainAnalyzeExitsOne) {
+  RunResult r = RunCli(structure_path_ +
+                       " --engine approx --explain-analyze --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountLines(r.output), 1) << r.output;
+  EXPECT_NE(
+      r.output.find("--engine approx cannot be combined with --explain-analyze"),
+      std::string::npos) << r.output;
+}
+
 TEST_F(CliExitTest, UsageErrorsExitTwo) {
   EXPECT_EQ(RunCli("").exit_code, 2);
   EXPECT_EQ(RunCli(structure_path_).exit_code, 2);

@@ -20,11 +20,12 @@
 namespace focq {
 namespace {
 
-std::vector<std::string> CorpusFiles() {
+// Non-recursive on purpose: the approx/ subdirectory is a separate suite
+// replayed through the error-band driver below, not the exact one.
+std::vector<std::string> CorpusFilesIn(const std::string& dir) {
   std::vector<std::string> paths;
   std::error_code ec;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(FOCQ_CORPUS_DIR, ec)) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     if (entry.path().extension() == ".case") {
       paths.push_back(entry.path().string());
     }
@@ -32,6 +33,8 @@ std::vector<std::string> CorpusFiles() {
   std::sort(paths.begin(), paths.end());
   return paths;
 }
+
+std::vector<std::string> CorpusFiles() { return CorpusFilesIn(FOCQ_CORPUS_DIR); }
 
 TEST(CorpusReplay, EveryCaseAgrees) {
   std::vector<std::string> paths = CorpusFiles();
@@ -47,8 +50,36 @@ TEST(CorpusReplay, EveryCaseAgrees) {
   }
 }
 
+// Shrunk failures from `focq_fuzz --engine approx` land in corpus/approx/ and
+// replay through the error-band driver: estimates within the admitted band of
+// the naive oracle, booleans exact, bit-identical across thread counts and
+// warm/cold contexts. Both the single-run band (tail 1e-12) and the
+// repeated-trial delta-level gate are exercised per case.
+TEST(CorpusReplay, ApproxCasesStayInsideTheErrorBand) {
+  std::vector<std::string> paths =
+      CorpusFilesIn(std::string(FOCQ_CORPUS_DIR) + "/approx");
+  ASSERT_FALSE(paths.empty())
+      << "no .case files under " << FOCQ_CORPUS_DIR << "/approx";
+  fuzz::ApproxDiffConfig config;
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    Result<fuzz::DiffCase> c = fuzz::ReadCaseFile(path);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    std::optional<fuzz::DiffFailure> failure = fuzz::RunApproxCase(*c, config);
+    EXPECT_FALSE(failure.has_value())
+        << (failure ? failure->description : "");
+    failure = fuzz::RunApproxTrials(*c, config, 20);
+    EXPECT_FALSE(failure.has_value())
+        << (failure ? failure->description : "");
+  }
+}
+
 TEST(CorpusReplay, CasesRoundTripThroughTheWriter) {
-  for (const std::string& path : CorpusFiles()) {
+  std::vector<std::string> paths = CorpusFiles();
+  std::vector<std::string> approx =
+      CorpusFilesIn(std::string(FOCQ_CORPUS_DIR) + "/approx");
+  paths.insert(paths.end(), approx.begin(), approx.end());
+  for (const std::string& path : paths) {
     SCOPED_TRACE(path);
     Result<fuzz::DiffCase> c = fuzz::ReadCaseFile(path);
     ASSERT_TRUE(c.ok()) << c.status().ToString();

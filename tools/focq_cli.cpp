@@ -2,8 +2,9 @@
 // and ground terms against a structure file.
 //
 // Usage:
-//   focq_cli <structure-file> [--edges] [--engine naive|local|cover]
+//   focq_cli <structure-file> [--edges] [--engine naive|local|cover|approx]
 //            [--threads N] [--update 'insert E 0 1']...
+//            [--eps E] [--delta D] [--approx-seed S] [--approx-stratify]
 //            (--check '<sentence>' | --count '<formula>' | --term '<term>'
 //             | --batch FILE)
 //            [--stats] [--metrics-json PATH] [--trace-json PATH]
@@ -29,7 +30,17 @@
 //                      summary at the end
 //   --engine           naive = Definition 3.1 semantics;
 //                      local = Theorem 6.10 pipeline (default);
-//                      cover = local with sparse-cover cl-term evaluation
+//                      cover = local with sparse-cover cl-term evaluation;
+//                      approx = sampling estimation of counting terms with
+//                      the (eps, delta) Hoeffding contract (DESIGN.md §3f);
+//                      sentences and query conditions stay exact
+//   --eps              approx relative/frame error bound, in (0, 1)
+//                      (default 0.1); only meaningful with --engine approx
+//   --delta            approx failure probability, in (0, 1) (default 0.01)
+//   --approx-seed      RNG seed for --engine approx (default 1); one seed
+//                      fixes every estimate bit-identically across thread
+//                      counts and warm/cold contexts
+//   --approx-stratify  stratify samples by radius-1 Hanf sphere type
 //   --threads          worker threads (0 = all hardware threads, default 1);
 //                      results are identical for every value
 //   --stats            print plan statistics (layers, cl-terms, fallbacks)
@@ -110,7 +121,9 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage: focq_cli <structure-file> [--edges] "
-               "[--engine naive|local|cover] [--threads N] [--stats]\n"
+               "[--engine naive|local|cover|approx] [--threads N] [--stats]\n"
+               "                [--eps E] [--delta D] [--approx-seed S] "
+               "[--approx-stratify]\n"
                "                [--update 'insert E 0 1']...\n"
                "                [--metrics-json PATH] [--trace-json PATH]\n"
                "                [--explain | --explain-analyze] "
@@ -150,6 +163,8 @@ int main(int argc, char** argv) {
   bool stats = false;
   std::string engine_name = "local";
   std::string threads_text = "1";
+  std::string eps_text = "0.1", delta_text = "0.01", approx_seed_text = "1";
+  bool approx_stratify = false;
   std::string mode, query_text;
   std::string batch_path;
   std::vector<std::string> update_specs;
@@ -179,6 +194,26 @@ int main(int argc, char** argv) {
       threads_text = v;
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads_text = arg.substr(std::string("--threads=").size());
+    } else if (arg == "--eps") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      eps_text = v;
+    } else if (arg.rfind("--eps=", 0) == 0) {
+      eps_text = arg.substr(std::string("--eps=").size());
+    } else if (arg == "--delta") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      delta_text = v;
+    } else if (arg.rfind("--delta=", 0) == 0) {
+      delta_text = arg.substr(std::string("--delta=").size());
+    } else if (arg == "--approx-seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      approx_seed_text = v;
+    } else if (arg.rfind("--approx-seed=", 0) == 0) {
+      approx_seed_text = arg.substr(std::string("--approx-seed=").size());
+    } else if (arg == "--approx-stratify") {
+      approx_stratify = true;
     } else if (arg == "--metrics-json") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -284,14 +319,54 @@ int main(int argc, char** argv) {
   } else if (engine_name == "cover") {
     options.engine = Engine::kLocal;
     options.term_engine = TermEngine::kSparseCover;
+  } else if (engine_name == "approx") {
+    options.engine = Engine::kApprox;
   } else {
     return Fail("unknown engine '" + engine_name + "'");
+  }
+  auto parse_prob = [](const std::string& text, double* out) -> bool {
+    try {
+      std::size_t pos = 0;
+      *out = std::stod(text, &pos);
+      return pos == text.size();
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  if (!parse_prob(eps_text, &options.approx.eps)) {
+    return Fail("--eps expects a number in (0, 1)");
+  }
+  if (!parse_prob(delta_text, &options.approx.delta)) {
+    return Fail("--delta expects a number in (0, 1)");
+  }
+  try {
+    std::size_t pos = 0;
+    options.approx.seed = std::stoull(approx_seed_text, &pos);
+    if (pos != approx_seed_text.size()) {
+      return Fail("--approx-seed expects a non-negative integer");
+    }
+  } catch (const std::exception&) {
+    return Fail("--approx-seed expects a non-negative integer");
+  }
+  options.approx.stratify = approx_stratify;
+  // Bad accuracy parameters are rejected up front — even for exact engines,
+  // where they would be silently ignored — so a typo never yields an
+  // unwitting (eps, delta) contract change on a later --engine approx run.
+  if (Status valid = ValidateApproxParams(options.approx); !valid.ok()) {
+    return Fail(valid.message());
   }
 
   if (explain && explain_analyze) {
     return Fail("--explain and --explain-analyze are mutually exclusive");
   }
   if (!explain_json_path.empty() && !explain) explain_analyze = true;
+  // EXPLAIN ANALYZE attributes *deterministic* per-node counters; the approx
+  // engine's per-node sample tallies depend on (eps, delta, seed), which
+  // would poison that contract — reject the combination outright (including
+  // the --explain-json form that implies it).
+  if (options.engine == Engine::kApprox && explain_analyze) {
+    return Fail("--engine approx cannot be combined with --explain-analyze");
+  }
   if (explain && !batch_path.empty()) {
     return Fail("--explain needs a single statement; "
                 "use --explain-analyze with --batch");

@@ -8,10 +8,25 @@
 //   focq_fuzz [--seed S] [--cases N] [--max-universe M] [--class NAME]
 //             [--updates K] [--time-budget SECONDS] [--out DIR]
 //             [--soft-deadline-ms MAX] [--dump] [--stats]
+//             [--engine local|approx] [--eps E] [--delta D]
+//             [--approx-seed S] [--trials K]
 //   focq_fuzz --replay FILE...      replay .case files (regression check)
 //   focq_fuzz --corpus DIR          replay every .case file in a directory
 //   focq_fuzz --self-test           inject a miscounting engine and verify
 //                                   the harness catches and shrinks it
+//
+// --engine approx switches the differential oracle to the error-band mode:
+// every case runs Engine::kApprox under both stratify modes and several
+// thread counts, and count columns are admitted when they lie within the
+// theoretical Hoeffding band (ApproxErrorBound) of the naive oracle —
+// row membership and booleans must still match exactly, and estimates must
+// be bit-identical across thread counts and warm/cold contexts for the
+// fixed --approx-seed. --trials K instead evaluates every case K times
+// under consecutive seeds against the delta-level band and fails when the
+// empirical violation rate is statistically inconsistent with --delta
+// (exact binomial / Clopper-Pearson gate). --engine approx excludes
+// --updates and --soft-deadline-ms (the approx driver runs neither update
+// sequences nor the watchdog).
 //
 // --updates K switches generated cases to update-sequence mode: each case
 // carries K random tuple inserts/deletes, the subject evaluates warm through
@@ -58,6 +73,9 @@ int Usage() {
                "                 [--class NAME] [--updates K]\n"
                "                 [--time-budget SECONDS]\n"
                "                 [--soft-deadline-ms MAX]\n"
+               "                 [--engine local|approx] [--eps E] "
+               "[--delta D]\n"
+               "                 [--approx-seed S] [--trials K]\n"
                "                 [--out DIR] [--dump] [--stats]\n"
                "       focq_fuzz --replay FILE...\n"
                "       focq_fuzz --corpus DIR\n"
@@ -75,8 +93,14 @@ int Fail(const std::string& message) {
   return 2;
 }
 
+// How one case is driven: exact bit-identical differential (RunCase) or the
+// approx error-band driver (RunApproxCase / RunApproxTrials). Injected into
+// failure reporting and replay so shrinking reuses the same driver that
+// caught the failure.
+using CaseRunner = std::function<std::optional<DiffFailure>(const DiffCase&)>;
+
 // Reports a failure: shrinks it, writes the .case file and prints the repro.
-int ReportFailure(const DiffFailure& failure, const DiffConfig& config,
+int ReportFailure(const DiffFailure& failure, const CaseRunner& run,
                   const std::string& out_dir, std::uint64_t seed,
                   std::size_t case_index) {
   std::fprintf(stderr, "focq_fuzz: DISAGREEMENT on case %zu (seed %llu)\n%s\n",
@@ -85,13 +109,13 @@ int ReportFailure(const DiffFailure& failure, const DiffConfig& config,
 
   ShrinkStats stats;
   DiffCase shrunk = Shrink(
-      failure.c, [&](const DiffCase& c) { return RunCase(c, config).has_value(); },
+      failure.c, [&](const DiffCase& c) { return run(c).has_value(); },
       ShrinkLimits{}, &stats);
   std::fprintf(stderr,
                "focq_fuzz: shrunk to |A|=%zu after %zu evaluations "
                "(%zu reductions)\n",
                shrunk.structure.Order(), stats.evaluations, stats.reductions);
-  std::optional<DiffFailure> final_failure = RunCase(shrunk, config);
+  std::optional<DiffFailure> final_failure = run(shrunk);
   if (final_failure.has_value()) {
     std::fprintf(stderr, "focq_fuzz: minimal repro:\n%s\n",
                  final_failure->description.c_str());
@@ -112,12 +136,12 @@ int ReportFailure(const DiffFailure& failure, const DiffConfig& config,
   return 1;
 }
 
-int Replay(const std::vector<std::string>& paths, const DiffConfig& config) {
+int Replay(const std::vector<std::string>& paths, const CaseRunner& run) {
   int failures = 0;
   for (const std::string& path : paths) {
     Result<DiffCase> c = ReadCaseFile(path);
     if (!c.ok()) return Fail(path + ": " + c.status().ToString());
-    std::optional<DiffFailure> failure = RunCase(*c, config);
+    std::optional<DiffFailure> failure = run(*c);
     if (failure.has_value()) {
       std::fprintf(stderr, "focq_fuzz: FAIL %s\n%s\n", path.c_str(),
                    failure->description.c_str());
@@ -197,6 +221,9 @@ int main(int argc, char** argv) {
   std::size_t updates = 0;  // per-case update-sequence length (0 = off)
   std::uint64_t soft_deadline_max_ms = 0;  // 0 = watchdog off
   double time_budget_s = 0.0;  // 0 = unlimited
+  std::string engine_name = "local";
+  ApproxParams approx_params;  // --eps / --delta / --approx-seed
+  std::uint64_t trials = 0;    // 0 = single-run band mode
   std::string out_dir = ".";
   std::optional<StructureClass> cls;
   std::vector<std::string> replay_paths;
@@ -236,6 +263,25 @@ int main(int argc, char** argv) {
       updates = static_cast<std::size_t>(v);
     } else if (arg == "--soft-deadline-ms") {
       if (!parse_u64(next(), &soft_deadline_max_ms)) return Usage();
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      engine_name = v;
+    } else if (arg == "--eps" || arg == "--delta") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      double* out = arg == "--eps" ? &approx_params.eps : &approx_params.delta;
+      try {
+        std::size_t pos = 0;
+        *out = std::stod(v, &pos);
+        if (pos != std::string(v).size()) return Usage();
+      } catch (const std::exception&) {
+        return Usage();
+      }
+    } else if (arg == "--approx-seed") {
+      if (!parse_u64(next(), &approx_params.seed)) return Usage();
+    } else if (arg == "--trials") {
+      if (!parse_u64(next(), &trials)) return Usage();
     } else if (arg == "--time-budget") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -277,7 +323,34 @@ int main(int argc, char** argv) {
 
   if (self_test) return SelfTest();
 
+  const bool approx_mode = engine_name == "approx";
+  if (!approx_mode && engine_name != "local") {
+    return Fail("unknown engine '" + engine_name + "'");
+  }
+  if (approx_mode) {
+    if (Status valid = ValidateApproxParams(approx_params); !valid.ok()) {
+      return Fail(valid.message());
+    }
+    if (updates > 0) {
+      return Fail("--engine approx does not support --updates");
+    }
+    if (soft_deadline_max_ms > 0) {
+      return Fail("--engine approx does not support --soft-deadline-ms");
+    }
+  } else if (trials > 0) {
+    return Fail("--trials requires --engine approx");
+  }
+
   DiffConfig config;
+  ApproxDiffConfig approx_config;
+  approx_config.params = approx_params;
+  CaseRunner run = [&](const DiffCase& c) -> std::optional<DiffFailure> {
+    if (!approx_mode) return RunCase(c, config);
+    if (trials > 0) {
+      return RunApproxTrials(c, approx_config, static_cast<int>(trials));
+    }
+    return RunApproxCase(c, approx_config);
+  };
   if (!corpus_dir.empty()) {
     std::error_code ec;
     std::vector<std::string> paths;
@@ -292,7 +365,7 @@ int main(int argc, char** argv) {
     std::sort(paths.begin(), paths.end());
     replay_paths.insert(replay_paths.end(), paths.begin(), paths.end());
   }
-  if (!replay_paths.empty()) return Replay(replay_paths, config);
+  if (!replay_paths.empty()) return Replay(replay_paths, run);
 
   StructureGenOptions structure_options;
   structure_options.max_universe = max_universe;
@@ -322,7 +395,7 @@ int main(int argc, char** argv) {
       std::printf("--- case %zu ---\n%s", i, WriteCase(c).c_str());
     }
     auto case_start = std::chrono::steady_clock::now();
-    std::optional<DiffFailure> failure = RunCase(c, config);
+    std::optional<DiffFailure> failure = run(c);
     if (stats) {
       auto case_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                          std::chrono::steady_clock::now() - case_start)
@@ -330,7 +403,7 @@ int main(int argc, char** argv) {
       case_metrics.RecordValue("fuzz.case_ns", case_ns);
     }
     if (failure.has_value()) {
-      return ReportFailure(*failure, config, out_dir, seed, i);
+      return ReportFailure(*failure, run, out_dir, seed, i);
     }
     ++executed;
     if (executed % 100 == 0) {
