@@ -1,0 +1,146 @@
+// E18 -- serving throughput: (a) the wire codec alone (frames encoded and
+// incrementally decoded per second, no sockets), and (b) end-to-end server
+// throughput over loopback as the number of concurrent pipelining clients
+// grows. The sweep shows where admission serialisation or the snapshot gate
+// caps parallel speedup; the update-mix variant adds writer drains to the
+// load. NOT part of the perf-smoke fail band: no committed baseline, see
+// bench/baselines/README.md.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "focq/graph/generators.h"
+#include "focq/serve/protocol.h"
+#include "focq/serve/server.h"
+#include "focq/serve/socket_util.h"
+#include "focq/structure/encode.h"
+#include "focq/util/rng.h"
+
+namespace focq {
+namespace {
+
+using serve::FrameKind;
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  const std::size_t frames = static_cast<std::size_t>(state.range(0));
+  std::string wire;
+  for (std::size_t i = 0; i < frames; ++i) {
+    serve::Request request;
+    request.kind = FrameKind::kCount;
+    request.id = static_cast<std::uint32_t>(i + 1);
+    request.text = "@ge1(#(y). (E(x, y)) - " + std::to_string(i % 7) + ")";
+    serve::AppendRequestFrame(&wire, request);
+  }
+  std::size_t decoded = 0;
+  for (auto _ : state) {
+    serve::FrameDecoder decoder;
+    decoder.Feed(wire);
+    for (;;) {
+      Result<std::optional<serve::Frame>> next = decoder.Next();
+      if (!next.ok() || !next->has_value()) break;
+      Result<serve::Request> request = serve::DecodeRequest(**next);
+      benchmark::DoNotOptimize(request);
+      ++decoded;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decoded));
+  state.counters["wire_bytes"] = static_cast<double>(wire.size());
+}
+
+Structure MakeServedStructure(std::size_t n) {
+  Rng rng(1897);
+  return EncodeGraph(MakeRandomBoundedDegree(n, 4, &rng));
+}
+
+// One client connection: pipelines `count` statements and drains every
+// response. `update_share` > 0 mixes in insert/delete pairs, which force
+// the server through the snapshot gate's writer side.
+void DriveClient(std::uint16_t port, std::size_t count, bool with_updates) {
+  Result<int> fd = serve::ConnectLoopback(port);
+  if (!fd.ok()) return;
+  std::string wire;
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::Request request;
+    request.id = static_cast<std::uint32_t>(i + 1);
+    if (with_updates && i % 8 == 4) {
+      request.kind = FrameKind::kUpdate;
+      request.text = (i % 16 == 4 ? "insert E 0 1" : "delete E 0 1");
+    } else {
+      request.kind = FrameKind::kCount;
+      request.text = "@ge1(#(y). (E(x, y)) - 2)";
+    }
+    serve::AppendRequestFrame(&wire, request);
+  }
+  if (!serve::SendAll(*fd, wire).ok()) {
+    serve::CloseFd(*fd);
+    return;
+  }
+  serve::FrameDecoder decoder;
+  std::size_t seen = 0;
+  while (seen < count) {
+    Result<std::string> chunk = serve::RecvSome(*fd);
+    if (!chunk.ok() || chunk->empty()) break;
+    decoder.Feed(*chunk);
+    for (;;) {
+      Result<std::optional<serve::Frame>> next = decoder.Next();
+      if (!next.ok() || !next->has_value()) break;
+      ++seen;
+    }
+  }
+  serve::CloseFd(*fd);
+}
+
+void ServeThroughput(benchmark::State& state, bool with_updates) {
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_client = 64;
+  Structure served = MakeServedStructure(512);
+  serve::ServeOptions options;
+  options.eval.num_threads = 0;  // requests themselves are the parallelism
+  serve::Server server(&served, options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back(
+          [&] { DriveClient(server.port(), per_client, with_updates); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  server.Stop();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(clients * per_client));
+  state.counters["clients"] = static_cast<double>(clients);
+}
+
+void BM_ServeReadOnly(benchmark::State& state) {
+  ServeThroughput(state, /*with_updates=*/false);
+}
+
+void BM_ServeWithUpdates(benchmark::State& state) {
+  ServeThroughput(state, /*with_updates=*/true);
+}
+
+BENCHMARK(BM_CodecRoundTrip)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServeReadOnly)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_ServeWithUpdates)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace focq

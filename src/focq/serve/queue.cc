@@ -1,0 +1,76 @@
+#include "focq/serve/queue.h"
+
+#include <utility>
+
+namespace focq {
+namespace serve {
+
+bool RequestQueue::Push(AdmittedRequest item) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(item));
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<AdmittedRequest> RequestQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  AdmittedRequest item = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return item;
+}
+
+void RequestQueue::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+void SnapshotGate::BeginRead() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !writer_; });
+  ++readers_;
+}
+
+void SnapshotGate::EndRead() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --readers_;
+  if (readers_ == 0) cv_.notify_all();
+}
+
+void SnapshotGate::BeginWrite() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !writer_; });
+  writer_ = true;
+  cv_.wait(lock, [this] { return readers_ == 0; });
+}
+
+void SnapshotGate::EndWrite() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer_ = false;
+  cv_.notify_all();
+}
+
+std::int64_t SnapshotGate::active_readers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return readers_;
+}
+
+}  // namespace serve
+}  // namespace focq

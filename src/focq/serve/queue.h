@@ -1,0 +1,101 @@
+// Admission machinery of focq_serve (DESIGN.md §3g): a bounded FIFO request
+// queue between connection readers and the dispatcher, and the snapshot gate
+// that serialises updates against in-flight reads.
+//
+// Ordering contract: the queue is strictly FIFO, and the dispatcher assigns
+// the global admission sequence number in pop order. Combined with the gate
+// — reads admitted under the shared side, updates under the exclusive side —
+// every read observes exactly the structure state a serial replay of the
+// admission order would give it, which is what makes multi-client results
+// bit-identical to a single-Session replay.
+#ifndef FOCQ_SERVE_QUEUE_H_
+#define FOCQ_SERVE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "focq/serve/protocol.h"
+
+namespace focq {
+namespace serve {
+
+/// One admitted request plus the client it came from (clients are looked up
+/// in the SessionRegistry at dispatch time; a client that disconnected while
+/// queued simply gets no response).
+struct AdmittedRequest {
+  std::uint64_t client_id = 0;
+  Request request;
+};
+
+/// A bounded MPSC/MPMC FIFO with blocking push/pop. Push blocks while the
+/// queue is full (backpressure onto the connection readers — a slow server
+/// stalls its clients' sockets instead of buffering unboundedly) and fails
+/// only after Close(). Pop blocks until an item arrives and drains whatever
+/// is still queued after Close() before reporting exhaustion.
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// False once the queue is closed (the item is dropped).
+  bool Push(AdmittedRequest item);
+
+  /// The next item in admission order; nullopt when closed and drained.
+  std::optional<AdmittedRequest> Pop();
+
+  /// Unblocks every producer and, once drained, every consumer.
+  void Close();
+
+  std::size_t size() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<AdmittedRequest> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// The snapshot gate: many concurrent readers XOR one writer, with writer
+/// preference handled by the dispatcher (it is the only thread that ever
+/// begins a read or a write, in admission order, so a waiting writer
+/// implicitly blocks all later readers — no starvation logic needed here).
+///
+/// Unlike std::shared_mutex, ownership is a plain count: BeginRead may be
+/// called on one thread (the dispatcher, at admission) and EndRead on
+/// another (the pool task that finished the evaluation), which is exactly
+/// how reads are handed to the work-stealing pool.
+class SnapshotGate {
+ public:
+  /// Blocks while a writer holds the gate.
+  void BeginRead();
+  void EndRead();
+
+  /// Blocks until the current writer (if any) leaves and every admitted
+  /// reader has called EndRead — the "drain in-flight queries" half of the
+  /// update barrier.
+  void BeginWrite();
+  void EndWrite();
+
+  std::int64_t active_readers() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::int64_t readers_ = 0;
+  bool writer_ = false;
+};
+
+}  // namespace serve
+}  // namespace focq
+
+#endif  // FOCQ_SERVE_QUEUE_H_

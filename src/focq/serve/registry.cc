@@ -1,0 +1,65 @@
+#include "focq/serve/registry.h"
+
+#include "focq/serve/socket_util.h"
+
+namespace focq {
+namespace serve {
+
+ClientSession::~ClientSession() { CloseFd(fd_); }
+
+Status ClientSession::Send(const Response& response) {
+  const std::string frame = EncodeResponse(response);
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::Internal("client " + std::to_string(id_) +
+                            " disconnected");
+  }
+  Status status = SendAll(fd_, frame);
+  if (!status.ok()) {
+    closed_.store(true, std::memory_order_release);
+    return status;
+  }
+  responses_sent_.fetch_add(1);
+  return Status::Ok();
+}
+
+void ClientSession::CloseSocket() {
+  closed_.store(true, std::memory_order_release);
+  ShutdownFd(fd_);
+}
+
+std::shared_ptr<ClientSession> SessionRegistry::Register(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  auto session = std::make_shared<ClientSession>(id, fd);
+  sessions_.emplace(id, session);
+  return session;
+}
+
+void SessionRegistry::Unregister(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(id);
+}
+
+std::shared_ptr<ClientSession> SessionRegistry::Find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  return it->second;
+}
+
+std::vector<std::shared_ptr<ClientSession>> SessionRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<ClientSession>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+std::size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace serve
+}  // namespace focq

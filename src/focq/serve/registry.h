@@ -1,0 +1,85 @@
+// Per-connection client sessions and the registry that owns them.
+//
+// A ClientSession is the server-side half of one TCP connection: it carries
+// the socket fd, a send mutex (responses for one client may be produced
+// concurrently by several pool tasks and must not interleave on the wire),
+// and per-client counters surfaced through the metrics endpoint.
+#ifndef FOCQ_SERVE_REGISTRY_H_
+#define FOCQ_SERVE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "focq/serve/protocol.h"
+#include "focq/util/status.h"
+
+namespace focq {
+namespace serve {
+
+class ClientSession {
+ public:
+  ClientSession(std::uint64_t id, int fd) : id_(id), fd_(fd) {}
+  /// Closes the fd — which happens only when the last shared_ptr drops, so
+  /// no pool task can ever write to a recycled descriptor number.
+  ~ClientSession();
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+
+  /// Serialises the response and writes the whole frame under the send
+  /// mutex, so concurrently completing requests never interleave bytes.
+  /// Errors (peer went away) mark the session closed; the reader thread
+  /// notices on its next recv and tears the connection down.
+  Status Send(const Response& response);
+
+  /// shutdown(2) both directions — wakes a blocked reader without racing
+  /// the fd close (the fd itself is closed once the reader thread exits).
+  void CloseSocket();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  std::uint64_t requests_admitted() const { return requests_admitted_.load(); }
+  std::uint64_t responses_sent() const { return responses_sent_.load(); }
+  void OnAdmitted() { requests_admitted_.fetch_add(1); }
+
+ private:
+  const std::uint64_t id_;
+  const int fd_;
+  std::mutex send_mutex_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> requests_admitted_{0};
+  std::atomic<std::uint64_t> responses_sent_{0};
+};
+
+/// Owns every live ClientSession; the dispatcher resolves client ids through
+/// it at completion time, so a response for a client that already
+/// disconnected is silently dropped instead of written to a dead fd.
+class SessionRegistry {
+ public:
+  std::shared_ptr<ClientSession> Register(int fd);
+  void Unregister(std::uint64_t id);
+  std::shared_ptr<ClientSession> Find(std::uint64_t id) const;
+
+  /// Stable copy for shutdown (CloseSocket on every live connection) and
+  /// metrics (live connection count).
+  std::vector<std::shared_ptr<ClientSession>> Snapshot() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ClientSession>> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace serve
+}  // namespace focq
+
+#endif  // FOCQ_SERVE_REGISTRY_H_

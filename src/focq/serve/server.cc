@@ -1,0 +1,432 @@
+#include "focq/serve/server.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "focq/logic/fragment.h"
+#include "focq/logic/parser.h"
+#include "focq/serve/socket_util.h"
+#include "focq/structure/update.h"
+#include "focq/util/thread_pool.h"
+
+namespace focq {
+namespace serve {
+
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Response ErrorResponse(std::uint32_t id, std::uint64_t seq,
+                       const Status& status) {
+  Response response;
+  response.ok = false;
+  response.id = id;
+  response.seq = seq;
+  response.text = status.ToString();
+  return response;
+}
+
+}  // namespace
+
+Server::Server(Structure* a, const ServeOptions& options)
+    : a_(a),
+      options_(options),
+      context_(*a),
+      queue_(options.admission_capacity) {
+  // The server wires its own sinks per request; caller-installed ones would
+  // race across pool workers.
+  options_.eval.context = nullptr;
+  options_.eval.metrics = nullptr;
+  options_.eval.trace = nullptr;
+  options_.eval.explain = nullptr;
+  options_.eval.progress = nullptr;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  Result<int> listen_fd = ListenLoopback(options_.port);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = *listen_fd;
+  Result<std::uint16_t> port = LocalPort(listen_fd_);
+  if (!port.ok()) return port.status();
+  port_ = *port;
+
+  if (options_.metrics_port >= 0) {
+    Result<int> metrics_fd =
+        ListenLoopback(static_cast<std::uint16_t>(options_.metrics_port));
+    if (!metrics_fd.ok()) return metrics_fd.status();
+    metrics_fd_ = *metrics_fd;
+    Result<std::uint16_t> metrics_port = LocalPort(metrics_fd_);
+    if (!metrics_port.ok()) return metrics_port.status();
+    metrics_port_ = *metrics_port;
+  }
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  if (metrics_fd_ >= 0) {
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Server::SignalShutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (!started_ || stopped_) {
+      shutdown_requested_ = true;
+      shutdown_cv_.notify_all();
+      return;
+    }
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+
+  // Wake the accept loop: shutdown() unblocks a pending accept on Linux; a
+  // throwaway connection covers platforms where it does not.
+  ShutdownFd(listen_fd_);
+  if (Result<int> poke = ConnectLoopback(port_); poke.ok()) CloseFd(*poke);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Wake every reader (recv returns 0/error once its socket is shut down)
+  // and every producer blocked on a full queue, then join the readers.
+  for (const auto& session : registry_.Snapshot()) session->CloseSocket();
+  queue_.Close();
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    for (std::thread& t : reader_threads_) {
+      if (t.joinable()) t.join();
+    }
+    reader_threads_.clear();
+  }
+
+  // The dispatcher drains whatever was admitted before the close, then
+  // exits; after that, wait for the pool-side reads it handed out.
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  {
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+
+  if (metrics_fd_ >= 0) {
+    ShutdownFd(metrics_fd_);
+    if (Result<int> poke =
+            ConnectLoopback(static_cast<std::uint16_t>(metrics_port_));
+        poke.ok()) {
+      CloseFd(*poke);
+    }
+  }
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  CloseFd(metrics_fd_);
+  metrics_fd_ = -1;
+  SignalShutdown();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) CloseFd(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket gone
+    }
+    auto session = registry_.Register(fd);
+    metrics_.AddCounter("serve.connections", 1);
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    reader_threads_.emplace_back(
+        [this, session = std::move(session)] { ReaderLoop(session); });
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<ClientSession> session) {
+  FrameDecoder decoder;
+  bool clean_eof = false;
+  for (;;) {
+    Result<std::string> chunk = RecvSome(session->fd());
+    if (!chunk.ok()) break;               // socket error / shutdown
+    if (chunk->empty()) {                 // orderly EOF
+      clean_eof = true;
+      break;
+    }
+    decoder.Feed(*chunk);
+    bool connection_dead = false;
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      if (!next.ok()) {
+        // Framing is unrecoverable (corrupted length prefix / kind byte):
+        // one diagnostic response, then the connection dies — never the
+        // server.
+        metrics_.AddCounter("serve.protocol_errors", 1);
+        session->Send(ErrorResponse(0, 0, next.status()));
+        connection_dead = true;
+        break;
+      }
+      if (!next->has_value()) break;  // need more bytes
+      Result<Request> request = DecodeRequest(**next);
+      if (!request.ok()) {
+        // The frame itself was well-formed, so the stream is still in sync:
+        // report and keep the connection.
+        metrics_.AddCounter("serve.protocol_errors", 1);
+        session->Send(ErrorResponse(0, 0, request.status()));
+        continue;
+      }
+      session->OnAdmitted();
+      if (!queue_.Push({session->id(), std::move(request).value()})) {
+        connection_dead = true;  // server is stopping
+        break;
+      }
+    }
+    if (connection_dead) break;
+  }
+  if (clean_eof) {
+    if (Status boundary = decoder.AtFrameBoundary(); !boundary.ok()) {
+      metrics_.AddCounter("serve.protocol_errors", 1);
+      session->Send(ErrorResponse(0, 0, boundary));
+    }
+  }
+  session->CloseSocket();
+  registry_.Unregister(session->id());
+}
+
+void Server::DispatchLoop() {
+  while (std::optional<AdmittedRequest> item = queue_.Pop()) {
+    Dispatch(std::move(*item));
+  }
+}
+
+void Server::Dispatch(AdmittedRequest admitted) {
+  const Request& request = admitted.request;
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.AddCounter("serve.requests", 1);
+  metrics_.AddCounter(std::string("serve.requests.") +
+                          FrameKindName(request.kind),
+                      1);
+
+  if (request.kind == FrameKind::kPing) {
+    Response response;
+    response.id = request.id;
+    response.seq = seq;
+    response.text = "pong";
+    SendToClient(admitted.client_id, response);
+    return;
+  }
+  if (request.kind == FrameKind::kShutdown) {
+    Response response;
+    response.id = request.id;
+    response.seq = seq;
+    response.text = "shutting down";
+    SendToClient(admitted.client_id, response);
+    SignalShutdown();
+    return;
+  }
+  if (request.kind == FrameKind::kUpdate) {
+    // Exclusive side: drain in-flight reads, repair artifacts, readmit.
+    gate_.BeginWrite();
+    Response response = ExecuteUpdate(request, seq);
+    gate_.EndWrite();
+    SendToClient(admitted.client_id, response);
+    return;
+  }
+
+  // check / count / term: admitted under the shared side here, released by
+  // the pool task when the evaluation is done. The gate is entered *before*
+  // Submit so a later update in admission order cannot overtake this read.
+  gate_.BeginRead();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    ++inflight_;
+  }
+  const std::uint64_t client_id = admitted.client_id;
+  const Request request_copy = request;
+  ThreadPool::Shared().Submit([this, client_id, request_copy, seq] {
+    Response response = ExecuteRead(request_copy, seq);
+    SendToClient(client_id, response);
+    gate_.EndRead();
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    --inflight_;
+    inflight_cv_.notify_all();
+  });
+}
+
+Response Server::ExecuteRead(const Request& request, std::uint64_t seq) {
+  const std::int64_t start_ns = NowNs();
+  EvalOptions opts = options_.eval;
+  opts.context = &context_;
+  opts.metrics = &metrics_;
+  if (options_.deadline_ms > 0) {
+    opts.deadline.hard_ms = options_.deadline_ms;
+  }
+
+  // EXPLAIN ANALYZE attribution wants per-node counter deltas, which need a
+  // request-private flat sink (the shared one would interleave concurrent
+  // requests); the private counters are folded into the server sink after.
+  const bool explain = (request.flags & kRequestFlagExplain) != 0;
+  MetricsSink explain_metrics;
+  ExplainSink explain_sink;
+  if (explain) {
+    if (opts.engine == Engine::kApprox) {
+      metrics_.AddCounter("serve.errors", 1);
+      return ErrorResponse(
+          request.id, seq,
+          Status::InvalidArgument(
+              "EXPLAIN is not available with the approx engine"));
+    }
+    opts.metrics = &explain_metrics;
+    opts.explain = &explain_sink;
+  }
+
+  Response response;
+  response.id = request.id;
+  response.seq = seq;
+  Status error = Status::Ok();
+  switch (request.kind) {
+    case FrameKind::kTerm: {
+      Result<Term> term = ParseTerm(request.text);
+      if (!term.ok()) { error = term.status(); break; }
+      if (Status symbols = CheckSymbols(*term, a_->signature());
+          !symbols.ok()) {
+        error = symbols;
+        break;
+      }
+      Result<CountInt> value = EvaluateGroundTerm(*term, *a_, opts);
+      if (!value.ok()) { error = value.status(); break; }
+      response.text = std::to_string(static_cast<long long>(*value));
+      break;
+    }
+    case FrameKind::kCheck:
+    case FrameKind::kCount: {
+      Result<Formula> formula = ParseFormula(request.text);
+      if (!formula.ok()) { error = formula.status(); break; }
+      if (Status symbols = CheckSymbols(*formula, a_->signature());
+          !symbols.ok()) {
+        error = symbols;
+        break;
+      }
+      if (request.kind == FrameKind::kCheck) {
+        Result<bool> holds = ModelCheck(*formula, *a_, opts);
+        if (!holds.ok()) { error = holds.status(); break; }
+        response.text = *holds ? "true" : "false";
+      } else {
+        Result<CountInt> count = CountSolutions(*formula, *a_, opts);
+        if (!count.ok()) { error = count.status(); break; }
+        response.text = std::to_string(static_cast<long long>(*count));
+      }
+      break;
+    }
+    default:
+      error = Status::Internal("non-read statement on the read path");
+      break;
+  }
+
+  if (explain) {
+    // Fold the request-private pipeline counters back into the scrapeable
+    // server sink, then append the attribution report to the payload.
+    EvalMetrics snapshot = explain_metrics.Snapshot();
+    for (const auto& [name, value] : snapshot.counters) {
+      metrics_.AddCounter(name, value);
+    }
+    for (const auto& [name, stats] : snapshot.values) {
+      metrics_.MergeValue(name, stats);
+    }
+    if (error.ok()) {
+      response.text += "\n" + explain_sink.Snapshot().ToText();
+    }
+  }
+
+  metrics_.RecordValue("serve.request_ns", NowNs() - start_ns);
+  if (!error.ok()) {
+    metrics_.AddCounter("serve.errors", 1);
+    return ErrorResponse(request.id, seq, error);
+  }
+  return response;
+}
+
+Response Server::ExecuteUpdate(const Request& request, std::uint64_t seq) {
+  const std::int64_t start_ns = NowNs();
+  Result<TupleUpdate> update = ParseUpdate(request.text, a_->signature());
+  if (!update.ok()) {
+    metrics_.AddCounter("serve.errors", 1);
+    return ErrorResponse(request.id, seq, update.status());
+  }
+  ArtifactOptions artifact_opts;
+  artifact_opts.num_threads = options_.eval.num_threads;
+  artifact_opts.metrics = &metrics_;
+  Result<UpdateStats> applied =
+      context_.ApplyUpdate(a_, *update, artifact_opts);
+  metrics_.RecordValue("serve.request_ns", NowNs() - start_ns);
+  if (!applied.ok()) {
+    metrics_.AddCounter("serve.errors", 1);
+    return ErrorResponse(request.id, seq, applied.status());
+  }
+  Response response;
+  response.id = request.id;
+  response.seq = seq;
+  response.text = applied->changed ? "applied" : "noop";
+  return response;
+}
+
+void Server::SendToClient(std::uint64_t client_id, const Response& response) {
+  std::shared_ptr<ClientSession> session = registry_.Find(client_id);
+  if (session == nullptr) return;  // client left while the request ran
+  session->Send(response);         // send errors mark the session closed
+}
+
+void Server::MetricsLoop() {
+  for (;;) {
+    const int fd = ::accept(metrics_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) CloseFd(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    // Consume whatever request line the scraper sent (content ignored: every
+    // path serves the same exposition), then answer and close — HTTP/1.0.
+    RecvSome(fd, 4096);
+    OpenMetricsSeries series(1);
+    series.Sample(UnixMillisNow(), metrics_.Snapshot(), nullptr);
+    const std::string body = series.Render();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: application/openmetrics-text; version=1.0.0; "
+        "charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    SendAll(fd, response);
+    CloseFd(fd);
+  }
+}
+
+}  // namespace serve
+}  // namespace focq

@@ -220,5 +220,72 @@ TEST_F(CliExitTest, UsageErrorsExitTwo) {
                 .exit_code, 2);
 }
 
+// std::stoull accepts a leading '-' and wraps modulo 2^64, so "-1" used to
+// silently become 18446744073709551615 — a different RNG stream than asked
+// for. The seed is parsed before the structure loads, so the diagnostic is
+// the only output line.
+TEST_F(CliExitTest, NegativeApproxSeedExitsOne) {
+  RunResult r = RunCli(structure_path_ +
+                       " --engine approx --approx-seed -1 --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountLines(r.output), 1) << r.output;
+  EXPECT_NE(r.output.find("--approx-seed expects a non-negative integer"),
+            std::string::npos) << r.output;
+  // Other stoull-reachable junk is rejected the same way.
+  r = RunCli(structure_path_ +
+             " --engine approx --approx-seed=+3 --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  r = RunCli(structure_path_ +
+             " --engine approx --approx-seed 0x10 --count 'E(x, y)'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+}
+
+TEST_F(CliExitTest, FuzzRejectsNegativeSeedWithUsage) {
+  // Same stoull wraparound existed in focq_fuzz's parse_u64; a negative
+  // seed must be a usage error (exit 2), not a silently huge seed.
+  std::string command = std::string(FOCQ_FUZZ_PATH) +
+                        " --seed -1 --cases 1 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::array<char, 512> buffer;
+  std::string output;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  int status = pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2) << output;
+  EXPECT_NE(output.find("usage:"), std::string::npos) << output;
+}
+
+// Batch totals count every statement kind. A batch of only failing updates
+// used to report "0 statements, 3 failed".
+TEST_F(CliExitTest, BatchSummaryCountsUpdateStatements) {
+  std::string batch_path = (dir_ / "updates.batch").string();
+  // Element 9 is outside the 3-element universe: parse succeeds (the bounds
+  // check is an evaluation-time error), apply fails, batch continues.
+  std::ofstream(batch_path) << "update insert E 0 9\n"
+                               "update insert E 0 9\n"
+                               "update insert E 0 9\n";
+  RunResult r = RunCli(structure_path_ + " --batch " + batch_path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("batch: 3 statements, 3 failed"),
+            std::string::npos) << r.output;
+}
+
+TEST_F(CliExitTest, BatchSummaryCountsMixedStatements) {
+  std::string batch_path = (dir_ / "mixed.batch").string();
+  std::ofstream(batch_path) << "check exists x. E(x, x)\n"
+                               "update insert E 0 2\n"
+                               "count E(x, y)\n"
+                               "update insert E 0 9\n";
+  RunResult r = RunCli(structure_path_ + " --batch " + batch_path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("line 2: update: applied"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("batch: 4 statements, 1 failed"),
+            std::string::npos) << r.output;
+}
+
 }  // namespace
 }  // namespace focq

@@ -1,0 +1,439 @@
+// End-to-end tests of the focq_serve server library: concurrent clients over
+// real loopback sockets, with the central contract checked exhaustively —
+// for any interleaving of clients (updates included), the responses are
+// bit-identical to a serial replay of the same statements, ordered by the
+// server's admission sequence number, through one Session. Thread counts
+// {0, 1, 4} cover serial, degenerate-parallel and parallel execution.
+#include "focq/serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "focq/core/api.h"
+#include "focq/logic/fragment.h"
+#include "focq/logic/parser.h"
+#include "focq/serve/protocol.h"
+#include "focq/serve/socket_util.h"
+#include "focq/structure/update.h"
+
+namespace focq {
+namespace serve {
+namespace {
+
+Structure MakePathStructure(std::size_t n) {
+  Structure a(Signature({{"E", 2}}), n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto u = static_cast<unsigned>(i);
+    a.InsertTuple(0, {u, u + 1});
+  }
+  return a;
+}
+
+struct Statement {
+  FrameKind kind;
+  std::string text;
+};
+
+struct Observed {
+  std::uint64_t seq = 0;
+  Statement statement;
+  bool ok = false;
+  std::string text;
+};
+
+// One client: pipelines its statements over one connection and returns the
+// responses matched back to their statements. Runs on a caller thread.
+std::vector<Observed> RunClient(std::uint16_t port,
+                                const std::vector<Statement>& statements) {
+  std::vector<Observed> observed;
+  Result<int> fd = ConnectLoopback(port);
+  if (!fd.ok()) {
+    ADD_FAILURE() << fd.status().ToString();
+    return observed;
+  }
+  std::string wire;
+  for (std::size_t i = 0; i < statements.size(); ++i) {
+    Request request;
+    request.kind = statements[i].kind;
+    request.id = static_cast<std::uint32_t>(i + 1);
+    request.text = statements[i].text;
+    AppendRequestFrame(&wire, request);
+  }
+  if (Status sent = SendAll(*fd, wire); !sent.ok()) {
+    ADD_FAILURE() << sent.ToString();
+    CloseFd(*fd);
+    return observed;
+  }
+  FrameDecoder decoder;
+  while (observed.size() < statements.size()) {
+    Result<std::string> chunk = RecvSome(*fd);
+    if (!chunk.ok() || chunk->empty()) {
+      ADD_FAILURE() << "connection lost after " << observed.size()
+                    << " responses";
+      break;
+    }
+    decoder.Feed(*chunk);
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      if (!next.ok()) {
+        ADD_FAILURE() << next.status().ToString();
+        CloseFd(*fd);
+        return observed;
+      }
+      if (!next->has_value()) break;
+      Result<Response> response = DecodeResponse(**next);
+      if (!response.ok()) {
+        ADD_FAILURE() << response.status().ToString();
+        continue;
+      }
+      Observed o;
+      o.seq = response->seq;
+      o.statement = statements[response->id - 1];
+      o.ok = response->ok;
+      o.text = response->text;
+      observed.push_back(std::move(o));
+    }
+  }
+  CloseFd(*fd);
+  return observed;
+}
+
+// Serial oracle: exactly the statement semantics of the server / focq_cli
+// --batch, driven through one Session over a fresh copy of the structure.
+std::string EvalSerial(Session* session, const Statement& statement) {
+  const Signature& sig = session->structure().signature();
+  switch (statement.kind) {
+    case FrameKind::kUpdate: {
+      Result<TupleUpdate> update = ParseUpdate(statement.text, sig);
+      if (!update.ok()) return update.status().ToString();
+      Result<UpdateStats> applied = session->ApplyUpdate(*update);
+      if (!applied.ok()) return applied.status().ToString();
+      return applied->changed ? "applied" : "noop";
+    }
+    case FrameKind::kTerm: {
+      Result<Term> term = ParseTerm(statement.text);
+      if (!term.ok()) return term.status().ToString();
+      if (Status symbols = CheckSymbols(*term, sig); !symbols.ok()) {
+        return symbols.ToString();
+      }
+      Result<CountInt> value = session->EvaluateGroundTerm(*term);
+      if (!value.ok()) return value.status().ToString();
+      return std::to_string(static_cast<long long>(*value));
+    }
+    case FrameKind::kCheck:
+    case FrameKind::kCount: {
+      Result<Formula> formula = ParseFormula(statement.text);
+      if (!formula.ok()) return formula.status().ToString();
+      if (Status symbols = CheckSymbols(*formula, sig); !symbols.ok()) {
+        return symbols.ToString();
+      }
+      if (statement.kind == FrameKind::kCheck) {
+        Result<bool> holds = session->ModelCheck(*formula);
+        if (!holds.ok()) return holds.status().ToString();
+        return *holds ? "true" : "false";
+      }
+      Result<CountInt> count = session->CountSolutions(*formula);
+      if (!count.ok()) return count.status().ToString();
+      return std::to_string(static_cast<long long>(*count));
+    }
+    default:
+      return "unsupported";
+  }
+}
+
+// The tentpole contract: N concurrent clients with a mixed workload
+// (including updates and statements that fail), any interleaving, for
+// thread counts {0, 1, 4} — every response must equal the serial replay.
+TEST(ServeServerTest, ConcurrentMixedWorkloadIsBitIdenticalToSerialReplay) {
+  const std::vector<std::vector<Statement>> workloads = {
+      {
+          {FrameKind::kCheck, "exists x. @ge1(#(y). (E(x, y)) - 1)"},
+          {FrameKind::kUpdate, "insert E 0 7"},
+          {FrameKind::kCount, "@ge1(#(y). (E(x, y)))"},
+          {FrameKind::kTerm, "#(x, y). (E(x, y))"},
+          {FrameKind::kUpdate, "delete E 0 7"},
+          {FrameKind::kCount, "@ge1(#(y). (E(x, y)))"},
+      },
+      {
+          {FrameKind::kTerm, "#(x, y). (E(x, y))"},
+          {FrameKind::kUpdate, "insert E 2 9"},
+          {FrameKind::kCheck, "exists x. E(x, x)"},
+          {FrameKind::kUpdate, "insert E 2 9"},  // noop the second time
+          {FrameKind::kTerm, "#(x). (@ge1(#(y). (E(x, y)) - 2))"},
+      },
+      {
+          {FrameKind::kCount, "E(x, y)"},
+          {FrameKind::kUpdate, "insert E 0 99"},  // out of bounds: error
+          {FrameKind::kCheck, "(((broken"},       // parse error
+          {FrameKind::kUpdate, "delete E 4 5"},
+          {FrameKind::kCount, "E(x, y)"},
+      },
+  };
+
+  for (int threads : {0, 1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Structure served = MakePathStructure(10);
+    ServeOptions options;
+    options.eval.num_threads = threads;
+    Server server(&served, options);
+    ASSERT_TRUE(server.Start().ok());
+
+    std::vector<std::vector<Observed>> results(workloads.size());
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      clients.emplace_back([&, i] {
+        results[i] = RunClient(server.port(), workloads[i]);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    server.Stop();
+
+    std::vector<Observed> all;
+    for (const auto& result : results) {
+      all.insert(all.end(), result.begin(), result.end());
+    }
+    std::size_t total = 0;
+    for (const auto& w : workloads) total += w.size();
+    ASSERT_EQ(all.size(), total);
+
+    // Admission order is total and strictly increasing.
+    std::sort(all.begin(), all.end(),
+              [](const Observed& a, const Observed& b) { return a.seq < b.seq; });
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      ASSERT_NE(all[i].seq, all[i - 1].seq);
+    }
+
+    // Replaying in seq order through one Session reproduces every response
+    // text bit for bit — errors included.
+    Structure replayed = MakePathStructure(10);
+    EvalOptions replay_options;
+    replay_options.num_threads = threads;
+    Session session(&replayed, replay_options);
+    for (const Observed& o : all) {
+      const std::string expected = EvalSerial(&session, o.statement);
+      EXPECT_EQ(o.text, expected)
+          << "seq " << o.seq << " " << FrameKindName(o.statement.kind) << " '"
+          << o.statement.text << "'";
+    }
+  }
+}
+
+TEST(ServeServerTest, PingShutdownAndWait) {
+  Structure served = MakePathStructure(4);
+  Server server(&served, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<int> fd = ConnectLoopback(server.port());
+  ASSERT_TRUE(fd.ok());
+  std::string wire;
+  AppendRequestFrame(&wire, {FrameKind::kPing, 1, 0, ""});
+  AppendRequestFrame(&wire, {FrameKind::kShutdown, 2, 0, ""});
+  ASSERT_TRUE(SendAll(*fd, wire).ok());
+
+  FrameDecoder decoder;
+  std::vector<Response> responses;
+  while (responses.size() < 2) {
+    Result<std::string> chunk = RecvSome(*fd);
+    ASSERT_TRUE(chunk.ok());
+    ASSERT_FALSE(chunk->empty());
+    decoder.Feed(*chunk);
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      Result<Response> response = DecodeResponse(**next);
+      ASSERT_TRUE(response.ok());
+      responses.push_back(std::move(response).value());
+    }
+  }
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_EQ(responses[0].text, "pong");
+  EXPECT_TRUE(responses[1].ok);
+  EXPECT_EQ(responses[1].text, "shutting down");
+  CloseFd(*fd);
+
+  server.Wait();  // must return because of the shutdown frame
+  server.Stop();
+}
+
+TEST(ServeServerTest, MalformedBytesGetCleanErrorAndServerSurvives) {
+  Structure served = MakePathStructure(6);
+  Server server(&served, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // A corrupted length prefix: one error response, then the connection
+    // dies — and the server keeps serving other clients.
+    Result<int> fd = ConnectLoopback(server.port());
+    ASSERT_TRUE(fd.ok());
+    std::string garbage;
+    AppendU32(&garbage, 0xffffffffu);
+    garbage += "junk";
+    ASSERT_TRUE(SendAll(*fd, garbage).ok());
+    FrameDecoder decoder;
+    bool got_error = false;
+    for (;;) {
+      Result<std::string> chunk = RecvSome(*fd);
+      if (!chunk.ok() || chunk->empty()) break;  // server closed on us
+      decoder.Feed(*chunk);
+      Result<std::optional<Frame>> next = decoder.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) continue;
+      Result<Response> response = DecodeResponse(**next);
+      ASSERT_TRUE(response.ok());
+      EXPECT_FALSE(response->ok);
+      EXPECT_NE(response->text.find("oversized"), std::string::npos);
+      got_error = true;
+      break;
+    }
+    EXPECT_TRUE(got_error);
+    CloseFd(*fd);
+  }
+
+  // A well-formed client still gets served.
+  std::vector<Observed> observed =
+      RunClient(server.port(), {{FrameKind::kCount, "E(x, y)"}});
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_TRUE(observed[0].ok);
+  EXPECT_EQ(observed[0].text, "5");
+  server.Stop();
+}
+
+TEST(ServeServerTest, MalformedBodyKeepsConnectionUsable) {
+  Structure served = MakePathStructure(6);
+  Server server(&served, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<int> fd = ConnectLoopback(server.port());
+  ASSERT_TRUE(fd.ok());
+  // Frame 1: valid framing, body too short for a request header. Frame 2:
+  // a real statement — the stream stayed in sync, so it must be answered.
+  std::string wire;
+  AppendU32(&wire, 2);
+  wire.push_back(static_cast<char>(FrameKind::kCheck));
+  wire.push_back('\x01');
+  AppendRequestFrame(&wire, {FrameKind::kCount, 5, 0, "E(x, y)"});
+  ASSERT_TRUE(SendAll(*fd, wire).ok());
+
+  FrameDecoder decoder;
+  std::vector<Response> responses;
+  while (responses.size() < 2) {
+    Result<std::string> chunk = RecvSome(*fd);
+    ASSERT_TRUE(chunk.ok());
+    ASSERT_FALSE(chunk->empty());
+    decoder.Feed(*chunk);
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      Result<Response> response = DecodeResponse(**next);
+      ASSERT_TRUE(response.ok());
+      responses.push_back(std::move(response).value());
+    }
+  }
+  EXPECT_FALSE(responses[0].ok);  // the diagnostic, id 0
+  EXPECT_EQ(responses[0].id, 0u);
+  EXPECT_TRUE(responses[1].ok);
+  EXPECT_EQ(responses[1].id, 5u);
+  EXPECT_EQ(responses[1].text, "5");
+  CloseFd(*fd);
+  server.Stop();
+}
+
+TEST(ServeServerTest, MetricsEndpointServesOpenMetrics) {
+  Structure served = MakePathStructure(6);
+  ServeOptions options;
+  options.metrics_port = 0;  // ephemeral
+  Server server(&served, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GE(server.metrics_port(), 0);
+
+  // Generate some traffic first so serve.* counters exist.
+  std::vector<Observed> observed = RunClient(
+      server.port(), {{FrameKind::kCount, "E(x, y)"},
+                      {FrameKind::kUpdate, "insert E 0 3"}});
+  ASSERT_EQ(observed.size(), 2u);
+
+  Result<int> fd =
+      ConnectLoopback(static_cast<std::uint16_t>(server.metrics_port()));
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(SendAll(*fd, "GET /metrics HTTP/1.0\r\n\r\n").ok());
+  std::string reply;
+  for (;;) {
+    Result<std::string> chunk = RecvSome(*fd);
+    ASSERT_TRUE(chunk.ok());
+    if (chunk->empty()) break;
+    reply += *chunk;
+  }
+  CloseFd(*fd);
+
+  EXPECT_NE(reply.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("application/openmetrics-text"), std::string::npos);
+  EXPECT_NE(reply.find("focq_serve_requests_total"), std::string::npos);
+  EXPECT_NE(reply.find("focq_serve_requests_count_total"), std::string::npos);
+  EXPECT_NE(reply.find("focq_serve_requests_update_total"),
+            std::string::npos);
+  // The exposition itself must be well-formed: '# EOF' terminated.
+  const std::string eof = "# EOF\n";
+  ASSERT_GE(reply.size(), eof.size());
+  EXPECT_EQ(reply.substr(reply.size() - eof.size()), eof);
+  server.Stop();
+}
+
+TEST(ServeServerTest, ExplainFlagAppendsAttributionReport) {
+  Structure served = MakePathStructure(8);
+  Server server(&served, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<int> fd = ConnectLoopback(server.port());
+  ASSERT_TRUE(fd.ok());
+  Request request;
+  request.kind = FrameKind::kCount;
+  request.id = 1;
+  request.flags = kRequestFlagExplain;
+  request.text = "@ge1(#(y). (E(x, y)))";
+  ASSERT_TRUE(SendAll(*fd, EncodeRequest(request)).ok());
+
+  FrameDecoder decoder;
+  std::optional<Response> response;
+  while (!response.has_value()) {
+    Result<std::string> chunk = RecvSome(*fd);
+    ASSERT_TRUE(chunk.ok());
+    ASSERT_FALSE(chunk->empty());
+    decoder.Feed(*chunk);
+    Result<std::optional<Frame>> next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) continue;
+    Result<Response> decoded = DecodeResponse(**next);
+    ASSERT_TRUE(decoded.ok());
+    response = std::move(decoded).value();
+  }
+  CloseFd(*fd);
+
+  ASSERT_TRUE(response->ok) << response->text;
+  // First line is the plain result, the rest the EXPLAIN ANALYZE tree.
+  const std::size_t newline = response->text.find('\n');
+  ASSERT_NE(newline, std::string::npos) << response->text;
+  EXPECT_EQ(response->text.substr(0, newline), "7");
+  EXPECT_NE(response->text.find("plan:"), std::string::npos)
+      << response->text;
+  EXPECT_NE(response->text.find("cl-term"), std::string::npos)
+      << response->text;
+  server.Stop();
+}
+
+TEST(ServeServerTest, StopWithoutTrafficIsClean) {
+  Structure served = MakePathStructure(4);
+  Server server(&served, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace focq

@@ -339,6 +339,13 @@ int main(int argc, char** argv) {
   if (!parse_prob(delta_text, &options.approx.delta)) {
     return Fail("--delta expects a number in (0, 1)");
   }
+  // Digits only before std::stoull: stoull itself accepts a leading '-' and
+  // wraps ("-1" would silently become 18446744073709551615 — a different
+  // RNG stream than the user asked for, with no diagnostic).
+  if (approx_seed_text.empty() ||
+      approx_seed_text.find_first_not_of("0123456789") != std::string::npos) {
+    return Fail("--approx-seed expects a non-negative integer");
+  }
   try {
     std::size_t pos = 0;
     options.approx.seed = std::stoull(approx_seed_text, &pos);
@@ -582,6 +589,11 @@ int main(int argc, char** argv) {
                kind + "'");
           return -1;
         }
+        // Every statement kind counts towards the summary totals — update
+        // lines included, so "N statements, M failed" always has M <= N
+        // (a batch of only failing updates used to report "0 statements,
+        // 3 failed").
+        ++evaluated;
         if (kind == "update") {
           Result<TupleUpdate> update =
               ParseUpdate(text, structure->signature());
@@ -592,7 +604,6 @@ int main(int argc, char** argv) {
                       applied->changed ? "applied" : "noop");
           continue;
         }
-        ++evaluated;
         if (kind == "term") {
           Result<Term> term = ParseTerm(text);
           if (!term.ok()) { Fail(term.status().ToString()); return -1; }

@@ -14,6 +14,15 @@
 //   focq_fuzz --corpus DIR          replay every .case file in a directory
 //   focq_fuzz --self-test           inject a miscounting engine and verify
 //                                   the harness catches and shrinks it
+//   focq_fuzz --frames N            byte-level fuzz of the focq_serve wire
+//                                   protocol: N random frame streams are
+//                                   round-tripped through the incremental
+//                                   FrameDecoder in random-sized chunks, then
+//                                   mutated (truncation, bit flips, garbage
+//                                   insertion, clobbered length prefixes) —
+//                                   the decoder must answer every stream with
+//                                   frames or a clean sticky Status, never a
+//                                   crash
 //
 // --engine approx switches the differential oracle to the error-band mode:
 // every case runs Engine::kApprox under both stratify modes and several
@@ -57,6 +66,7 @@
 #include <vector>
 
 #include "focq/obs/metrics.h"
+#include "focq/serve/protocol.h"
 #include "focq/testing/case_io.h"
 #include "focq/testing/differential.h"
 #include "focq/testing/shrink.h"
@@ -80,6 +90,7 @@ int Usage() {
                "       focq_fuzz --replay FILE...\n"
                "       focq_fuzz --corpus DIR\n"
                "       focq_fuzz --self-test\n"
+               "       focq_fuzz --frames N [--seed S]\n"
                "classes:");
   for (StructureClass cls : AllStructureClasses()) {
     std::fprintf(stderr, " %s", StructureClassName(cls).c_str());
@@ -212,6 +223,181 @@ int SelfTest() {
   return 1;
 }
 
+// Byte-level fuzz of the focq_serve frame codec. Two properties per stream:
+//   1. Round-trip: a clean stream of encoded requests/responses, fed to the
+//      incremental FrameDecoder in random-sized chunks, decodes to exactly
+//      the messages that were encoded, ending on a frame boundary.
+//   2. Robustness: a mutated copy (truncated, bit-flipped, garbage-injected
+//      or length-clobbered) yields frames and/or one sticky clean Status —
+//      never a crash, and never an error that un-sticks.
+int RunFrameFuzz(std::uint64_t seed, std::size_t iterations) {
+  using namespace focq::serve;
+  Rng rng(seed);
+  auto random_text = [&rng]() {
+    std::string text;
+    const std::size_t len = rng.NextBelow(48);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    return text;
+  };
+  constexpr FrameKind kRequestKinds[] = {
+      FrameKind::kCheck, FrameKind::kCount,    FrameKind::kTerm,
+      FrameKind::kUpdate, FrameKind::kPing,    FrameKind::kShutdown};
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    // Encode a random message sequence (both directions share one framing,
+    // so mixing requests and responses in one stream is fair game for the
+    // decoder; direction-specific decoding is checked per message).
+    std::string wire;
+    std::vector<Request> requests;
+    std::vector<Response> responses;
+    std::vector<bool> is_request;
+    const std::size_t messages = 1 + rng.NextBelow(8);
+    for (std::size_t m = 0; m < messages; ++m) {
+      if (rng.NextBelow(2) == 0) {
+        Request request;
+        request.kind = kRequestKinds[rng.NextBelow(6)];
+        request.id = static_cast<std::uint32_t>(rng.NextBelow(1u << 16));
+        if (IsStatementKind(request.kind)) {
+          request.flags = static_cast<std::uint8_t>(rng.NextBelow(2));
+          request.text = random_text();
+        }
+        AppendRequestFrame(&wire, request);
+        requests.push_back(request);
+        is_request.push_back(true);
+      } else {
+        Response response;
+        response.ok = rng.NextBelow(2) == 0;
+        response.id = static_cast<std::uint32_t>(rng.NextBelow(1u << 16));
+        response.seq = rng.NextBelow(1u << 20);
+        response.text = random_text();
+        AppendResponseFrame(&wire, response);
+        responses.push_back(response);
+        is_request.push_back(false);
+      }
+    }
+
+    // Property 1: chunked round-trip.
+    FrameDecoder decoder;
+    std::size_t offset = 0;
+    std::size_t decoded = 0, req_i = 0, resp_i = 0;
+    for (;;) {
+      for (;;) {
+        Result<std::optional<Frame>> next = decoder.Next();
+        if (!next.ok()) {
+          std::fprintf(stderr,
+                       "focq_fuzz: frames: clean stream poisoned on "
+                       "iteration %zu: %s\n",
+                       iter, next.status().ToString().c_str());
+          return 1;
+        }
+        if (!next->has_value()) break;
+        if (decoded >= messages) {
+          std::fprintf(stderr,
+                       "focq_fuzz: frames: extra frame on iteration %zu\n",
+                       iter);
+          return 1;
+        }
+        bool match = false;
+        if (is_request[decoded]) {
+          Result<Request> r = DecodeRequest(**next);
+          const Request& want = requests[req_i++];
+          match = r.ok() && r->kind == want.kind && r->id == want.id &&
+                  r->flags == want.flags && r->text == want.text;
+        } else {
+          Result<Response> r = DecodeResponse(**next);
+          const Response& want = responses[resp_i++];
+          match = r.ok() && r->ok == want.ok && r->id == want.id &&
+                  r->seq == want.seq && r->text == want.text;
+        }
+        if (!match) {
+          std::fprintf(stderr,
+                       "focq_fuzz: frames: round-trip mismatch on iteration "
+                       "%zu, frame %zu\n",
+                       iter, decoded);
+          return 1;
+        }
+        ++decoded;
+      }
+      if (offset >= wire.size()) break;
+      const std::size_t chunk =
+          std::min(wire.size() - offset, 1 + rng.NextBelow(17));
+      decoder.Feed(std::string_view(wire).substr(offset, chunk));
+      offset += chunk;
+    }
+    if (decoded != messages || !decoder.AtFrameBoundary().ok()) {
+      std::fprintf(stderr,
+                   "focq_fuzz: frames: clean stream decoded %zu of %zu "
+                   "frames on iteration %zu\n",
+                   decoded, messages, iter);
+      return 1;
+    }
+
+    // Property 2: a mutated stream never crashes the decoder, and an error,
+    // once reported, stays sticky.
+    std::string bad = wire;
+    switch (rng.NextBelow(4)) {
+      case 0:  // truncate mid-frame
+        bad.resize(rng.NextBelow(bad.size() + 1));
+        break;
+      case 1: {  // flip a few random bytes
+        const std::size_t flips = 1 + rng.NextBelow(4);
+        for (std::size_t f = 0; f < flips && !bad.empty(); ++f) {
+          bad[rng.NextBelow(bad.size())] ^=
+              static_cast<char>(1 + rng.NextBelow(255));
+        }
+        break;
+      }
+      case 2: {  // inject garbage bytes at a random position
+        std::string garbage = random_text();
+        bad.insert(rng.NextBelow(bad.size() + 1), garbage);
+        break;
+      }
+      default: {  // clobber the first length prefix (oversized / zero)
+        if (bad.size() >= 4) {
+          const std::uint32_t clobber =
+              rng.NextBelow(2) == 0 ? 0u : 0xffffffffu;
+          for (int b = 0; b < 4; ++b) {
+            bad[b] = static_cast<char>((clobber >> (8 * b)) & 0xff);
+          }
+        }
+        break;
+      }
+    }
+    FrameDecoder hostile;
+    std::size_t bad_offset = 0;
+    bool poisoned = false;
+    while (bad_offset < bad.size() && !poisoned) {
+      const std::size_t chunk =
+          std::min(bad.size() - bad_offset, 1 + rng.NextBelow(17));
+      hostile.Feed(std::string_view(bad).substr(bad_offset, chunk));
+      bad_offset += chunk;
+      for (;;) {
+        Result<std::optional<Frame>> next = hostile.Next();
+        if (!next.ok()) {
+          // Sticky: the same stream error again on the next poll.
+          Result<std::optional<Frame>> again = hostile.Next();
+          if (again.ok() ||
+              again.status().code() != next.status().code()) {
+            std::fprintf(stderr,
+                         "focq_fuzz: frames: error not sticky on "
+                         "iteration %zu\n",
+                         iter);
+            return 1;
+          }
+          poisoned = true;
+          break;
+        }
+        if (!next->has_value()) break;
+      }
+    }
+    (void)hostile.AtFrameBoundary();  // must not crash either way
+  }
+  std::printf("frames: %zu streams ok (seed %llu)\n", iterations,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,6 +414,7 @@ int main(int argc, char** argv) {
   std::optional<StructureClass> cls;
   std::vector<std::string> replay_paths;
   std::string corpus_dir;
+  std::size_t frames = 0;  // wire-protocol fuzz stream count (0 = off)
   bool self_test = false;
   bool dump = false;
   bool stats = false;
@@ -239,10 +426,17 @@ int main(int argc, char** argv) {
     };
     auto parse_u64 = [&](const char* v, std::uint64_t* out) {
       if (v == nullptr) return false;
+      // Digits only: std::stoull accepts a leading '-' and wraps, which
+      // would turn "--seed -1" into a huge seed instead of a usage error.
+      std::string text(v);
+      if (text.empty() ||
+          text.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+      }
       try {
         std::size_t pos = 0;
-        *out = std::stoull(v, &pos);
-        return pos == std::string(v).size();
+        *out = std::stoull(text, &pos);
+        return pos == text.size();
       } catch (const std::exception&) {
         return false;
       }
@@ -310,6 +504,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       corpus_dir = v;
+    } else if (arg == "--frames") {
+      std::uint64_t v = 0;
+      if (!parse_u64(next(), &v) || v < 1) return Usage();
+      frames = static_cast<std::size_t>(v);
     } else if (arg == "--self-test") {
       self_test = true;
     } else if (arg == "--dump") {
@@ -322,6 +520,7 @@ int main(int argc, char** argv) {
   }
 
   if (self_test) return SelfTest();
+  if (frames > 0) return RunFrameFuzz(seed, frames);
 
   const bool approx_mode = engine_name == "approx";
   if (!approx_mode && engine_name != "local") {

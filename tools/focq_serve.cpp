@@ -1,0 +1,415 @@
+// focq_serve: the persistent multi-tenant query server (DESIGN.md §3g) and
+// its scripting client.
+//
+// Server mode:
+//   focq_serve <structure-file> [--edges] [--port N] [--metrics-port N]
+//              [--engine naive|local|cover|approx] [--threads N]
+//              [--eps E] [--delta D] [--approx-seed S] [--approx-stratify]
+//              [--deadline-ms N]
+//
+//   Loads the structure, binds 127.0.0.1 (port 0 = ephemeral) and serves the
+//   length-prefixed binary protocol of src/focq/serve/protocol.h: concurrent
+//   clients submit check/count/term/update statements in the --batch
+//   grammar; reads share one EvalContext under snapshot semantics and fan
+//   out per cover cluster on the shared work-stealing pool; an update drains
+//   in-flight reads, repairs the cached artifacts incrementally and
+//   readmits. Responses carry the global admission sequence number: for any
+//   interleaving, replaying all statements serially in seq order through one
+//   Session reproduces every response bit for bit.
+//
+//   Prints "serving on 127.0.0.1:<port>" (and "metrics on ..." when
+//   --metrics-port is given; that port answers HTTP scrapes with an
+//   OpenMetrics exposition) and runs until a client sends --shutdown.
+//
+//   --port         query port (default 0: ephemeral, printed at startup)
+//   --metrics-port OpenMetrics scrape port (default off; 0 = ephemeral)
+//   --deadline-ms  hard per-request budget; an expired request answers
+//                  kDeadlineExceeded without affecting other clients
+//   --engine, --threads, --eps, --delta, --approx-seed, --approx-stratify:
+//                  as in focq_cli, applied to every request
+//
+// Client mode:
+//   focq_serve --client PORT [--batch FILE] [--explain] [--ping]
+//              [--shutdown]
+//
+//   Reads statements from FILE (the focq_cli --batch grammar), pipelines
+//   them all over one connection, and prints one line per response in
+//   arrival order:
+//     seq <seq> req <id> <kind>: <result text>
+//     seq <seq> req <id> <kind>: error: <diagnostic>
+//   The seq column is what the serve-smoke harness sorts on to rebuild the
+//   serial replay order across many concurrent clients. --ping sends a ping
+//   first; --shutdown asks the server to exit after the batch. Exits 0 iff
+//   every response was ok.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "focq/serve/protocol.h"
+#include "focq/serve/server.h"
+#include "focq/serve/socket_util.h"
+#include "focq/structure/io.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "focq_serve: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: focq_serve <structure-file> [--edges] [--port N] "
+      "[--metrics-port N]\n"
+      "                  [--engine naive|local|cover|approx] [--threads N]\n"
+      "                  [--eps E] [--delta D] [--approx-seed S] "
+      "[--approx-stratify]\n"
+      "                  [--deadline-ms N]\n"
+      "       focq_serve --client PORT [--batch FILE] [--explain] [--ping] "
+      "[--shutdown]\n");
+  return 2;
+}
+
+// Digit-only unsigned parse: std::stoull alone would accept a leading '-'
+// and wrap (the focq_cli --approx-seed bug this PR fixes).
+bool ParseU64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  try {
+    std::size_t pos = 0;
+    *out = std::stoull(text, &pos);
+    return pos == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool ParseI64(const std::string& text, std::int64_t* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stoll(text, &pos);
+    return pos == text.size() && *out >= 0;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+struct Statement {
+  focq::serve::FrameKind kind;
+  std::string text;
+};
+
+// The focq_cli --batch line grammar: blank and '#' lines skipped, otherwise
+// "check|count|term|update <text>".
+int ReadStatements(const std::string& path, std::vector<Statement>* out) {
+  std::ifstream in(path);
+  if (!in) return Fail("cannot open '" + path + "'");
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::size_t split = line.find_first_of(" \t", start);
+    std::string word = line.substr(start, split - start);
+    std::optional<focq::serve::FrameKind> kind =
+        focq::serve::StatementKindFromWord(word);
+    if (!kind.has_value()) {
+      return Fail("line " + std::to_string(lineno) +
+                  ": expected 'check', 'count', 'term' or 'update', got '" +
+                  word + "'");
+    }
+    std::string text =
+        split == std::string::npos ? "" : line.substr(split + 1);
+    out->push_back({*kind, text});
+  }
+  return 0;
+}
+
+int RunClient(std::uint16_t port, const std::string& batch_path,
+              bool explain, bool ping, bool shutdown) {
+  using namespace focq::serve;
+  std::vector<Statement> statements;
+  if (ping) statements.push_back({FrameKind::kPing, ""});
+  if (!batch_path.empty()) {
+    if (int rc = ReadStatements(batch_path, &statements); rc != 0) return rc;
+  }
+  if (shutdown) statements.push_back({FrameKind::kShutdown, ""});
+  if (statements.empty()) return Fail("nothing to send (see --batch)");
+
+  focq::Result<int> fd = ConnectLoopback(port);
+  if (!fd.ok()) return Fail(fd.status().ToString());
+
+  // Pipeline everything: one write, then drain responses. Request ids are
+  // 1-based statement indices, so responses (which may arrive out of order)
+  // can be labelled with their statement kind.
+  std::string wire;
+  std::map<std::uint32_t, FrameKind> kinds;
+  std::uint32_t next_id = 1;
+  for (const Statement& statement : statements) {
+    Request request;
+    request.kind = statement.kind;
+    request.id = next_id++;
+    if (explain && IsReadStatement(statement.kind)) {
+      request.flags |= kRequestFlagExplain;
+    }
+    request.text = statement.text;
+    kinds[request.id] = request.kind;
+    AppendRequestFrame(&wire, request);
+  }
+  if (focq::Status sent = SendAll(*fd, wire); !sent.ok()) {
+    CloseFd(*fd);
+    return Fail(sent.ToString());
+  }
+
+  FrameDecoder decoder;
+  std::size_t received = 0;
+  int failures = 0;
+  while (received < statements.size()) {
+    focq::Result<std::string> chunk = RecvSome(*fd);
+    if (!chunk.ok()) {
+      CloseFd(*fd);
+      return Fail(chunk.status().ToString());
+    }
+    if (chunk->empty()) {
+      CloseFd(*fd);
+      return Fail("server closed the connection after " +
+                  std::to_string(received) + " of " +
+                  std::to_string(statements.size()) + " responses");
+    }
+    decoder.Feed(*chunk);
+    for (;;) {
+      focq::Result<std::optional<Frame>> next = decoder.Next();
+      if (!next.ok()) {
+        CloseFd(*fd);
+        return Fail("response stream: " + next.status().ToString());
+      }
+      if (!next->has_value()) break;
+      focq::Result<Response> response = DecodeResponse(**next);
+      if (!response.ok()) {
+        CloseFd(*fd);
+        return Fail("response frame: " + response.status().ToString());
+      }
+      if (response->id == 0) {
+        // Connection-level protocol diagnostic (not tied to a request).
+        std::printf("protocol error: %s\n", response->text.c_str());
+        ++failures;
+        continue;
+      }
+      ++received;
+      auto it = kinds.find(response->id);
+      const char* kind =
+          it == kinds.end() ? "unknown" : FrameKindName(it->second);
+      if (response->ok) {
+        std::printf("seq %llu req %u %s: %s\n",
+                    static_cast<unsigned long long>(response->seq),
+                    response->id, kind, response->text.c_str());
+      } else {
+        std::printf("seq %llu req %u %s: error: %s\n",
+                    static_cast<unsigned long long>(response->seq),
+                    response->id, kind, response->text.c_str());
+        ++failures;
+      }
+    }
+  }
+  CloseFd(*fd);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace focq;
+  if (argc < 2) return Usage();
+
+  // ---- client mode ---------------------------------------------------------
+  if (std::string(argv[1]) == "--client") {
+    if (argc < 3) return Usage();
+    std::uint64_t port = 0;
+    if (!ParseU64(argv[2], &port) || port == 0 || port > 65535) {
+      return Fail("--client expects a port number");
+    }
+    std::string batch_path;
+    bool explain = false, ping = false, shutdown = false;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
+      if (arg == "--batch") {
+        const char* v = next();
+        if (v == nullptr) return Usage();
+        batch_path = v;
+      } else if (arg.rfind("--batch=", 0) == 0) {
+        batch_path = arg.substr(std::string("--batch=").size());
+      } else if (arg == "--explain") {
+        explain = true;
+      } else if (arg == "--ping") {
+        ping = true;
+      } else if (arg == "--shutdown") {
+        shutdown = true;
+      } else {
+        return Usage();
+      }
+    }
+    return RunClient(static_cast<std::uint16_t>(port), batch_path, explain,
+                     ping, shutdown);
+  }
+
+  // ---- server mode ---------------------------------------------------------
+  std::string path = argv[1];
+  bool edges = false;
+  serve::ServeOptions serve_options;
+  std::string engine_name = "local";
+  std::string threads_text = "1";
+  std::string eps_text = "0.1", delta_text = "0.01", approx_seed_text = "1";
+  std::string port_text = "0", metrics_port_text, deadline_text = "0";
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--edges") {
+      edges = true;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      engine_name = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      threads_text = v;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads_text = arg.substr(std::string("--threads=").size());
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      port_text = v;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port_text = arg.substr(std::string("--port=").size());
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      metrics_port_text = v;
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      metrics_port_text = arg.substr(std::string("--metrics-port=").size());
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      deadline_text = v;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_text = arg.substr(std::string("--deadline-ms=").size());
+    } else if (arg == "--eps") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      eps_text = v;
+    } else if (arg == "--delta") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      delta_text = v;
+    } else if (arg == "--approx-seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      approx_seed_text = v;
+    } else if (arg == "--approx-stratify") {
+      serve_options.eval.approx.stratify = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  try {
+    std::size_t pos = 0;
+    serve_options.eval.num_threads = std::stoi(threads_text, &pos);
+    if (pos != threads_text.size() || serve_options.eval.num_threads < 0) {
+      return Fail("--threads expects a non-negative integer");
+    }
+  } catch (const std::exception&) {
+    return Fail("--threads expects a non-negative integer");
+  }
+  std::uint64_t port = 0;
+  if (!ParseU64(port_text, &port) || port > 65535) {
+    return Fail("--port expects a port number");
+  }
+  serve_options.port = static_cast<std::uint16_t>(port);
+  if (!metrics_port_text.empty()) {
+    std::uint64_t metrics_port = 0;
+    if (!ParseU64(metrics_port_text, &metrics_port) || metrics_port > 65535) {
+      return Fail("--metrics-port expects a port number");
+    }
+    serve_options.metrics_port = static_cast<int>(metrics_port);
+  }
+  if (!ParseI64(deadline_text, &serve_options.deadline_ms)) {
+    return Fail("--deadline-ms expects a non-negative integer");
+  }
+  if (engine_name == "naive") {
+    serve_options.eval.engine = Engine::kNaive;
+  } else if (engine_name == "local") {
+    serve_options.eval.engine = Engine::kLocal;
+  } else if (engine_name == "cover") {
+    serve_options.eval.engine = Engine::kLocal;
+    serve_options.eval.term_engine = TermEngine::kSparseCover;
+  } else if (engine_name == "approx") {
+    serve_options.eval.engine = Engine::kApprox;
+  } else {
+    return Fail("unknown engine '" + engine_name + "'");
+  }
+  auto parse_prob = [](const std::string& text, double* out) -> bool {
+    try {
+      std::size_t pos = 0;
+      *out = std::stod(text, &pos);
+      return pos == text.size();
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  if (!parse_prob(eps_text, &serve_options.eval.approx.eps)) {
+    return Fail("--eps expects a number in (0, 1)");
+  }
+  if (!parse_prob(delta_text, &serve_options.eval.approx.delta)) {
+    return Fail("--delta expects a number in (0, 1)");
+  }
+  if (!ParseU64(approx_seed_text, &serve_options.eval.approx.seed)) {
+    return Fail("--approx-seed expects a non-negative integer");
+  }
+  if (Status valid = ValidateApproxParams(serve_options.eval.approx);
+      !valid.ok()) {
+    return Fail(valid.message());
+  }
+
+  Result<Structure> structure = [&]() -> Result<Structure> {
+    if (!edges) return ReadStructureFile(path);
+    std::ifstream in(path);
+    if (!in) return Status::NotFound("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return ReadEdgeList(buffer.str());
+  }();
+  if (!structure.ok()) return Fail(structure.status().ToString());
+  std::printf("structure: %zu elements, ||A|| = %zu\n", structure->Order(),
+              structure->SizeNorm());
+
+  serve::Server server(&structure.value(), serve_options);
+  if (Status started = server.Start(); !started.ok()) {
+    return Fail(started.ToString());
+  }
+  // Harnesses block on these lines to learn the ephemeral ports, so flush.
+  std::printf("serving on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  if (server.metrics_port() >= 0) {
+    std::printf("metrics on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.metrics_port()));
+  }
+  std::fflush(stdout);
+  server.Wait();
+  server.Stop();
+  std::printf("shutdown complete\n");
+  return 0;
+}
