@@ -3,15 +3,22 @@
 // throughput over loopback as the number of concurrent pipelining clients
 // grows. The sweep shows where admission serialisation or the snapshot gate
 // caps parallel speedup; the update-mix variant adds writer drains to the
-// load. NOT part of the perf-smoke fail band: no committed baseline, see
-// bench/baselines/README.md.
+// load, and the Observed variant runs the full observability stack (query
+// log + lifecycle tracing) to price its overhead against the plain run.
+// Only the codec benchmarks are in the perf-smoke fail band (committed
+// baseline: bench/baselines/serve.json); the socket sweeps are
+// scheduling-noisy and stay uncommitted, see bench/baselines/README.md.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
 #include "focq/graph/generators.h"
+#include "focq/obs/trace.h"
 #include "focq/serve/protocol.h"
 #include "focq/serve/server.h"
 #include "focq/serve/socket_util.h"
@@ -92,12 +99,24 @@ void DriveClient(std::uint16_t port, std::size_t count, bool with_updates) {
   serve::CloseFd(*fd);
 }
 
-void ServeThroughput(benchmark::State& state, bool with_updates) {
+void ServeThroughput(benchmark::State& state, bool with_updates,
+                     bool observed = false) {
   const std::size_t clients = static_cast<std::size_t>(state.range(0));
   const std::size_t per_client = 64;
   Structure served = MakeServedStructure(512);
   serve::ServeOptions options;
   options.eval.num_threads = 0;  // requests themselves are the parallelism
+  TraceSink trace;
+  std::filesystem::path log_path;
+  if (observed) {
+    // The full observability stack: per-request query-log records plus
+    // lifecycle lane spans. Compared against BM_ServeReadOnly, this is the
+    // "<= 2% throughput cost" acceptance check of DESIGN.md §3g.
+    log_path = std::filesystem::temp_directory_path() /
+               ("focq_bench_serve_" + std::to_string(::getpid()) + ".jsonl");
+    options.query_log_path = log_path.string();
+    options.trace = &trace;
+  }
   serve::Server server(&served, options);
   if (!server.Start().ok()) {
     state.SkipWithError("server failed to start");
@@ -113,6 +132,10 @@ void ServeThroughput(benchmark::State& state, bool with_updates) {
     for (std::thread& t : threads) t.join();
   }
   server.Stop();
+  if (observed) {
+    std::error_code ec;
+    std::filesystem::remove(log_path, ec);
+  }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(clients * per_client));
   state.counters["clients"] = static_cast<double>(clients);
@@ -120,6 +143,10 @@ void ServeThroughput(benchmark::State& state, bool with_updates) {
 
 void BM_ServeReadOnly(benchmark::State& state) {
   ServeThroughput(state, /*with_updates=*/false);
+}
+
+void BM_ServeReadOnlyObserved(benchmark::State& state) {
+  ServeThroughput(state, /*with_updates=*/false, /*observed=*/true);
 }
 
 void BM_ServeWithUpdates(benchmark::State& state) {
@@ -132,6 +159,12 @@ BENCHMARK(BM_ServeReadOnly)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_ServeReadOnlyObserved)
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

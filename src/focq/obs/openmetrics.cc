@@ -65,6 +65,12 @@ std::string OpenMetricsSeries::SanitizeName(std::string_view name) {
 
 void OpenMetricsSeries::Sample(std::int64_t ts_ms, const EvalMetrics& metrics,
                                const ProgressSink* progress) {
+  Sample(ts_ms, metrics, progress, {});
+}
+
+void OpenMetricsSeries::Sample(std::int64_t ts_ms, const EvalMetrics& metrics,
+                               const ProgressSink* progress,
+                               std::map<std::string, std::int64_t> gauges) {
   OpenMetricsSample s;
   s.ts_ms = ts_ms;
   s.metrics = metrics;
@@ -72,6 +78,7 @@ void OpenMetricsSeries::Sample(std::int64_t ts_ms, const EvalMetrics& metrics,
     s.progress = progress->Snapshot();
     s.has_progress = true;
   }
+  s.gauges = std::move(gauges);
   std::lock_guard<std::mutex> lock(mutex_);
   if (samples_.size() >= max_samples_) {
     samples_.erase(samples_.begin());
@@ -89,10 +96,12 @@ std::string OpenMetricsSeries::Render() const {
 
   std::set<std::string> counter_names;
   std::set<std::string> value_names;
+  std::set<std::string> gauge_names;
   bool any_progress = false;
   for (const OpenMetricsSample& s : samples_) {
     for (const auto& [name, value] : s.metrics.counters) counter_names.insert(name);
     for (const auto& [name, stats] : s.metrics.values) value_names.insert(name);
+    for (const auto& [name, value] : s.gauges) gauge_names.insert(name);
     any_progress = any_progress || s.has_progress;
   }
 
@@ -133,6 +142,19 @@ std::string OpenMetricsSeries::Render() const {
                  TsString(s.ts_ms) + "\n";
         }
       }
+    }
+  }
+
+  // Point-in-time gauges (queue depth, in-flight requests, ...): bare-name
+  // sample lines, one family per name.
+  for (const std::string& name : gauge_names) {
+    std::string family = "focq_" + SanitizeName(name);
+    AppendFamilyHeader(&out, family, "gauge", "focq gauge " + name);
+    for (const OpenMetricsSample& s : samples_) {
+      auto it = s.gauges.find(name);
+      if (it == s.gauges.end()) continue;
+      out += family + " " + std::to_string(it->second) + " " +
+             TsString(s.ts_ms) + "\n";
     }
   }
 

@@ -28,6 +28,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -44,6 +45,10 @@ struct OpenMetricsSample {
   EvalMetrics metrics;
   std::array<PhaseProgress, kNumProgressPhases> progress{};
   bool has_progress = false;
+  /// Point-in-time gauges (queue depth, in-flight requests, live
+  /// connections): rendered as one gauge family per name (focq_<name>,
+  /// bare-name samples). Unlike counters these may go down between samples.
+  std::map<std::string, std::int64_t> gauges;
 };
 
 /// Wall-clock now in unix epoch milliseconds (the timestamp Sample wants).
@@ -64,6 +69,11 @@ class OpenMetricsSeries {
   /// format requires increasing timestamps per series.
   void Sample(std::int64_t ts_ms, const EvalMetrics& metrics,
               const ProgressSink* progress);
+
+  /// Same, plus point-in-time gauges (see OpenMetricsSample::gauges).
+  void Sample(std::int64_t ts_ms, const EvalMetrics& metrics,
+              const ProgressSink* progress,
+              std::map<std::string, std::int64_t> gauges);
 
   std::size_t sample_count() const;
 

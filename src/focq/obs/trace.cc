@@ -57,6 +57,27 @@ void TraceSink::RecordChunk(int worker_tid, std::size_t /*chunk*/,
   slices_.push_back(std::move(slice));
 }
 
+void TraceSink::RecordSpanAt(std::string name, int tid, std::int64_t start_ns,
+                             std::int64_t duration_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerSlice span;
+  span.span_name = std::move(name);
+  span.tid = tid;
+  span.start_ns = start_ns - epoch_ns_;
+  span.duration_ns = duration_ns;
+  lane_spans_.push_back(std::move(span));
+}
+
+void TraceSink::NameLane(int tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lane_names_[tid] = std::move(name);
+}
+
+std::vector<WorkerSlice> TraceSink::LaneSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lane_spans_;
+}
+
 std::vector<TraceSpan> TraceSink::Spans() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return roots_;
@@ -134,15 +155,27 @@ std::string TraceSink::ToJson() const {
 std::string TraceSink::ToChromeTracing() const {
   std::vector<TraceSpan> roots = Spans();
   std::vector<WorkerSlice> slices = Slices();
+  std::vector<WorkerSlice> lane_spans = LaneSpans();
+  std::map<int, std::string> lane_names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lane_names = lane_names_;
+  }
   std::string out = "{\"traceEvents\": [\n  ";
   bool first = true;
-  // Lane names first: the coordinator plus every worker lane that actually
-  // ran a chunk, so Perfetto labels the tracks.
+  // Lane names first: the coordinator plus every lane that actually ran a
+  // chunk or recorded a lifecycle span, so Perfetto labels the tracks.
   std::set<int> tids{0};
   for (const WorkerSlice& s : slices) tids.insert(s.tid);
+  for (const WorkerSlice& s : lane_spans) tids.insert(s.tid);
   for (int tid : tids) {
+    auto named = lane_names.find(tid);
     AppendThreadNameEvent(
-        tid, tid == 0 ? "coordinator" : "pool-worker-" + std::to_string(tid),
+        tid,
+        named != lane_names.end()
+            ? named->second
+            : (tid == 0 ? "coordinator"
+                        : "pool-worker-" + std::to_string(tid)),
         &first, &out);
   }
   for (const TraceSpan& span : roots) AppendChromeEvents(span, &first, &out);
@@ -151,6 +184,15 @@ std::string TraceSink::ToChromeTracing() const {
     first = false;
     out += "{\"name\": ";
     AppendJsonString(&out, s.span_name + ".chunk");
+    out += ", \"ph\": \"X\", \"pid\": 0, \"tid\": " + std::to_string(s.tid) +
+           ", \"ts\": " + std::to_string(s.start_ns / 1000) +
+           ", \"dur\": " + std::to_string(s.duration_ns / 1000) + "}";
+  }
+  for (const WorkerSlice& s : lane_spans) {
+    if (!first) out += ",\n  ";
+    first = false;
+    out += "{\"name\": ";
+    AppendJsonString(&out, s.span_name);
     out += ", \"ph\": \"X\", \"pid\": 0, \"tid\": " + std::to_string(s.tid) +
            ", \"ts\": " + std::to_string(s.start_ns / 1000) +
            ", \"dur\": " + std::to_string(s.duration_ns / 1000) + "}";

@@ -96,6 +96,24 @@ class TraceSink : public ParallelForObserver {
   void RecordChunk(int worker_tid, std::size_t chunk, std::int64_t start_ns,
                    std::int64_t duration_ns) override;
 
+  /// Records one completed span on an explicit lane — the cross-thread seam
+  /// focq_serve stitches request lifecycles with: reader decode on the
+  /// reader lane, queue/gate waits on the dispatcher lane, pool execution on
+  /// the real worker lane. Unlike Begin/End there is no nesting contract, so
+  /// any thread may call it concurrently; `start_ns` is absolute steady-clock
+  /// time (the same clock Begin/End read), converted to the sink's epoch
+  /// internally. Exported as plain "X" events on lane `tid` (no ".chunk"
+  /// suffix).
+  void RecordSpanAt(std::string name, int tid, std::int64_t start_ns,
+                    std::int64_t duration_ns);
+
+  /// Names a lane in the Chrome export ("dispatcher", "reader-3", ...);
+  /// unnamed lanes keep the default coordinator / pool-worker-N labels.
+  void NameLane(int tid, std::string name);
+
+  /// Spans recorded via RecordSpanAt, in recording order.
+  std::vector<WorkerSlice> LaneSpans() const;
+
  private:
   std::int64_t NowNs() const;
 
@@ -106,6 +124,8 @@ class TraceSink : public ParallelForObserver {
   // Spans()/exports never see half-open spans.
   std::vector<TraceSpan> open_;
   std::vector<WorkerSlice> slices_;
+  std::vector<WorkerSlice> lane_spans_;
+  std::map<int, std::string> lane_names_;
 };
 
 /// RAII span; null-safe, so call sites need no sink guard. While live, the

@@ -94,9 +94,12 @@ void AppendFrame(std::string* out, FrameKind kind, std::string_view body) {
 
 void AppendRequestFrame(std::string* out, const Request& request) {
   std::string body;
-  body.reserve(kRequestHeaderBytes + request.text.size());
+  body.reserve(kRequestHeaderBytes + 8 + request.text.size());
   AppendU32(&body, request.id);
   body.push_back(static_cast<char>(request.flags));
+  if ((request.flags & kRequestFlagTraceId) != 0) {
+    AppendU64(&body, request.trace_id);
+  }
   body.append(request.text);
   AppendFrame(out, request.kind, body);
 }
@@ -136,7 +139,18 @@ Result<Request> DecodeRequest(const Frame& frame) {
   request.kind = frame.kind;
   request.id = ReadU32(frame.body.data());
   request.flags = static_cast<std::uint8_t>(frame.body[4]);
-  request.text = frame.body.substr(kRequestHeaderBytes);
+  std::size_t header = kRequestHeaderBytes;
+  if ((request.flags & kRequestFlagTraceId) != 0) {
+    if (frame.body.size() < kRequestHeaderBytes + 8) {
+      return Status::InvalidArgument(
+          "request body truncated: trace-id flag set but only " +
+          std::to_string(frame.body.size()) + " bytes, need at least " +
+          std::to_string(kRequestHeaderBytes + 8));
+    }
+    request.trace_id = ReadU64(frame.body.data() + kRequestHeaderBytes);
+    header += 8;
+  }
+  request.text = frame.body.substr(header);
   if (!IsStatementKind(request.kind) && !request.text.empty()) {
     return Status::InvalidArgument(
         std::string(FrameKindName(request.kind)) +

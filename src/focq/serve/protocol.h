@@ -7,11 +7,15 @@
 //   payload  := kind-byte ++ body
 //
 // Request body (client -> server):
-//   u32-LE request id ++ u8 flags ++ statement text
+//   u32-LE request id ++ u8 flags ++ [u64-LE trace id] ++ statement text
 // The request id is an opaque client-side correlation token: pipelined
 // clients tag each request and match responses by id, because a server is
 // free to complete concurrently admitted reads out of order. `flags` bit 0
-// asks for EXPLAIN ANALYZE attribution appended to the response text.
+// asks for EXPLAIN ANALYZE attribution appended to the response text;
+// bit 1 says the optional u64 trace id field is present — the id the
+// server stamps on every lifecycle span and query-log record for this
+// request (server-generated when absent), so a client can correlate its
+// own distributed trace with the server's.
 //
 // Response body (server -> client):
 //   u32-LE request id ++ u64-LE admission seq ++ result text
@@ -56,6 +60,8 @@ enum class FrameKind : std::uint8_t {
 
 /// Request flag bits.
 inline constexpr std::uint8_t kRequestFlagExplain = 0x01;
+/// The body carries a u64 trace id between the flags byte and the text.
+inline constexpr std::uint8_t kRequestFlagTraceId = 0x02;
 
 bool IsRequestKind(std::uint8_t byte);
 bool IsResponseKind(std::uint8_t byte);
@@ -83,6 +89,7 @@ struct Request {
   FrameKind kind = FrameKind::kPing;
   std::uint32_t id = 0;     // client correlation token, echoed verbatim
   std::uint8_t flags = 0;   // kRequestFlag* bits
+  std::uint64_t trace_id = 0;  // meaningful iff kRequestFlagTraceId is set
   std::string text;         // statement text (empty for ping/shutdown)
 };
 

@@ -2,13 +2,22 @@
 
 #include <utility>
 
+#include "focq/obs/recorder.h"
+
 namespace focq {
 namespace serve {
 
 bool RequestQueue::Push(AdmittedRequest item) {
   std::unique_lock<std::mutex> lock(mutex_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || items_.size() < capacity_; });
+  if (!closed_ && items_.size() >= capacity_) {
+    // Backpressure: the reader blocks here, stalling its client's socket.
+    ++full_waits_;
+    FlightRecord(FlightEventKind::kMark, "serve.queue.full",
+                 static_cast<std::int64_t>(item.client_id),
+                 static_cast<std::int64_t>(items_.size()));
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+  }
   if (closed_) return false;
   items_.push_back(std::move(item));
   not_empty_.notify_one();
@@ -40,6 +49,11 @@ std::size_t RequestQueue::size() const {
 bool RequestQueue::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
+}
+
+std::uint64_t RequestQueue::full_waits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return full_waits_;
 }
 
 void SnapshotGate::BeginRead() {

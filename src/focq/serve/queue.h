@@ -26,9 +26,20 @@ namespace serve {
 /// One admitted request plus the client it came from (clients are looked up
 /// in the SessionRegistry at dispatch time; a client that disconnected while
 /// queued simply gets no response).
+///
+/// The timing fields carry the reader-side half of the request lifecycle
+/// across the queue so the dispatcher can stitch the full per-stage
+/// breakdown (trace spans + query-log record) without a side table:
+/// recv_ns is the steady-clock instant the reader started decoding this
+/// frame, decode_ns the decode duration, enqueue_ns the instant just before
+/// Push (so queue wait includes any backpressure blocking).
 struct AdmittedRequest {
   std::uint64_t client_id = 0;
   Request request;
+  std::uint64_t trace_id = 0;  // client-supplied or server-assigned
+  std::int64_t recv_ns = 0;
+  std::int64_t decode_ns = 0;
+  std::int64_t enqueue_ns = 0;
 };
 
 /// A bounded MPSC/MPMC FIFO with blocking push/pop. Push blocks while the
@@ -56,6 +67,10 @@ class RequestQueue {
   std::size_t size() const;
   bool closed() const;
 
+  /// Times a producer found the queue full and had to block (backpressure
+  /// events; also recorded in the flight ring as "serve.queue.full").
+  std::uint64_t full_waits() const;
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
@@ -63,6 +78,7 @@ class RequestQueue {
   std::deque<AdmittedRequest> items_;
   std::size_t capacity_;
   bool closed_ = false;
+  std::uint64_t full_waits_ = 0;
 };
 
 /// The snapshot gate: many concurrent readers XOR one writer, with writer

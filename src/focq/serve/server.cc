@@ -4,11 +4,14 @@
 
 #include <cerrno>
 #include <chrono>
+#include <map>
 #include <string>
 #include <utility>
 
 #include "focq/logic/fragment.h"
 #include "focq/logic/parser.h"
+#include "focq/obs/openmetrics.h"
+#include "focq/obs/recorder.h"
 #include "focq/serve/socket_util.h"
 #include "focq/structure/update.h"
 #include "focq/util/thread_pool.h"
@@ -22,6 +25,15 @@ std::int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Trace lanes: pool workers own the non-negative tids (0: coordinator), so
+// the server's own threads get negative lanes — the dispatcher at -1 and
+// reader lanes derived from the connection id below it.
+constexpr int kDispatcherLane = -1;
+
+int ReaderLane(std::uint64_t client_id) {
+  return -2 - static_cast<int>(client_id % 1000000);
 }
 
 Response ErrorResponse(std::uint32_t id, std::uint64_t seq,
@@ -53,6 +65,19 @@ Server::Server(Structure* a, const ServeOptions& options)
 Server::~Server() { Stop(); }
 
 Status Server::Start() {
+  if (!options_.query_log_path.empty()) {
+    QueryLogWriter::Options qopts;
+    qopts.path = options_.query_log_path;
+    qopts.slow_ms = options_.slow_ms;
+    Result<std::unique_ptr<QueryLogWriter>> writer =
+        QueryLogWriter::Open(std::move(qopts));
+    if (!writer.ok()) return writer.status();
+    query_log_ = std::move(writer).value();
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->NameLane(kDispatcherLane, "dispatcher");
+  }
+
   Result<int> listen_fd = ListenLoopback(options_.port);
   if (!listen_fd.ok()) return listen_fd.status();
   listen_fd_ = *listen_fd;
@@ -128,6 +153,18 @@ void Server::Stop() {
     inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
   }
 
+  // Every record is appended by now (dispatcher drained, pool idle), so
+  // Close() flushes a complete log.
+  if (query_log_ != nullptr) {
+    query_log_->Close();
+    metrics_.MaxCounter("serve.querylog.written",
+                        static_cast<std::int64_t>(query_log_->written()));
+    metrics_.MaxCounter("serve.querylog.dropped",
+                        static_cast<std::int64_t>(query_log_->dropped()));
+    metrics_.MaxCounter("serve.querylog.filtered",
+                        static_cast<std::int64_t>(query_log_->filtered()));
+  }
+
   if (metrics_fd_ >= 0) {
     ShutdownFd(metrics_fd_);
     if (Result<int> poke =
@@ -158,6 +195,8 @@ void Server::AcceptLoop() {
     }
     auto session = registry_.Register(fd);
     metrics_.AddCounter("serve.connections", 1);
+    FlightRecord(FlightEventKind::kMark, "serve.conn.open",
+                 static_cast<std::int64_t>(session->id()));
     std::lock_guard<std::mutex> lock(readers_mutex_);
     reader_threads_.emplace_back(
         [this, session = std::move(session)] { ReaderLoop(session); });
@@ -165,6 +204,11 @@ void Server::AcceptLoop() {
 }
 
 void Server::ReaderLoop(std::shared_ptr<ClientSession> session) {
+  const int lane = ReaderLane(session->id());
+  if (options_.trace != nullptr) {
+    options_.trace->NameLane(lane,
+                             "reader-" + std::to_string(session->id()));
+  }
   FrameDecoder decoder;
   bool clean_eof = false;
   for (;;) {
@@ -177,12 +221,17 @@ void Server::ReaderLoop(std::shared_ptr<ClientSession> session) {
     decoder.Feed(*chunk);
     bool connection_dead = false;
     for (;;) {
+      // Decode timing starts at this parse attempt; a frame that arrived
+      // split across chunks is charged only its final (completing) parse,
+      // not the socket wait in between.
+      const std::int64_t decode_start = NowNs();
       Result<std::optional<Frame>> next = decoder.Next();
       if (!next.ok()) {
         // Framing is unrecoverable (corrupted length prefix / kind byte):
-        // one diagnostic response, then the connection dies — never the
-        // server.
+        // the decoder is poisoned, so one diagnostic response, then the
+        // connection dies — never the server.
         metrics_.AddCounter("serve.protocol_errors", 1);
+        metrics_.AddCounter("serve.protocol_errors.framing", 1);
         session->Send(ErrorResponse(0, 0, next.status()));
         connection_dead = true;
         break;
@@ -193,11 +242,24 @@ void Server::ReaderLoop(std::shared_ptr<ClientSession> session) {
         // The frame itself was well-formed, so the stream is still in sync:
         // report and keep the connection.
         metrics_.AddCounter("serve.protocol_errors", 1);
+        metrics_.AddCounter("serve.protocol_errors.body", 1);
         session->Send(ErrorResponse(0, 0, request.status()));
         continue;
       }
       session->OnAdmitted();
-      if (!queue_.Push({session->id(), std::move(request).value()})) {
+      AdmittedRequest admitted;
+      admitted.client_id = session->id();
+      admitted.request = std::move(request).value();
+      admitted.trace_id =
+          (admitted.request.flags & kRequestFlagTraceId) != 0
+              ? admitted.request.trace_id
+              : next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+      admitted.recv_ns = decode_start;
+      admitted.decode_ns = NowNs() - decode_start;
+      TraceLaneSpan("decode", admitted.trace_id, lane, decode_start,
+                    admitted.decode_ns);
+      admitted.enqueue_ns = NowNs();
+      if (!queue_.Push(std::move(admitted))) {
         connection_dead = true;  // server is stopping
         break;
       }
@@ -206,12 +268,16 @@ void Server::ReaderLoop(std::shared_ptr<ClientSession> session) {
   }
   if (clean_eof) {
     if (Status boundary = decoder.AtFrameBoundary(); !boundary.ok()) {
+      // EOF inside a frame is a framing-level stream corruption too.
       metrics_.AddCounter("serve.protocol_errors", 1);
+      metrics_.AddCounter("serve.protocol_errors.framing", 1);
       session->Send(ErrorResponse(0, 0, boundary));
     }
   }
   session->CloseSocket();
   registry_.Unregister(session->id());
+  FlightRecord(FlightEventKind::kMark, "serve.conn.close",
+               static_cast<std::int64_t>(session->id()));
 }
 
 void Server::DispatchLoop() {
@@ -220,13 +286,30 @@ void Server::DispatchLoop() {
   }
 }
 
+void Server::TraceLaneSpan(const char* stage, std::uint64_t trace_id, int tid,
+                           std::int64_t start_ns, std::int64_t duration_ns) {
+  if (options_.trace == nullptr) return;
+  options_.trace->RecordSpanAt(std::string(stage) + "#" + HexU64(trace_id),
+                               tid, start_ns, duration_ns);
+}
+
 void Server::Dispatch(AdmittedRequest admitted) {
   const Request& request = admitted.request;
+  const std::int64_t pop_ns = NowNs();
   const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   metrics_.AddCounter("serve.requests", 1);
   metrics_.AddCounter(std::string("serve.requests.") +
                           FrameKindName(request.kind),
                       1);
+  // Queue wait: enqueue instant (before Push, so backpressure blocking
+  // counts) to dispatcher pop.
+  const std::int64_t queue_ns =
+      admitted.enqueue_ns > 0 ? pop_ns - admitted.enqueue_ns : 0;
+  metrics_.RecordValue("serve.queue_wait_ns", queue_ns);
+  if (admitted.enqueue_ns > 0) {
+    TraceLaneSpan("queue", admitted.trace_id, kDispatcherLane,
+                  admitted.enqueue_ns, queue_ns);
+  }
 
   if (request.kind == FrameKind::kPing) {
     Response response;
@@ -247,34 +330,104 @@ void Server::Dispatch(AdmittedRequest admitted) {
   }
   if (request.kind == FrameKind::kUpdate) {
     // Exclusive side: drain in-flight reads, repair artifacts, readmit.
+    FlightRecord(FlightEventKind::kMark, "serve.update.drain.begin",
+                 static_cast<std::int64_t>(seq), gate_.active_readers());
+    const std::int64_t gate_start = NowNs();
     gate_.BeginWrite();
-    Response response = ExecuteUpdate(request, seq);
+    const std::int64_t gate_ns = NowNs() - gate_start;
+    metrics_.RecordValue("serve.gate_wait_ns", gate_ns);
+    TraceLaneSpan("gate", admitted.trace_id, kDispatcherLane, gate_start,
+                  gate_ns);
+    QueryLogRecord log;
+    const std::int64_t exec_start = NowNs();
+    Response response =
+        ExecuteUpdate(request, seq, query_log_ != nullptr ? &log : nullptr);
+    const std::int64_t exec_ns = NowNs() - exec_start;
     gate_.EndWrite();
+    FlightRecord(FlightEventKind::kMark, "serve.update.drain.end",
+                 static_cast<std::int64_t>(seq));
+    TraceLaneSpan("exec", admitted.trace_id, kDispatcherLane, exec_start,
+                  exec_ns);
+    const std::int64_t write_start = NowNs();
     SendToClient(admitted.client_id, response);
+    const std::int64_t write_ns = NowNs() - write_start;
+    TraceLaneSpan("write", admitted.trace_id, kDispatcherLane, write_start,
+                  write_ns);
+    if (query_log_ != nullptr) {
+      log.seq = seq;
+      log.client_id = admitted.client_id;
+      log.trace_id = admitted.trace_id;
+      log.decode_ns = admitted.decode_ns;
+      log.queue_ns = queue_ns;
+      log.gate_ns = gate_ns;
+      log.exec_ns = exec_ns;
+      log.write_ns = write_ns;
+      log.total_ns =
+          admitted.recv_ns > 0 ? NowNs() - admitted.recv_ns : exec_ns;
+      query_log_->Append(std::move(log));
+    }
     return;
   }
 
   // check / count / term: admitted under the shared side here, released by
   // the pool task when the evaluation is done. The gate is entered *before*
   // Submit so a later update in admission order cannot overtake this read.
+  const std::int64_t gate_start = NowNs();
   gate_.BeginRead();
+  const std::int64_t gate_ns = NowNs() - gate_start;
+  metrics_.RecordValue("serve.gate_wait_ns", gate_ns);
+  TraceLaneSpan("gate", admitted.trace_id, kDispatcherLane, gate_start,
+                gate_ns);
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     ++inflight_;
   }
-  const std::uint64_t client_id = admitted.client_id;
-  const Request request_copy = request;
-  ThreadPool::Shared().Submit([this, client_id, request_copy, seq] {
-    Response response = ExecuteRead(request_copy, seq);
-    SendToClient(client_id, response);
-    gate_.EndRead();
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
-    --inflight_;
-    inflight_cv_.notify_all();
-  });
+  ThreadPool::Shared().Submit(
+      [this, admitted = std::move(admitted), seq, queue_ns, gate_ns] {
+        // While the evaluation runs, route its engine-internal ParallelFor
+        // chunks to this worker's lane of the trace sink (the observer is
+        // thread-local, so concurrent requests do not interfere).
+        ParallelForObserver* previous = nullptr;
+        if (options_.trace != nullptr) {
+          previous = SetParallelForObserver(options_.trace);
+        }
+        QueryLogRecord log;
+        const std::int64_t exec_start = NowNs();
+        Response response = ExecuteRead(
+            admitted.request, seq, query_log_ != nullptr ? &log : nullptr);
+        const std::int64_t exec_ns = NowNs() - exec_start;
+        if (options_.trace != nullptr) {
+          SetParallelForObserver(previous);
+        }
+        TraceLaneSpan("exec", admitted.trace_id, CurrentWorkerTid(),
+                      exec_start, exec_ns);
+        const std::int64_t write_start = NowNs();
+        SendToClient(admitted.client_id, response);
+        const std::int64_t write_ns = NowNs() - write_start;
+        TraceLaneSpan("write", admitted.trace_id, CurrentWorkerTid(),
+                      write_start, write_ns);
+        if (query_log_ != nullptr) {
+          log.seq = seq;
+          log.client_id = admitted.client_id;
+          log.trace_id = admitted.trace_id;
+          log.decode_ns = admitted.decode_ns;
+          log.queue_ns = queue_ns;
+          log.gate_ns = gate_ns;
+          log.exec_ns = exec_ns;
+          log.write_ns = write_ns;
+          log.total_ns =
+              admitted.recv_ns > 0 ? NowNs() - admitted.recv_ns : exec_ns;
+          query_log_->Append(std::move(log));
+        }
+        gate_.EndRead();
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        --inflight_;
+        inflight_cv_.notify_all();
+      });
 }
 
-Response Server::ExecuteRead(const Request& request, std::uint64_t seq) {
+Response Server::ExecuteRead(const Request& request, std::uint64_t seq,
+                             QueryLogRecord* log) {
   const std::int64_t start_ns = NowNs();
   EvalOptions opts = options_.eval;
   opts.context = &context_;
@@ -283,22 +436,31 @@ Response Server::ExecuteRead(const Request& request, std::uint64_t seq) {
     opts.deadline.hard_ms = options_.deadline_ms;
   }
 
-  // EXPLAIN ANALYZE attribution wants per-node counter deltas, which need a
-  // request-private flat sink (the shared one would interleave concurrent
-  // requests); the private counters are folded into the server sink after.
+  // EXPLAIN ANALYZE attribution and the query log's cache deltas both want
+  // request-scoped counters, which need a request-private flat sink (the
+  // shared one would interleave concurrent requests); the private counters
+  // are folded into the server sink after.
   const bool explain = (request.flags & kRequestFlagExplain) != 0;
-  MetricsSink explain_metrics;
+  const bool private_metrics = explain || log != nullptr;
+  MetricsSink request_metrics;
   ExplainSink explain_sink;
+  if (log != nullptr) {
+    log->kind = FrameKindName(request.kind);
+    log->text = request.text;
+  }
   if (explain) {
     if (opts.engine == Engine::kApprox) {
       metrics_.AddCounter("serve.errors", 1);
+      if (log != nullptr) log->ok = false;
       return ErrorResponse(
           request.id, seq,
           Status::InvalidArgument(
               "EXPLAIN is not available with the approx engine"));
     }
-    opts.metrics = &explain_metrics;
     opts.explain = &explain_sink;
+  }
+  if (private_metrics) {
+    opts.metrics = &request_metrics;
   }
 
   Response response;
@@ -344,22 +506,46 @@ Response Server::ExecuteRead(const Request& request, std::uint64_t seq) {
       break;
   }
 
-  if (explain) {
+  if (private_metrics) {
     // Fold the request-private pipeline counters back into the scrapeable
-    // server sink, then append the attribution report to the payload.
-    EvalMetrics snapshot = explain_metrics.Snapshot();
+    // server sink. ctx.cache.bytes is a high-water mark, not a rate — it
+    // must merge by max or per-request folds would inflate it.
+    EvalMetrics snapshot = request_metrics.Snapshot();
     for (const auto& [name, value] : snapshot.counters) {
-      metrics_.AddCounter(name, value);
+      if (name == "ctx.cache.bytes") {
+        metrics_.MaxCounter(name, value);
+      } else {
+        metrics_.AddCounter(name, value);
+      }
     }
     for (const auto& [name, stats] : snapshot.values) {
       metrics_.MergeValue(name, stats);
     }
-    if (error.ok()) {
-      response.text += "\n" + explain_sink.Snapshot().ToText();
+    if (log != nullptr) {
+      auto hits = snapshot.counters.find("ctx.cache.hits");
+      auto misses = snapshot.counters.find("ctx.cache.misses");
+      log->cache_hits = hits != snapshot.counters.end() ? hits->second : 0;
+      log->cache_misses =
+          misses != snapshot.counters.end() ? misses->second : 0;
     }
   }
+  if (log != nullptr) {
+    log->ok = error.ok();
+    log->deadline_exceeded =
+        error.code() == StatusCode::kDeadlineExceeded;
+    // Digest over the result text *before* the EXPLAIN appendix: the
+    // attribution timings are wall-clock and a replay must still verify.
+    log->digest = Fnv1a64(error.ok() ? response.text : error.ToString());
+  }
+  if (explain && error.ok()) {
+    response.text += "\n" + explain_sink.Snapshot().ToText();
+  }
 
-  metrics_.RecordValue("serve.request_ns", NowNs() - start_ns);
+  const std::int64_t elapsed_ns = NowNs() - start_ns;
+  metrics_.RecordValue("serve.request_ns", elapsed_ns);
+  metrics_.RecordValue(
+      std::string("serve.request_ns.") + FrameKindName(request.kind),
+      elapsed_ns);
   if (!error.ok()) {
     metrics_.AddCounter("serve.errors", 1);
     return ErrorResponse(request.id, seq, error);
@@ -367,27 +553,46 @@ Response Server::ExecuteRead(const Request& request, std::uint64_t seq) {
   return response;
 }
 
-Response Server::ExecuteUpdate(const Request& request, std::uint64_t seq) {
+Response Server::ExecuteUpdate(const Request& request, std::uint64_t seq,
+                               QueryLogRecord* log) {
   const std::int64_t start_ns = NowNs();
-  Result<TupleUpdate> update = ParseUpdate(request.text, a_->signature());
-  if (!update.ok()) {
-    metrics_.AddCounter("serve.errors", 1);
-    return ErrorResponse(request.id, seq, update.status());
-  }
-  ArtifactOptions artifact_opts;
-  artifact_opts.num_threads = options_.eval.num_threads;
-  artifact_opts.metrics = &metrics_;
-  Result<UpdateStats> applied =
-      context_.ApplyUpdate(a_, *update, artifact_opts);
-  metrics_.RecordValue("serve.request_ns", NowNs() - start_ns);
-  if (!applied.ok()) {
-    metrics_.AddCounter("serve.errors", 1);
-    return ErrorResponse(request.id, seq, applied.status());
+  if (log != nullptr) {
+    log->kind = FrameKindName(request.kind);
+    log->text = request.text;
   }
   Response response;
   response.id = request.id;
   response.seq = seq;
-  response.text = applied->changed ? "applied" : "noop";
+  Status error = Status::Ok();
+  Result<TupleUpdate> update = ParseUpdate(request.text, a_->signature());
+  if (!update.ok()) {
+    error = update.status();
+  } else {
+    ArtifactOptions artifact_opts;
+    artifact_opts.num_threads = options_.eval.num_threads;
+    artifact_opts.metrics = &metrics_;
+    Result<UpdateStats> applied =
+        context_.ApplyUpdate(a_, *update, artifact_opts);
+    if (!applied.ok()) {
+      error = applied.status();
+    } else {
+      response.text = applied->changed ? "applied" : "noop";
+    }
+  }
+  if (log != nullptr) {
+    log->ok = error.ok();
+    log->deadline_exceeded = error.code() == StatusCode::kDeadlineExceeded;
+    log->digest = Fnv1a64(error.ok() ? response.text : error.ToString());
+  }
+  const std::int64_t elapsed_ns = NowNs() - start_ns;
+  metrics_.RecordValue("serve.request_ns", elapsed_ns);
+  metrics_.RecordValue(
+      std::string("serve.request_ns.") + FrameKindName(request.kind),
+      elapsed_ns);
+  if (!error.ok()) {
+    metrics_.AddCounter("serve.errors", 1);
+    return ErrorResponse(request.id, seq, error);
+  }
   return response;
 }
 
@@ -411,8 +616,27 @@ void Server::MetricsLoop() {
     // Consume whatever request line the scraper sent (content ignored: every
     // path serves the same exposition), then answer and close — HTTP/1.0.
     RecvSome(fd, 4096);
+    if (query_log_ != nullptr) {
+      metrics_.MaxCounter("serve.querylog.written",
+                          static_cast<std::int64_t>(query_log_->written()));
+      metrics_.MaxCounter("serve.querylog.dropped",
+                          static_cast<std::int64_t>(query_log_->dropped()));
+      metrics_.MaxCounter("serve.querylog.filtered",
+                          static_cast<std::int64_t>(query_log_->filtered()));
+    }
+    std::map<std::string, std::int64_t> gauges;
+    gauges["serve.queue_depth"] = static_cast<std::int64_t>(queue_.size());
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      gauges["serve.inflight"] = inflight_;
+    }
+    gauges["serve.connections_live"] =
+        static_cast<std::int64_t>(registry_.size());
+    gauges["serve.queue_full_waits"] =
+        static_cast<std::int64_t>(queue_.full_waits());
     OpenMetricsSeries series(1);
-    series.Sample(UnixMillisNow(), metrics_.Snapshot(), nullptr);
+    series.Sample(UnixMillisNow(), metrics_.Snapshot(), nullptr,
+                  std::move(gauges));
     const std::string body = series.Render();
     std::string response =
         "HTTP/1.0 200 OK\r\n"

@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "focq/core/api.h"
+#include "focq/obs/querylog.h"
+#include "focq/obs/trace.h"
 #include "focq/serve/protocol.h"
 #include "focq/serve/queue.h"
 #include "focq/serve/registry.h"
@@ -64,6 +66,17 @@ struct ServeOptions {
   std::int64_t deadline_ms = 0;
   /// Admission queue capacity; full queue = backpressure on readers.
   std::size_t admission_capacity = 256;
+  /// Request-lifecycle trace sink (null: no tracing). The server never uses
+  /// Begin/End on it — lifecycle stages land via RecordSpanAt on named lanes
+  /// (reader-N, dispatcher, the real pool-worker lanes), which has no
+  /// nesting contract and is safe across the server's threads. Must outlive
+  /// the server.
+  TraceSink* trace = nullptr;
+  /// Structured query log path (empty: no log). One JSONL record per served
+  /// check/count/term/update — see obs/querylog.h for the schema.
+  std::string query_log_path;
+  /// Log only requests slower than this many ms (0: log everything).
+  std::int64_t slow_ms = 0;
 };
 
 /// One server instance over one mutable structure. Start() spawns the accept
@@ -101,12 +114,20 @@ class Server {
   void Dispatch(AdmittedRequest admitted);
 
   /// Evaluates one read statement (check/count/term) — runs on a pool
-  /// worker. Never touches the gate; the caller brackets it.
-  Response ExecuteRead(const Request& request, std::uint64_t seq);
+  /// worker. Never touches the gate; the caller brackets it. When `log` is
+  /// non-null the execution-side query-log fields are filled (kind, text,
+  /// ok, deadline, cache deltas, digest); the caller owns the timing fields.
+  Response ExecuteRead(const Request& request, std::uint64_t seq,
+                       QueryLogRecord* log);
 
   /// Applies one update statement — runs on the dispatcher thread under the
   /// exclusive side of the gate.
-  Response ExecuteUpdate(const Request& request, std::uint64_t seq);
+  Response ExecuteUpdate(const Request& request, std::uint64_t seq,
+                         QueryLogRecord* log);
+
+  /// Lifecycle span helper: no-op without a trace sink.
+  void TraceLaneSpan(const char* stage, std::uint64_t trace_id, int tid,
+                     std::int64_t start_ns, std::int64_t duration_ns);
 
   void SendToClient(std::uint64_t client_id, const Response& response);
   void SignalShutdown();
@@ -120,6 +141,10 @@ class Server {
   RequestQueue queue_;
   SnapshotGate gate_;
   std::atomic<std::uint64_t> next_seq_{1};
+  // Server-assigned trace ids for requests whose client did not supply one
+  // (kRequestFlagTraceId unset). Client-supplied ids are taken verbatim.
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  std::unique_ptr<QueryLogWriter> query_log_;
 
   int listen_fd_ = -1;
   int metrics_fd_ = -1;

@@ -73,6 +73,49 @@ TEST(MetricsSink, CounterMaxAndValueSemantics) {
   EXPECT_TRUE(sink.Snapshot().counters.empty());
 }
 
+TEST(ValueStats, QuantileOfEmptyStreamIsZero) {
+  ValueStats empty;
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(empty.Quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(ValueStats, QuantileOfSingleSampleIsThatSample) {
+  // One sample lands mid-bucket (42 in [32, 63]): naive interpolation would
+  // report the bucket edge, but the [min, max] clamp pins every quantile to
+  // the exact sample.
+  ValueStats one;
+  one.Record(42);
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(one.Quantile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(ValueStats, QuantileIsExactWhenAllSamplesShareABucket) {
+  // 100 samples of 5 all land in bucket [4, 7]; interpolation spreads the
+  // rank across the bucket range but the min/max envelope collapses it.
+  ValueStats same;
+  for (int i = 0; i < 100; ++i) same.Record(5);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(same.Quantile(q), 5.0) << "q=" << q;
+  }
+}
+
+TEST(ValueStats, QuantileClampsOutOfRangeQToMinMax) {
+  ValueStats mixed;
+  mixed.Record(1);
+  mixed.Record(100);
+  EXPECT_EQ(mixed.Quantile(-0.5), 1.0);
+  EXPECT_EQ(mixed.Quantile(0.0), 1.0);
+  EXPECT_EQ(mixed.Quantile(1.0), 100.0);
+  EXPECT_EQ(mixed.Quantile(7.0), 100.0);
+  // Interior quantiles stay inside the envelope.
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_GE(mixed.Quantile(q), 1.0) << "q=" << q;
+    EXPECT_LE(mixed.Quantile(q), 100.0) << "q=" << q;
+  }
+}
+
 TEST(MetricsSink, ToJsonEscapesNames) {
   MetricsSink sink;
   sink.AddCounter("quote\"back\\slash\nnewline", 1);

@@ -445,6 +445,57 @@ TEST(OpenMetricsTest, SeriesIsBoundedByMaxSamples) {
   EXPECT_NE(text.find("focq_ticks_total 10 1"), std::string::npos) << text;
 }
 
+TEST(OpenMetricsTest, EmptyButRegisteredHistogramRendersZeroedFamily) {
+  // A histogram family that is registered but has no samples yet (a server
+  // that declared serve.request_ns.update before any update arrived) must
+  // still render as a complete, spec-valid family: zeroed buckets including
+  // the mandatory +Inf, zero _sum and _count — so scrapers can set up alerts
+  // before traffic exists.
+  EvalMetrics metrics;
+  metrics.values["empty.dist"];  // registered, count == 0
+  OpenMetricsSeries series;
+  series.Sample(1000, metrics, nullptr);
+  std::string text = series.Render();
+  EXPECT_NE(text.find("# TYPE focq_dist_empty_dist histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("focq_dist_empty_dist_bucket{le=\"+Inf\"} 0 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("focq_dist_empty_dist_sum 0 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("focq_dist_empty_dist_count 0 1"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, GaugesRenderAsBareNameFamiliesPerSample) {
+  MetricsSink metrics;
+  metrics.AddCounter("serve.requests", 1);
+  OpenMetricsSeries series;
+  std::map<std::string, std::int64_t> gauges;
+  gauges["serve.queue_depth"] = 7;
+  gauges["serve.inflight"] = 2;
+  series.Sample(1000, metrics.Snapshot(), nullptr, gauges);
+  gauges["serve.queue_depth"] = 3;  // gauges may go down between samples
+  series.Sample(2000, metrics.Snapshot(), nullptr, gauges);
+
+  std::string text = series.Render();
+  EXPECT_NE(text.find("# TYPE focq_serve_queue_depth gauge"),
+            std::string::npos)
+      << text;
+  std::size_t p1 = text.find("focq_serve_queue_depth 7 1");
+  std::size_t p2 = text.find("focq_serve_queue_depth 3 2");
+  ASSERT_NE(p1, std::string::npos) << text;
+  ASSERT_NE(p2, std::string::npos) << text;
+  EXPECT_LT(p1, p2);
+  EXPECT_NE(text.find("focq_serve_inflight 2 1"), std::string::npos) << text;
+  // The counter family still renders with its _total suffix.
+  EXPECT_NE(text.find("focq_serve_requests_total 1 1"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
 TEST(OpenMetricsTest, SessionSamplingAppendsOneSamplePerCall) {
   Rng rng(75);
   Structure a = EncodeGraph(MakeRandomBoundedDegree(100, 3, &rng));

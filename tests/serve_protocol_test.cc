@@ -49,6 +49,75 @@ TEST(ServeProtocolTest, RequestRoundTrip) {
   EXPECT_TRUE(decoder.AtFrameBoundary().ok());
 }
 
+TEST(ServeProtocolTest, TraceIdFlagRoundTripsOptionalField) {
+  // kRequestFlagTraceId adds an optional u64 between the fixed header and
+  // the statement text; it must round-trip alongside other flag bits.
+  Request request;
+  request.kind = FrameKind::kCheck;
+  request.id = 11;
+  request.flags = kRequestFlagExplain | kRequestFlagTraceId;
+  request.trace_id = 0xdeadbeefcafef00dull;
+  request.text = "E(x, y)";
+
+  FrameDecoder decoder;
+  decoder.Feed(EncodeRequest(request));
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  Result<Request> decoded = DecodeRequest(**frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->flags, kRequestFlagExplain | kRequestFlagTraceId);
+  EXPECT_EQ(decoded->trace_id, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(decoded->text, "E(x, y)");
+  EXPECT_TRUE(decoder.AtFrameBoundary().ok());
+}
+
+TEST(ServeProtocolTest, TraceIdFieldAbsentWithoutFlag) {
+  // Without the flag the first 8 text bytes must NOT be eaten as a trace
+  // id, even when they look like one.
+  Request request;
+  request.kind = FrameKind::kTerm;
+  request.id = 3;
+  request.flags = 0;
+  request.trace_id = 0x1234567890abcdefull;  // ignored by the encoder
+  request.text = "12345678 trailing text";
+
+  FrameDecoder decoder;
+  decoder.Feed(EncodeRequest(request));
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  Result<Request> decoded = DecodeRequest(**frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->flags, 0u);
+  EXPECT_EQ(decoded->trace_id, 0u);
+  EXPECT_EQ(decoded->text, "12345678 trailing text");
+}
+
+TEST(ServeProtocolTest, TruncatedTraceIdBodyFailsBodyDecodeRecoverably) {
+  // Flag set but fewer than 8 bytes follow the fixed header: the frame
+  // itself is well-formed (framing survives, the stream stays usable) but
+  // body decoding must report a clean truncation error.
+  std::string body;
+  AppendU32(&body, 21);  // request id
+  body.push_back(static_cast<char>(kRequestFlagTraceId));
+  body += "abc";  // 3 bytes where the 8-byte trace id should be
+  std::string wire;
+  AppendU32(&wire, static_cast<std::uint32_t>(1 + body.size()));
+  wire.push_back(static_cast<char>(FrameKind::kCount));
+  wire += body;
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  Result<Request> decoded = DecodeRequest(**frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("truncated"), std::string::npos);
+  EXPECT_TRUE(decoder.AtFrameBoundary().ok());  // recoverable: still in sync
+}
+
 TEST(ServeProtocolTest, ResponseRoundTripIncludingErrors) {
   for (bool ok : {true, false}) {
     Response response;
@@ -133,7 +202,7 @@ TEST(ServeProtocolTest, TruncatedLengthPrefixIsDetectedAtEof) {
 
 TEST(ServeProtocolTest, TruncatedBodyIsDetectedAtEof) {
   std::string wire = EncodeRequest(
-      {FrameKind::kCount, 9, 0, "count something long enough"});
+      {FrameKind::kCount, 9, 0, 0, "count something long enough"});
   FrameDecoder decoder;
   decoder.Feed(std::string_view(wire).substr(0, wire.size() - 3));
   Result<std::optional<Frame>> next = decoder.Next();
@@ -153,7 +222,7 @@ TEST(ServeProtocolTest, OversizedLengthPoisonsTheStream) {
   EXPECT_NE(next.status().message().find("oversized"), std::string::npos);
   // Sticky: feeding valid frames afterwards cannot resurrect the stream
   // (there is no way to resynchronise after a corrupt length).
-  decoder.Feed(EncodeRequest({FrameKind::kPing, 1, 0, ""}));
+  decoder.Feed(EncodeRequest({FrameKind::kPing, 1, 0, 0, ""}));
   Result<std::optional<Frame>> again = decoder.Next();
   EXPECT_FALSE(again.ok());
   EXPECT_EQ(again.status().message(), next.status().message());
@@ -245,7 +314,7 @@ TEST(ServeProtocolTest, LongStreamCompactionKeepsDecodingCorrect) {
   const int kFrames = 2000;
   for (int i = 0; i < kFrames; ++i) {
     AppendRequestFrame(&wire, {FrameKind::kTerm,
-                               static_cast<std::uint32_t>(i), 0,
+                               static_cast<std::uint32_t>(i), 0, 0,
                                std::string(16, 'x')});
   }
   FrameDecoder decoder;

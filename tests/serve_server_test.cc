@@ -7,8 +7,13 @@
 #include "focq/serve/server.h"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,8 +21,12 @@
 #include "focq/core/api.h"
 #include "focq/logic/fragment.h"
 #include "focq/logic/parser.h"
+#include "focq/obs/querylog.h"
+#include "focq/obs/recorder.h"
+#include "focq/obs/trace.h"
 #include "focq/serve/protocol.h"
 #include "focq/serve/socket_util.h"
+#include "focq/structure/io.h"
 #include "focq/structure/update.h"
 
 namespace focq {
@@ -230,8 +239,8 @@ TEST(ServeServerTest, PingShutdownAndWait) {
   Result<int> fd = ConnectLoopback(server.port());
   ASSERT_TRUE(fd.ok());
   std::string wire;
-  AppendRequestFrame(&wire, {FrameKind::kPing, 1, 0, ""});
-  AppendRequestFrame(&wire, {FrameKind::kShutdown, 2, 0, ""});
+  AppendRequestFrame(&wire, {FrameKind::kPing, 1, 0, 0, ""});
+  AppendRequestFrame(&wire, {FrameKind::kShutdown, 2, 0, 0, ""});
   ASSERT_TRUE(SendAll(*fd, wire).ok());
 
   FrameDecoder decoder;
@@ -301,6 +310,14 @@ TEST(ServeServerTest, MalformedBytesGetCleanErrorAndServerSurvives) {
   EXPECT_TRUE(observed[0].ok);
   EXPECT_EQ(observed[0].text, "5");
   server.Stop();
+
+  // A corrupt length prefix is a *framing* error (the stream is lost);
+  // the recoverable body class must stay untouched.
+  const auto counters = server.metrics().Snapshot().counters;
+  ASSERT_NE(counters.find("serve.protocol_errors"), counters.end());
+  EXPECT_GE(counters.at("serve.protocol_errors"), 1);
+  EXPECT_GE(counters.at("serve.protocol_errors.framing"), 1);
+  EXPECT_EQ(counters.count("serve.protocol_errors.body"), 0u);
 }
 
 TEST(ServeServerTest, MalformedBodyKeepsConnectionUsable) {
@@ -316,7 +333,7 @@ TEST(ServeServerTest, MalformedBodyKeepsConnectionUsable) {
   AppendU32(&wire, 2);
   wire.push_back(static_cast<char>(FrameKind::kCheck));
   wire.push_back('\x01');
-  AppendRequestFrame(&wire, {FrameKind::kCount, 5, 0, "E(x, y)"});
+  AppendRequestFrame(&wire, {FrameKind::kCount, 5, 0, 0, "E(x, y)"});
   ASSERT_TRUE(SendAll(*fd, wire).ok());
 
   FrameDecoder decoder;
@@ -342,6 +359,14 @@ TEST(ServeServerTest, MalformedBodyKeepsConnectionUsable) {
   EXPECT_EQ(responses[1].text, "5");
   CloseFd(*fd);
   server.Stop();
+
+  // A well-framed frame with a bad body is the recoverable *body* class —
+  // the sticky framing counter must stay at zero.
+  const auto counters = server.metrics().Snapshot().counters;
+  ASSERT_NE(counters.find("serve.protocol_errors"), counters.end());
+  EXPECT_EQ(counters.at("serve.protocol_errors"), 1);
+  EXPECT_EQ(counters.at("serve.protocol_errors.body"), 1);
+  EXPECT_EQ(counters.count("serve.protocol_errors.framing"), 0u);
 }
 
 TEST(ServeServerTest, MetricsEndpointServesOpenMetrics) {
@@ -376,6 +401,18 @@ TEST(ServeServerTest, MetricsEndpointServesOpenMetrics) {
   EXPECT_NE(reply.find("focq_serve_requests_total"), std::string::npos);
   EXPECT_NE(reply.find("focq_serve_requests_count_total"), std::string::npos);
   EXPECT_NE(reply.find("focq_serve_requests_update_total"),
+            std::string::npos);
+  // Per-kind latency families plus the queue/gate wait distributions.
+  EXPECT_NE(reply.find("focq_dist_serve_request_ns_count"), std::string::npos);
+  EXPECT_NE(reply.find("focq_dist_serve_request_ns_update"),
+            std::string::npos);
+  EXPECT_NE(reply.find("focq_dist_serve_queue_wait_ns"), std::string::npos);
+  EXPECT_NE(reply.find("focq_dist_serve_gate_wait_ns"), std::string::npos);
+  // Live gauges sampled at scrape time.
+  EXPECT_NE(reply.find("# TYPE focq_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(reply.find("# TYPE focq_serve_inflight gauge"), std::string::npos);
+  EXPECT_NE(reply.find("# TYPE focq_serve_connections_live gauge"),
             std::string::npos);
   // The exposition itself must be well-formed: '# EOF' terminated.
   const std::string eof = "# EOF\n";
@@ -424,6 +461,234 @@ TEST(ServeServerTest, ExplainFlagAppendsAttributionReport) {
   EXPECT_NE(response->text.find("cl-term"), std::string::npos)
       << response->text;
   server.Stop();
+}
+
+// Query-log end-to-end: every served statement lands in the JSONL log with a
+// digest that a serial replay (in-process Session here, the focq_logreplay
+// binary below) reproduces bit for bit.
+class ServeQueryLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("focq_serve_qlog_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ServeQueryLogTest, LogsEveryStatementAndLogreplayVerifiesDigests) {
+  const std::vector<std::vector<Statement>> workloads = {
+      {
+          {FrameKind::kCheck, "exists x. @ge1(#(y). (E(x, y)) - 1)"},
+          {FrameKind::kUpdate, "insert E 0 7"},
+          {FrameKind::kCount, "@ge1(#(y). (E(x, y)))"},
+          {FrameKind::kUpdate, "delete E 0 7"},
+      },
+      {
+          {FrameKind::kTerm, "#(x, y). (E(x, y))"},
+          {FrameKind::kUpdate, "insert E 2 9"},
+          {FrameKind::kCheck, "exists x. E(x, x)"},
+      },
+      {
+          {FrameKind::kCount, "E(x, y)"},
+          {FrameKind::kUpdate, "insert E 0 99"},  // out of bounds: error
+          {FrameKind::kCheck, "(((broken"},       // parse error
+          {FrameKind::kCount, "E(x, y)"},
+      },
+  };
+  const std::string log_path = (dir_ / "query.log").string();
+
+  Structure served = MakePathStructure(10);
+  ServeOptions options;
+  options.eval.num_threads = 4;
+  options.query_log_path = log_path;
+  Server server(&served, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    clients.emplace_back([&, i] { RunClient(server.port(), workloads[i]); });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();  // drains + closes the query log
+
+  std::vector<QueryLogRecord> records;
+  {
+    std::ifstream in(log_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      Result<QueryLogRecord> parsed = ParseQueryLogLine(line);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << line;
+      records.push_back(*std::move(parsed));
+    }
+  }
+  std::size_t total = 0;
+  for (const auto& w : workloads) total += w.size();
+  ASSERT_EQ(records.size(), total);
+
+  // Admission seqs are strictly increasing once sorted; server-assigned
+  // trace ids are non-zero and distinct.
+  std::sort(records.begin(), records.end(),
+            [](const QueryLogRecord& a, const QueryLogRecord& b) {
+              return a.seq < b.seq;
+            });
+  std::set<std::uint64_t> trace_ids;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) ASSERT_GT(records[i].seq, records[i - 1].seq);
+    EXPECT_NE(records[i].trace_id, 0u);
+    trace_ids.insert(records[i].trace_id);
+    EXPECT_GT(records[i].total_ns, 0);
+    EXPECT_GE(records[i].total_ns, records[i].exec_ns);
+  }
+  EXPECT_EQ(trace_ids.size(), total);
+
+  // In-process serial replay in seq order reproduces every digest — errors
+  // included (their digest is over Status::ToString()).
+  Structure replayed = MakePathStructure(10);
+  EvalOptions replay_options;
+  replay_options.num_threads = 4;
+  Session session(&replayed, replay_options);
+  for (const QueryLogRecord& r : records) {
+    std::optional<FrameKind> kind = StatementKindFromWord(r.kind);
+    ASSERT_TRUE(kind.has_value()) << r.kind;
+    const std::string expected = EvalSerial(&session, {*kind, r.text});
+    EXPECT_EQ(r.digest, Fnv1a64(expected))
+        << "seq " << r.seq << " " << r.kind << " '" << r.text << "'";
+  }
+
+  // The focq_logreplay binary reaches the same verdict: zero mismatches.
+  const std::string structure_path = (dir_ / "structure.focq").string();
+  {
+    std::ofstream out(structure_path);
+    out << WriteStructure(MakePathStructure(10));
+  }
+  const std::string command = std::string(FOCQ_LOGREPLAY_PATH) + " " +
+                              structure_path + " " + log_path +
+                              " --threads 4 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[512];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
+  const int rc = pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(rc)) << output;
+  EXPECT_EQ(WEXITSTATUS(rc), 0) << output;
+  EXPECT_NE(output.find("0 mismatches"), std::string::npos) << output;
+  EXPECT_NE(output.find("replayed " + std::to_string(total)),
+            std::string::npos)
+      << output;
+}
+
+TEST_F(ServeQueryLogTest, SlowMsLogsOnlySlowRequestsToTheFile) {
+  // A generous threshold filters everything on this tiny structure; the
+  // writer accounting still shows the requests passed through the sink.
+  const std::string log_path = (dir_ / "query.log").string();
+  Structure served = MakePathStructure(6);
+  ServeOptions options;
+  options.query_log_path = log_path;
+  options.slow_ms = 60'000;  // one minute: nothing here is that slow
+  Server server(&served, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<Observed> observed =
+      RunClient(server.port(), {{FrameKind::kCount, "E(x, y)"},
+                                {FrameKind::kCheck, "exists x. E(x, x)"}});
+  ASSERT_EQ(observed.size(), 2u);
+  server.Stop();
+
+  std::ifstream in(log_path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 0u);
+  const auto counters = server.metrics().Snapshot().counters;
+  ASSERT_NE(counters.find("serve.querylog.filtered"), counters.end());
+  EXPECT_EQ(counters.at("serve.querylog.filtered"), 2);
+  EXPECT_EQ(counters.at("serve.querylog.written"), 0);
+}
+
+TEST(ServeServerTest, TraceSinkCollectsLifecycleLaneSpans) {
+  Structure served = MakePathStructure(8);
+  TraceSink trace;
+  ServeOptions options;
+  options.eval.num_threads = 2;
+  options.trace = &trace;
+  Server server(&served, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<Observed> observed =
+      RunClient(server.port(), {{FrameKind::kCount, "E(x, y)"},
+                                {FrameKind::kUpdate, "insert E 0 3"},
+                                {FrameKind::kCheck, "exists x. E(x, x)"}});
+  ASSERT_EQ(observed.size(), 3u);
+  server.Stop();
+
+  // Every request contributes one span per lifecycle stage, named
+  // "<stage>#<trace id>" so the stages of one request stitch together.
+  const std::vector<WorkerSlice> spans = trace.LaneSpans();
+  auto stage_suffixes = [&](const std::string& stage) {
+    std::set<std::string> suffixes;
+    for (const WorkerSlice& s : spans) {
+      if (s.span_name.rfind(stage + "#", 0) == 0) {
+        suffixes.insert(s.span_name.substr(stage.size() + 1));
+      }
+    }
+    return suffixes;
+  };
+  const std::set<std::string> decode_ids = stage_suffixes("decode");
+  EXPECT_EQ(decode_ids.size(), 3u);
+  EXPECT_EQ(stage_suffixes("queue"), decode_ids);
+  EXPECT_EQ(stage_suffixes("gate"), decode_ids);
+  EXPECT_EQ(stage_suffixes("exec"), decode_ids);
+  EXPECT_EQ(stage_suffixes("write"), decode_ids);
+
+  // Stage-to-lane assignment: decode on the reader lane, queue/gate waits on
+  // the dispatcher lane; both are negative so they can never collide with a
+  // pool-worker lane (>= 0).
+  for (const WorkerSlice& s : spans) {
+    if (s.span_name.rfind("decode#", 0) == 0) EXPECT_LE(s.tid, -2);
+    if (s.span_name.rfind("queue#", 0) == 0) EXPECT_EQ(s.tid, -1);
+    if (s.span_name.rfind("gate#", 0) == 0) EXPECT_EQ(s.tid, -1);
+    EXPECT_GE(s.duration_ns, 0);
+  }
+
+  const std::string chrome = trace.ToChromeTracing();
+  EXPECT_NE(chrome.find("\"dispatcher\""), std::string::npos);
+  EXPECT_NE(chrome.find("reader-"), std::string::npos);
+}
+
+TEST(ServeServerTest, FlightRecorderSeesConnectionAndDrainEvents) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Enable();
+  recorder.Clear();
+
+  Structure served = MakePathStructure(6);
+  Server server(&served, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<Observed> observed =
+      RunClient(server.port(), {{FrameKind::kCount, "E(x, y)"},
+                                {FrameKind::kUpdate, "insert E 0 3"}});
+  ASSERT_EQ(observed.size(), 2u);
+  server.Stop();
+
+  std::size_t opens = 0, closes = 0, drain_begin = 0, drain_end = 0;
+  for (const FlightEvent& e : recorder.Snapshot()) {
+    const std::string_view name(e.name);
+    if (name == "serve.conn.open") ++opens;
+    if (name == "serve.conn.close") ++closes;
+    if (name == "serve.update.drain.begin") ++drain_begin;
+    if (name == "serve.update.drain.end") ++drain_end;
+  }
+  recorder.Disable();
+  EXPECT_GE(opens, 1u);
+  EXPECT_GE(closes, 1u);
+  EXPECT_EQ(drain_begin, 1u);  // one update: one exclusive-gate drain
+  EXPECT_EQ(drain_end, 1u);
 }
 
 TEST(ServeServerTest, StopWithoutTrafficIsClean) {

@@ -259,7 +259,12 @@ int RunFrameFuzz(std::uint64_t seed, std::size_t iterations) {
         request.kind = kRequestKinds[rng.NextBelow(6)];
         request.id = static_cast<std::uint32_t>(rng.NextBelow(1u << 16));
         if (IsStatementKind(request.kind)) {
-          request.flags = static_cast<std::uint8_t>(rng.NextBelow(2));
+          // All flag combinations: explain bit x trace-id bit; a set
+          // trace-id flag carries a random 8-byte id in the body.
+          request.flags = static_cast<std::uint8_t>(rng.NextBelow(4));
+          if ((request.flags & kRequestFlagTraceId) != 0) {
+            request.trace_id = rng.Next();
+          }
           request.text = random_text();
         }
         AppendRequestFrame(&wire, request);
@@ -303,7 +308,9 @@ int RunFrameFuzz(std::uint64_t seed, std::size_t iterations) {
           Result<Request> r = DecodeRequest(**next);
           const Request& want = requests[req_i++];
           match = r.ok() && r->kind == want.kind && r->id == want.id &&
-                  r->flags == want.flags && r->text == want.text;
+                  r->flags == want.flags && r->text == want.text &&
+                  ((want.flags & kRequestFlagTraceId) == 0 ||
+                   r->trace_id == want.trace_id);
         } else {
           Result<Response> r = DecodeResponse(**next);
           const Response& want = responses[resp_i++];

@@ -1,0 +1,280 @@
+// focq_logreplay: turns a focq_serve structured query log back into the
+// serial statement stream it was served as, re-executes it, and verifies
+// every result digest bit for bit (DESIGN.md §3g, "Request lifecycle &
+// query log").
+//
+//   focq_logreplay <structure-file> <query-log.jsonl> [--edges]
+//                  [--engine naive|local|cover|approx] [--threads N]
+//                  [--eps E] [--delta D] [--approx-seed S]
+//                  [--approx-stratify] [--batch-out FILE] [--verbose]
+//
+// The log records carry the server's global admission sequence numbers, so
+// sorting them by seq reconstructs exactly the serial order the multi-client
+// interleaving is bit-identical to (the §3g contract). The tool replays that
+// order through one read-write Session over a fresh load of the structure —
+// the same statement semantics as the server's execution paths and focq_cli
+// --batch — digests each response text with Fnv1a64 and compares against the
+// logged digest.
+//
+//   --batch-out FILE  also write the reconstructed stream in the focq_cli
+//                     --batch grammar ("<kind> <text>" per line, seq order)
+//   --verbose         print one line per record instead of only mismatches
+//   --engine etc.     must match the serving configuration, or counts that
+//                     depend on the engine contract (approx) will differ
+//
+// Caveats, by construction of the log:
+//   * records with deadline=true are skipped (a deadline expiry depends on
+//     wall clock, so the error text is not reproducible);
+//   * a --slow-ms log is a *subset* of the served stream: updates that were
+//     filtered out change structure state for later reads, so replay of a
+//     filtered log verifies only when no update was filtered (the tool
+//     still replays and reports whatever mismatches follow);
+//   * seq gaps are normal — pings and shutdown frames consume sequence
+//     numbers but are never logged.
+//
+// Exits 0 iff every verified digest matched.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "focq/core/api.h"
+#include "focq/logic/fragment.h"
+#include "focq/logic/parser.h"
+#include "focq/obs/querylog.h"
+#include "focq/structure/io.h"
+#include "focq/structure/update.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "focq_logreplay: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: focq_logreplay <structure-file> <query-log.jsonl> [--edges]\n"
+      "                      [--engine naive|local|cover|approx] "
+      "[--threads N]\n"
+      "                      [--eps E] [--delta D] [--approx-seed S] "
+      "[--approx-stratify]\n"
+      "                      [--batch-out FILE] [--verbose]\n");
+  return 2;
+}
+
+bool ParseU64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  try {
+    std::size_t pos = 0;
+    *out = std::stoull(text, &pos);
+    return pos == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// The server's statement semantics (= focq_cli --batch, = the serial oracle
+// of serve_server_test): one Session, errors render as Status::ToString().
+std::string Replay(focq::Session* session, const focq::QueryLogRecord& r) {
+  using namespace focq;
+  const Signature& sig = session->structure().signature();
+  if (r.kind == "update") {
+    Result<TupleUpdate> update = ParseUpdate(r.text, sig);
+    if (!update.ok()) return update.status().ToString();
+    Result<UpdateStats> applied = session->ApplyUpdate(*update);
+    if (!applied.ok()) return applied.status().ToString();
+    return applied->changed ? "applied" : "noop";
+  }
+  if (r.kind == "term") {
+    Result<Term> term = ParseTerm(r.text);
+    if (!term.ok()) return term.status().ToString();
+    if (Status symbols = CheckSymbols(*term, sig); !symbols.ok()) {
+      return symbols.ToString();
+    }
+    Result<CountInt> value = session->EvaluateGroundTerm(*term);
+    if (!value.ok()) return value.status().ToString();
+    return std::to_string(static_cast<long long>(*value));
+  }
+  // check / count
+  Result<Formula> formula = ParseFormula(r.text);
+  if (!formula.ok()) return formula.status().ToString();
+  if (Status symbols = CheckSymbols(*formula, sig); !symbols.ok()) {
+    return symbols.ToString();
+  }
+  if (r.kind == "check") {
+    Result<bool> holds = session->ModelCheck(*formula);
+    if (!holds.ok()) return holds.status().ToString();
+    return *holds ? "true" : "false";
+  }
+  Result<CountInt> count = session->CountSolutions(*formula);
+  if (!count.ok()) return count.status().ToString();
+  return std::to_string(static_cast<long long>(*count));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace focq;
+  if (argc < 3) return Usage();
+  const std::string structure_path = argv[1];
+  const std::string log_path = argv[2];
+
+  bool edges = false, verbose = false;
+  std::string batch_out;
+  EvalOptions eval;
+  std::string engine_name = "local";
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto parse_prob = [](const char* text, double* out) -> bool {
+      if (text == nullptr) return false;
+      try {
+        std::size_t pos = 0;
+        *out = std::stod(text, &pos);
+        return pos == std::string(text).size();
+      } catch (const std::exception&) {
+        return false;
+      }
+    };
+    if (arg == "--edges") {
+      edges = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      engine_name = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      try {
+        std::size_t pos = 0;
+        eval.num_threads = std::stoi(v, &pos);
+        if (pos != std::string(v).size() || eval.num_threads < 0) {
+          return Fail("--threads expects a non-negative integer");
+        }
+      } catch (const std::exception&) {
+        return Fail("--threads expects a non-negative integer");
+      }
+    } else if (arg == "--eps") {
+      if (!parse_prob(next(), &eval.approx.eps)) {
+        return Fail("--eps expects a number in (0, 1)");
+      }
+    } else if (arg == "--delta") {
+      if (!parse_prob(next(), &eval.approx.delta)) {
+        return Fail("--delta expects a number in (0, 1)");
+      }
+    } else if (arg == "--approx-seed") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &eval.approx.seed)) {
+        return Fail("--approx-seed expects a non-negative integer");
+      }
+    } else if (arg == "--approx-stratify") {
+      eval.approx.stratify = true;
+    } else if (arg == "--batch-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      batch_out = v;
+    } else if (arg.rfind("--batch-out=", 0) == 0) {
+      batch_out = arg.substr(std::string("--batch-out=").size());
+    } else {
+      return Usage();
+    }
+  }
+  if (engine_name == "naive") {
+    eval.engine = Engine::kNaive;
+  } else if (engine_name == "local") {
+    eval.engine = Engine::kLocal;
+  } else if (engine_name == "cover") {
+    eval.engine = Engine::kLocal;
+    eval.term_engine = TermEngine::kSparseCover;
+  } else if (engine_name == "approx") {
+    eval.engine = Engine::kApprox;
+  } else {
+    return Fail("unknown engine '" + engine_name + "'");
+  }
+
+  // ---- parse the log -------------------------------------------------------
+  std::ifstream in(log_path);
+  if (!in) return Fail("cannot open '" + log_path + "'");
+  std::vector<QueryLogRecord> records;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Result<QueryLogRecord> record = ParseQueryLogLine(line);
+    if (!record.ok()) {
+      return Fail("line " + std::to_string(lineno) + ": " +
+                  record.status().ToString());
+    }
+    records.push_back(std::move(record).value());
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const QueryLogRecord& a, const QueryLogRecord& b) {
+                     return a.seq < b.seq;
+                   });
+
+  if (!batch_out.empty()) {
+    std::ofstream out(batch_out, std::ios::trunc);
+    if (!out) return Fail("cannot write '" + batch_out + "'");
+    out << "# reconstructed from " << log_path << " in admission-seq order\n";
+    for (const QueryLogRecord& r : records) {
+      out << r.kind << " " << r.text << "\n";
+    }
+  }
+
+  // ---- load the structure and replay ---------------------------------------
+  Result<Structure> structure = [&]() -> Result<Structure> {
+    if (!edges) return ReadStructureFile(structure_path);
+    std::ifstream sf(structure_path);
+    if (!sf) return Status::NotFound("cannot open '" + structure_path + "'");
+    std::ostringstream buffer;
+    buffer << sf.rdbuf();
+    return ReadEdgeList(buffer.str());
+  }();
+  if (!structure.ok()) return Fail(structure.status().ToString());
+
+  Session session(&structure.value(), eval);
+  std::size_t verified = 0, mismatches = 0, skipped = 0;
+  for (const QueryLogRecord& r : records) {
+    const std::string text = Replay(&session, r);
+    if (r.deadline_exceeded) {
+      // Wall-clock dependent outcome; the statement was still replayed (an
+      // update may have partially applied state the later stream needs).
+      ++skipped;
+      continue;
+    }
+    const std::uint64_t digest = Fnv1a64(text);
+    if (digest == r.digest) {
+      ++verified;
+      if (verbose) {
+        std::printf("seq %llu %s: ok (%s)\n",
+                    static_cast<unsigned long long>(r.seq), r.kind.c_str(),
+                    HexU64(digest).c_str());
+      }
+    } else {
+      ++mismatches;
+      std::printf("seq %llu %s: DIGEST MISMATCH logged %s replayed %s\n",
+                  static_cast<unsigned long long>(r.seq), r.kind.c_str(),
+                  HexU64(r.digest).c_str(), HexU64(digest).c_str());
+      std::printf("  statement: %s %s\n", r.kind.c_str(), r.text.c_str());
+      std::printf("  replayed result: %s\n", text.c_str());
+    }
+  }
+  std::printf(
+      "replayed %zu records: %zu verified, %zu skipped (deadline), "
+      "%zu mismatches\n",
+      records.size(), verified, skipped, mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -5,7 +5,8 @@
 //   focq_serve <structure-file> [--edges] [--port N] [--metrics-port N]
 //              [--engine naive|local|cover|approx] [--threads N]
 //              [--eps E] [--delta D] [--approx-seed S] [--approx-stratify]
-//              [--deadline-ms N]
+//              [--deadline-ms N] [--query-log FILE] [--slow-ms N]
+//              [--trace-json FILE] [--flight-record FILE]
 //
 //   Loads the structure, binds 127.0.0.1 (port 0 = ephemeral) and serves the
 //   length-prefixed binary protocol of src/focq/serve/protocol.h: concurrent
@@ -25,12 +26,26 @@
 //   --metrics-port OpenMetrics scrape port (default off; 0 = ephemeral)
 //   --deadline-ms  hard per-request budget; an expired request answers
 //                  kDeadlineExceeded without affecting other clients
+//   --query-log    structured query log: one JSONL record per served
+//                  statement (schema: src/focq/obs/querylog.h), written
+//                  asynchronously, replayable with tools/focq_logreplay
+//   --slow-ms      with --query-log: record only requests slower than N ms
+//   --trace-json   request-lifecycle trace, chrome://tracing JSON written at
+//                  shutdown: decode/queue/gate/exec/write spans per request
+//                  on reader / dispatcher / pool-worker lanes, stitched by
+//                  trace id
+//   --flight-record enable the flight recorder; its ring (connection
+//                  open/close, queue backpressure, update drains, phases) is
+//                  dumped to FILE at shutdown
 //   --engine, --threads, --eps, --delta, --approx-seed, --approx-stratify:
 //                  as in focq_cli, applied to every request
 //
 // Client mode:
 //   focq_serve --client PORT [--batch FILE] [--explain] [--ping]
-//              [--shutdown]
+//              [--shutdown] [--trace-base N]
+//
+//   --trace-base N stamps request i with client-supplied trace id N+i (the
+//   kRequestFlagTraceId protocol flag); without it the server assigns ids.
 //
 //   Reads statements from FILE (the focq_cli --batch grammar), pipelines
 //   them all over one connection, and prints one line per response in
@@ -49,6 +64,7 @@
 #include <string>
 #include <vector>
 
+#include "focq/obs/recorder.h"
 #include "focq/serve/protocol.h"
 #include "focq/serve/server.h"
 #include "focq/serve/socket_util.h"
@@ -69,9 +85,11 @@ int Usage() {
       "                  [--engine naive|local|cover|approx] [--threads N]\n"
       "                  [--eps E] [--delta D] [--approx-seed S] "
       "[--approx-stratify]\n"
-      "                  [--deadline-ms N]\n"
+      "                  [--deadline-ms N] [--query-log FILE] [--slow-ms N]\n"
+      "                  [--trace-json FILE] [--flight-record FILE]\n"
       "       focq_serve --client PORT [--batch FILE] [--explain] [--ping] "
-      "[--shutdown]\n");
+      "[--shutdown]\n"
+      "                  [--trace-base N]\n");
   return 2;
 }
 
@@ -134,7 +152,8 @@ int ReadStatements(const std::string& path, std::vector<Statement>* out) {
 }
 
 int RunClient(std::uint16_t port, const std::string& batch_path,
-              bool explain, bool ping, bool shutdown) {
+              bool explain, bool ping, bool shutdown, bool has_trace_base,
+              std::uint64_t trace_base) {
   using namespace focq::serve;
   std::vector<Statement> statements;
   if (ping) statements.push_back({FrameKind::kPing, ""});
@@ -159,6 +178,10 @@ int RunClient(std::uint16_t port, const std::string& batch_path,
     request.id = next_id++;
     if (explain && IsReadStatement(statement.kind)) {
       request.flags |= kRequestFlagExplain;
+    }
+    if (has_trace_base) {
+      request.flags |= kRequestFlagTraceId;
+      request.trace_id = trace_base + request.id;
     }
     request.text = statement.text;
     kinds[request.id] = request.kind;
@@ -238,6 +261,8 @@ int main(int argc, char** argv) {
     }
     std::string batch_path;
     bool explain = false, ping = false, shutdown = false;
+    bool has_trace_base = false;
+    std::uint64_t trace_base = 0;
     for (int i = 3; i < argc; ++i) {
       std::string arg = argv[i];
       auto next = [&]() -> const char* {
@@ -255,12 +280,24 @@ int main(int argc, char** argv) {
         ping = true;
       } else if (arg == "--shutdown") {
         shutdown = true;
+      } else if (arg == "--trace-base") {
+        const char* v = next();
+        if (v == nullptr || !ParseU64(v, &trace_base)) {
+          return Fail("--trace-base expects a non-negative integer");
+        }
+        has_trace_base = true;
+      } else if (arg.rfind("--trace-base=", 0) == 0) {
+        if (!ParseU64(arg.substr(std::string("--trace-base=").size()),
+                      &trace_base)) {
+          return Fail("--trace-base expects a non-negative integer");
+        }
+        has_trace_base = true;
       } else {
         return Usage();
       }
     }
     return RunClient(static_cast<std::uint16_t>(port), batch_path, explain,
-                     ping, shutdown);
+                     ping, shutdown, has_trace_base, trace_base);
   }
 
   // ---- server mode ---------------------------------------------------------
@@ -271,6 +308,8 @@ int main(int argc, char** argv) {
   std::string threads_text = "1";
   std::string eps_text = "0.1", delta_text = "0.01", approx_seed_text = "1";
   std::string port_text = "0", metrics_port_text, deadline_text = "0";
+  std::string slow_ms_text = "0";
+  std::string trace_json_path, flight_record_path;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -306,6 +345,31 @@ int main(int argc, char** argv) {
       deadline_text = v;
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       deadline_text = arg.substr(std::string("--deadline-ms=").size());
+    } else if (arg == "--query-log") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      serve_options.query_log_path = v;
+    } else if (arg.rfind("--query-log=", 0) == 0) {
+      serve_options.query_log_path =
+          arg.substr(std::string("--query-log=").size());
+    } else if (arg == "--slow-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      slow_ms_text = v;
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      slow_ms_text = arg.substr(std::string("--slow-ms=").size());
+    } else if (arg == "--trace-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_json_path = v;
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      trace_json_path = arg.substr(std::string("--trace-json=").size());
+    } else if (arg == "--flight-record") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      flight_record_path = v;
+    } else if (arg.rfind("--flight-record=", 0) == 0) {
+      flight_record_path = arg.substr(std::string("--flight-record=").size());
     } else if (arg == "--eps") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -348,6 +412,12 @@ int main(int argc, char** argv) {
   }
   if (!ParseI64(deadline_text, &serve_options.deadline_ms)) {
     return Fail("--deadline-ms expects a non-negative integer");
+  }
+  if (!ParseI64(slow_ms_text, &serve_options.slow_ms)) {
+    return Fail("--slow-ms expects a non-negative integer");
+  }
+  if (serve_options.slow_ms > 0 && serve_options.query_log_path.empty()) {
+    return Fail("--slow-ms requires --query-log");
   }
   if (engine_name == "naive") {
     serve_options.eval.engine = Engine::kNaive;
@@ -396,6 +466,10 @@ int main(int argc, char** argv) {
   std::printf("structure: %zu elements, ||A|| = %zu\n", structure->Order(),
               structure->SizeNorm());
 
+  TraceSink trace;
+  if (!trace_json_path.empty()) serve_options.trace = &trace;
+  if (!flight_record_path.empty()) FlightRecorder::Global().Enable();
+
   serve::Server server(&structure.value(), serve_options);
   if (Status started = server.Start(); !started.ok()) {
     return Fail(started.ToString());
@@ -410,6 +484,18 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   server.Wait();
   server.Stop();
+  if (!trace_json_path.empty()) {
+    std::ofstream out(trace_json_path, std::ios::trunc);
+    if (!out) return Fail("cannot write '" + trace_json_path + "'");
+    out << trace.ToChromeTracing() << "\n";
+    std::printf("trace written to %s\n", trace_json_path.c_str());
+  }
+  if (!flight_record_path.empty()) {
+    std::ofstream out(flight_record_path, std::ios::trunc);
+    if (!out) return Fail("cannot write '" + flight_record_path + "'");
+    out << FlightRecorder::Global().Dump();
+    std::printf("flight record written to %s\n", flight_record_path.c_str());
+  }
   std::printf("shutdown complete\n");
   return 0;
 }

@@ -15,10 +15,18 @@ and updates — including one statement that fails), then:
 Repeated for server thread counts {0, 1, 4}. Also scrapes the OpenMetrics
 endpoint and validates the exposition with tools/check_openmetrics.py.
 
+With --logreplay the server additionally writes a structured query log and
+a chrome://tracing export each round; after shutdown the log is replayed
+with focq_logreplay, which must reproduce every result digest bit for bit
+(the DESIGN.md section 3g round-trip contract). With --artifacts DIR the
+per-round query logs / trace files land in DIR instead of a temp dir, so
+CI can upload them on failure.
+
 Usage: serve_smoke.py --serve build/tools/focq_serve --cli build/tools/focq_cli
 """
 
 import argparse
+import json
 import os
 import re
 import subprocess
@@ -85,11 +93,16 @@ def run_client(serve_bin, port, batch_path, results, index):
     results[index] = proc
 
 
-def one_round(serve_bin, cli_bin, structure_path, threads, workdir):
+def one_round(serve_bin, cli_bin, structure_path, threads, workdir,
+              logreplay_bin=None):
+    qlog_path = os.path.join(workdir, "qlog-t%d.jsonl" % threads)
+    trace_path = os.path.join(workdir, "trace-t%d.json" % threads)
+    command = [serve_bin, structure_path, "--threads", str(threads),
+               "--metrics-port", "0"]
+    if logreplay_bin:
+        command += ["--query-log", qlog_path, "--trace-json", trace_path]
     server = subprocess.Popen(
-        [serve_bin, structure_path, "--threads", str(threads),
-         "--metrics-port", "0"],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     try:
         port = metrics_port = None
         while port is None or metrics_port is None:
@@ -165,12 +178,23 @@ def one_round(serve_bin, cli_bin, structure_path, threads, workdir):
                 fail("threads=%d seq=%d %r: server said %r, serial replay "
                      "said %r" % (threads, seq, statement, text, m.group(2)))
 
-        # The scrape endpoint must serve a valid exposition.
+        # The scrape endpoint must serve a valid exposition, including the
+        # request-lifecycle depth added in DESIGN.md section 3g: per-kind
+        # latency families, queue/gate wait distributions, live gauges.
         with urllib.request.urlopen(
                 "http://127.0.0.1:%d/metrics" % metrics_port, timeout=30) as r:
             body = r.read().decode("utf-8")
         if "focq_serve_requests_total" not in body:
             fail("scrape is missing serve counters")
+        for family in ("focq_dist_serve_request_ns_count",
+                       "focq_dist_serve_request_ns_update",
+                       "focq_dist_serve_queue_wait_ns",
+                       "focq_dist_serve_gate_wait_ns",
+                       "# TYPE focq_serve_queue_depth gauge",
+                       "# TYPE focq_serve_inflight gauge",
+                       "# TYPE focq_serve_connections_live gauge"):
+            if family not in body:
+                fail("scrape is missing %r" % family)
         om_path = os.path.join(workdir, "serve.om.txt")
         with open(om_path, "w") as f:
             f.write(body)
@@ -184,6 +208,36 @@ def one_round(serve_bin, cli_bin, structure_path, threads, workdir):
             fail("shutdown client failed: %s" % down.stdout)
         if server.wait(timeout=60) != 0:
             fail("server exited with %d" % server.returncode)
+
+        if logreplay_bin:
+            # The query log must replay to bit-identical digests through
+            # focq_logreplay (one record per statement; the shutdown client's
+            # frames consume seqs but are never logged).
+            with open(qlog_path) as f:
+                records = [json.loads(line) for line in f if line.strip()]
+            if len(records) != total:
+                fail("threads=%d: query log has %d records, want %d"
+                     % (threads, len(records), total))
+            replayed = subprocess.run(
+                [logreplay_bin, structure_path, qlog_path,
+                 "--threads", str(threads)],
+                capture_output=True, text=True, timeout=120)
+            if replayed.returncode != 0:
+                fail("threads=%d: focq_logreplay exited %d\n%s%s"
+                     % (threads, replayed.returncode, replayed.stdout,
+                        replayed.stderr))
+            if "0 mismatches" not in replayed.stdout:
+                fail("threads=%d: focq_logreplay did not verify cleanly\n%s"
+                     % (threads, replayed.stdout))
+            trace = json.load(open(trace_path))
+            events = trace.get("traceEvents", [])
+            if not any(e.get("ph") == "X" and "#" in e.get("name", "")
+                       for e in events):
+                fail("threads=%d: trace export has no lifecycle spans"
+                     % threads)
+            print("serve_smoke: threads=%d logreplay verified %d digests"
+                  % (threads, total))
+
         print("serve_smoke: threads=%d OK (%d statements, %d clients)"
               % (threads, total, len(CLIENT_BATCHES)))
     finally:
@@ -196,16 +250,30 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--serve", required=True, help="path to focq_serve")
     ap.add_argument("--cli", required=True, help="path to focq_cli")
+    ap.add_argument("--logreplay", default=None,
+                    help="path to focq_logreplay; enables the query-log "
+                         "round-trip check")
+    ap.add_argument("--artifacts", default=None,
+                    help="directory for query logs / trace exports "
+                         "(default: a temp dir removed on exit)")
     ap.add_argument("--threads", default="0,1,4",
                     help="comma-separated server thread counts")
     args = ap.parse_args()
 
-    with tempfile.TemporaryDirectory(prefix="focq-serve-smoke-") as workdir:
+    def run_all(workdir):
         structure_path = os.path.join(workdir, "smoke.fs")
         with open(structure_path, "w") as f:
             f.write(STRUCTURE)
         for threads in [int(t) for t in args.threads.split(",")]:
-            one_round(args.serve, args.cli, structure_path, threads, workdir)
+            one_round(args.serve, args.cli, structure_path, threads, workdir,
+                      logreplay_bin=args.logreplay)
+
+    if args.artifacts:
+        os.makedirs(args.artifacts, exist_ok=True)
+        run_all(args.artifacts)
+    else:
+        with tempfile.TemporaryDirectory(prefix="focq-serve-smoke-") as workdir:
+            run_all(workdir)
     print("serve_smoke: OK")
 
 
